@@ -1,0 +1,97 @@
+"""Delta-stepping vs frontier-relaxation SSSP ablation.
+
+The paper's SSSP (Sec. VI-F) is plain frontier relaxation; production
+GPU SSSP uses delta-stepping.  Both run on the same EFG backend, so
+this measures how much of SSSP's cost is the algorithm rather than the
+format — and includes a delta sweep showing the classic U-shape
+(too-small delta: many buckets and phases; too-large: Bellman-Ford-like
+redundant relaxations).
+"""
+
+import numpy as np
+from conftest import run_once, save_records
+
+from repro.bench.harness import encoded_suite_graph, make_backend, pick_sources
+from repro.bench.report import format_table
+from repro.formats.weights import generate_edge_weights
+from repro.traversal.delta_stepping import delta_stepping_sssp
+from repro.traversal.sssp import sssp
+
+GRAPHS = ("scc-lj", "orkut", "twitter")
+
+
+def _run():
+    records = []
+    for name in GRAPHS:
+        enc = encoded_suite_graph(name)
+        weights = generate_edge_weights(enc.graph, seed=13)
+        backend = make_backend("efg", enc, with_weights=True)
+        src = int(pick_sources(enc.graph, 1)[0])
+        bf = sssp(backend, src, weights)
+        ds = delta_stepping_sssp(backend, src, weights)
+        finite = np.isfinite(bf.distances)
+        assert np.allclose(
+            ds.distances[finite], bf.distances[finite], atol=1e-5
+        )
+        records.append(
+            {
+                "name": name,
+                "bf_relaxations": bf.edges_relaxed,
+                "ds_relaxations": ds.edges_relaxed,
+                "bf_ms": bf.runtime_ms,
+                "ds_ms": ds.runtime_ms,
+                "relaxation_saving": bf.edges_relaxed / max(ds.edges_relaxed, 1),
+                "speedup": bf.runtime_ms / ds.runtime_ms,
+                "delta": ds.delta,
+            }
+        )
+    # Delta sweep on one graph.
+    enc = encoded_suite_graph("twitter")
+    weights = generate_edge_weights(enc.graph, seed=13)
+    backend = make_backend("efg", enc, with_weights=True)
+    src = int(pick_sources(enc.graph, 1)[0])
+    sweep = []
+    for delta in (0.01, 0.05, 0.1, 0.3, 1.0, 10.0):
+        r = delta_stepping_sssp(backend, src, weights, delta=delta)
+        sweep.append(
+            {"delta": delta, "ms": r.runtime_ms,
+             "relaxations": r.edges_relaxed,
+             "buckets": r.buckets_processed}
+        )
+    return records, sweep
+
+
+def test_delta_stepping(benchmark, results_dir):
+    records, sweep = run_once(benchmark, _run)
+    print()
+    print(
+        format_table(
+            ["graph", "BF relax", "DS relax", "saving", "BF ms", "DS ms"],
+            [
+                [r["name"], r["bf_relaxations"], r["ds_relaxations"],
+                 r["relaxation_saving"], r["bf_ms"], r["ds_ms"]]
+                for r in records
+            ],
+            title="SSSP: frontier relaxation (paper) vs delta-stepping",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["delta", "ms", "relaxations", "buckets"],
+            [[s["delta"], s["ms"], s["relaxations"], s["buckets"]]
+             for s in sweep],
+            title="Delta sweep (twitter)",
+        )
+    )
+    save_records(results_dir, "delta_stepping",
+                 {"runs": records, "sweep": sweep})
+
+    # Delta-stepping must cut relaxations on every graph.
+    for r in records:
+        assert r["relaxation_saving"] > 1.2, r["name"]
+    # The sweep's relaxation count grows toward huge delta
+    # (Bellman-Ford limit).
+    assert sweep[-1]["relaxations"] >= sweep[2]["relaxations"]
+    # Tiny delta processes many more buckets.
+    assert sweep[0]["buckets"] > 4 * sweep[-1]["buckets"]

@@ -1,0 +1,54 @@
+"""Sec. VI-E ablation — partial frontier radix sort (65% of the bits).
+
+Paper: average ~9% runtime improvement (max 33%) on EFG BFS, from
+improved coalescing of the per-vertex gathers and candidate probes.
+
+In our simulator the coalescing improvement is *measured* (the sorted
+frontier's access streams merge into fewer memory transactions — the
+``traffic_saving`` column), but the runtime delta is muted whenever the
+decode-instruction term of the ``max`` overlap model is the binding
+bound rather than memory.  We therefore assert hard on the traffic
+mechanism and keep a neutrality band on runtime.
+"""
+
+import numpy as np
+from conftest import run_once, save_records
+
+from repro.bench.experiments import exp_frontier_sort
+from repro.bench.report import format_table
+
+GRAPHS = (
+    "scc-lj", "orkut", "urnd_26", "twitter", "sk-05",
+    "gsh-15-h_sym", "sk-05_sym", "moliere-16",
+)
+
+
+def test_frontier_sort_ablation(benchmark, results_dir):
+    records = run_once(benchmark, exp_frontier_sort, GRAPHS, 2)
+    print()
+    print(
+        format_table(
+            ["graph", "sorted ms", "unsorted ms", "speedup", "traffic x"],
+            [
+                [r["name"], r["sorted_ms"], r["unsorted_ms"], r["speedup"],
+                 r["traffic_saving"]]
+                for r in records
+            ],
+            title="Sec. VI-E: partial frontier sort ablation (EFG BFS)",
+        )
+    )
+    save_records(results_dir, "frontier_sort", records)
+
+    speedups = np.array([r["speedup"] for r in records])
+    savings = np.array([r["traffic_saving"] for r in records])
+    print(
+        f"\nmean speedup {speedups.mean():.3f} "
+        f"(paper avg 1.09, max 1.33); mean traffic saving {savings.mean():.3f}x"
+    )
+    # The mechanism: sorting reduces measured expand/filter traffic.
+    assert savings.mean() > 1.0
+    assert savings.max() > 1.02
+    # Runtime: never a significant regression, non-negative on average
+    # within noise.
+    assert speedups.min() > 0.9
+    assert speedups.mean() > 0.97

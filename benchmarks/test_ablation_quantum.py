@@ -1,0 +1,37 @@
+"""Forward-pointer quantum sweep (the paper fixes k = 512).
+
+The trade-off the paper's choice encodes: smaller k means more
+forward-pointer storage (worse compression) but tighter select windows;
+k = 512 makes the pointer overhead negligible.  At miniature scale the
+runtime is insensitive (few lists exceed one quantum), so the
+interesting curve is the storage one.
+"""
+
+from conftest import run_once, save_records
+
+from repro.bench.experiments import exp_quantum
+from repro.bench.report import format_table
+
+
+def test_quantum_sweep(benchmark, results_dir):
+    records = run_once(benchmark, exp_quantum, "twitter")
+    print()
+    print(
+        format_table(
+            ["k", "EFG bytes", "ratio vs CSR", "BFS ms"],
+            [
+                [r["quantum"], r["efg_bytes"], r["ratio"], r["runtime_ms"]]
+                for r in records
+            ],
+            title="Forward-pointer quantum sweep (twitter, scaled)",
+        )
+    )
+    save_records(results_dir, "quantum", records)
+
+    sizes = [r["efg_bytes"] for r in records]
+    # Pointer storage shrinks monotonically with k.
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    # At k = 512 (paper default) the overhead is negligible vs k = 1024.
+    k512 = next(r for r in records if r["quantum"] == 512)
+    k1024 = next(r for r in records if r["quantum"] == 1024)
+    assert k512["efg_bytes"] <= 1.01 * k1024["efg_bytes"]

@@ -1,0 +1,83 @@
+"""Multi-GPU extension — compression vs buying more GPUs (Intro).
+
+The paper's introduction positions graph compression as complementary
+to distributing the graph over multiple GPUs.  This bench quantifies
+the trade on an out-of-core graph:
+
+* 1x Titan Xp, CSR — spills, PCIe-bound (the problem);
+* 2x/4x Titan Xp, CSR partitioned — in-memory again, plus an
+  all-to-all frontier exchange per level (the hardware answer);
+* 1x Titan Xp, EFG — in-memory after compression (the paper's answer).
+
+Expected shape: EFG on one GPU recovers the bulk of the multi-GPU
+speedup with zero extra hardware; adding GPUs still wins at the cost
+of 2-4x the silicon plus exchange traffic.
+"""
+
+import numpy as np
+from conftest import run_once, save_records
+
+from repro.bench.harness import SCALED_TITAN_XP, encoded_suite_graph, make_backend
+from repro.bench.report import format_table
+from repro.traversal.bfs import bfs
+from repro.traversal.distributed import multi_gpu_bfs
+
+GRAPHS = ("gsh-15-h_sym", "sk-05_sym", "com-frndster")
+
+
+def _run():
+    records = []
+    for name in GRAPHS:
+        enc = encoded_suite_graph(name)
+        src = int(np.argmax(enc.graph.degrees))
+        one_csr = bfs(make_backend("csr", enc), src)
+        one_efg = bfs(make_backend("efg", enc), src)
+        two = multi_gpu_bfs(enc.graph, src, 2, SCALED_TITAN_XP, fmt="csr")
+        four = multi_gpu_bfs(enc.graph, src, 4, SCALED_TITAN_XP, fmt="csr")
+        assert np.array_equal(two.levels, one_csr.levels)
+        records.append(
+            {
+                "name": name,
+                "csr_1gpu_ms": one_csr.runtime_ms,
+                "efg_1gpu_ms": one_efg.runtime_ms,
+                "csr_2gpu_ms": two.runtime_ms,
+                "csr_4gpu_ms": four.runtime_ms,
+                "exchanged_mb_2gpu": two.exchanged_bytes / 1e6,
+                "efg_speedup": one_csr.runtime_ms / one_efg.runtime_ms,
+                "gpu2_speedup": one_csr.runtime_ms / two.runtime_ms,
+            }
+        )
+    return records
+
+
+def test_multigpu_vs_compression(benchmark, results_dir):
+    records = run_once(benchmark, _run)
+    print()
+    print(
+        format_table(
+            ["graph", "1xCSR ms", "1xEFG ms", "2xCSR ms", "4xCSR ms",
+             "2x exch MB"],
+            [
+                [r["name"], r["csr_1gpu_ms"], r["efg_1gpu_ms"],
+                 r["csr_2gpu_ms"], r["csr_4gpu_ms"],
+                 r["exchanged_mb_2gpu"]]
+                for r in records
+            ],
+            title="Out-of-core: compress (EFG) vs partition (multi-GPU)",
+        )
+    )
+    save_records(results_dir, "multigpu", records)
+
+    for r in records:
+        # Both answers beat the PCIe-bound single-GPU CSR run...
+        assert r["efg_speedup"] > 2.0, r["name"]
+        assert r["gpu2_speedup"] > 1.4, r["name"]
+        # ...and single-GPU EFG recovers a large share of the 2-GPU win
+        # without the second device.
+        assert r["efg_1gpu_ms"] < 4.0 * r["csr_2gpu_ms"], r["name"]
+    # The social graph's scattered neighbours make the all-to-all
+    # exchange the bottleneck — on it, 1-GPU EFG beats 2-GPU CSR
+    # outright (compression needs no interconnect).
+    frnd = next(r for r in records if r["name"] == "com-frndster")
+    assert frnd["efg_1gpu_ms"] < frnd["csr_2gpu_ms"]
+    assert frnd["exchanged_mb_2gpu"] > 1.0

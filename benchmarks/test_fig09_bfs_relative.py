@@ -1,0 +1,52 @@
+"""Fig. 9 — BFS performance relative to CSR (higher is better).
+
+Derived from the Table II measurement; reads the cached records if the
+Table II bench already ran in this session, otherwise recomputes a
+representative subset.
+"""
+
+import numpy as np
+from conftest import run_once, save_records
+
+from repro.bench.experiments import exp_fig9, exp_tab2
+from repro.bench.report import ascii_series
+
+GRAPHS = (
+    "scc-lj", "orkut", "urnd_26", "twitter", "sk-05", "kron_27",
+    "gsh-15-h_sym", "sk-05_sym", "uk-07-05", "moliere-16",
+)
+
+
+def test_fig9_relative_performance(benchmark, results_dir):
+    tab2 = run_once(benchmark, exp_tab2, GRAPHS, 2)
+    records = exp_fig9(tab2)
+    print()
+    for fmt in ("efg", "cgr", "ligra"):
+        print(
+            ascii_series(
+                [r["name"] for r in records],
+                [r[f"{fmt}_vs_csr"] for r in records],
+                unit="x",
+                title=f"Fig. 9: {fmt.upper()} BFS speed relative to CSR",
+            )
+        )
+        print()
+    save_records(results_dir, "fig9", records)
+
+    by_name = {r["name"]: r for r in records}
+    sizes = {r["name"]: r["csr_bytes"] for r in tab2}
+    from repro.bench.harness import SCALED_TITAN_XP
+
+    cap = SCALED_TITAN_XP.memory_bytes
+    # In-memory graphs: EFG below CSR but well above CGR (paper: 0.82x
+    # vs CSR, 2.1x over CGR).
+    small = [n for n in sizes if sizes[n] < 0.8 * cap]
+    for name in small:
+        r = by_name[name]
+        assert r["efg_vs_csr"] < 1.3
+        if r["cgr_vs_csr"]:
+            assert r["efg_vs_csr"] > r["cgr_vs_csr"]
+    # Out-of-core graphs: EFG multiples above CSR.
+    big = [n for n in sizes if sizes[n] > cap]
+    gains = [by_name[n]["efg_vs_csr"] for n in big]
+    assert gains and float(np.mean(gains)) > 2.5

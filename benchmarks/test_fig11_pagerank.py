@@ -1,0 +1,47 @@
+"""Fig. 11 — PageRank GTEPS (50-iteration cap).
+
+Paper shape: like BFS, the in-memory CSR implementation beats EFG when
+everything fits (all nodes active every iteration means no frontier
+effects), and EFG wins once CSR spills.
+"""
+
+import numpy as np
+from conftest import run_once, save_records
+
+from repro.bench.experiments import exp_fig11
+from repro.bench.harness import SCALED_TITAN_XP
+from repro.bench.report import format_table
+
+GRAPHS = (
+    "scc-lj", "orkut", "urnd_26", "twitter", "sk-05",
+    "gsh-15-h_sym", "sk-05_sym",
+)
+
+
+def test_fig11_pagerank(benchmark, results_dir):
+    records = run_once(benchmark, exp_fig11, GRAPHS, 50)
+    print()
+    print(
+        format_table(
+            ["graph", "CSR GTEPS", "EFG GTEPS", "iters"],
+            [
+                [r["name"], r["csr_gteps"], r["efg_gteps"],
+                 r["efg_iterations"]]
+                for r in records
+            ],
+            title="Fig. 11: PageRank (cap 50 iterations)",
+        )
+    )
+    save_records(results_dir, "fig11", records)
+
+    cap = SCALED_TITAN_XP.memory_bytes
+    small = [r for r in records if 4.5 * r["num_edges"] < 0.7 * cap]
+    big = [r for r in records if 4.5 * r["num_edges"] > 1.2 * cap]
+    # In-memory: CSR ahead (paper Fig. 11).
+    for r in small:
+        assert r["csr_gteps"] >= 0.75 * r["efg_gteps"], r["name"]
+    # Out-of-core CSR: EFG ahead.
+    for r in big:
+        assert r["efg_gteps"] > r["csr_gteps"], r["name"]
+    # Iteration cap respected.
+    assert all(r["efg_iterations"] <= 50 for r in records)

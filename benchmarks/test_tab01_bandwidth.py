@@ -1,0 +1,31 @@
+"""Table I — GPU bandwidth characteristics of the simulated devices."""
+
+from conftest import run_once, save_records
+
+from repro.bench.experiments import exp_tab1
+from repro.bench.harness import SCALED_TITAN_XP, SCALED_V100
+from repro.bench.report import format_table
+
+
+def test_table1_bandwidths(benchmark, results_dir):
+    rows = run_once(
+        benchmark,
+        lambda: [exp_tab1(SCALED_TITAN_XP), exp_tab1(SCALED_V100)],
+    )
+    print()
+    print(
+        format_table(
+            ["GPU", "Mem (B, scaled)", "DtoD GB/s", "HtoD GB/s", "ratio"],
+            [
+                [r["gpu"], r["memory_bytes"], r["dtod_bw_gbs"], r["htod_bw_gbs"],
+                 r["bandwidth_ratio"]]
+                for r in rows
+            ],
+            title="Table I: bandwidth characteristics",
+        )
+    )
+    save_records(results_dir, "tab1", rows)
+    # Paper Table I: 417.4 vs 12.1 GB/s (~35x); V100 ~60x.
+    assert abs(rows[0]["bandwidth_ratio"] - 35) < 1.5
+    assert abs(rows[1]["bandwidth_ratio"] - 60) < 6
+    assert abs(rows[0]["pcie_peak_gteps_32bit"] - 3.03) < 0.02

@@ -1,0 +1,63 @@
+"""Table II — BFS size and runtime for CSR / CGR / EFG (GPU) and
+Ligra+(TD) (CPU) across the full scaled suite on the scaled Titan Xp.
+"""
+
+import numpy as np
+from conftest import run_once, save_records
+
+from repro.bench.experiments import DEFAULT_FULL, exp_tab2
+from repro.bench.harness import SCALED_TITAN_XP
+from repro.bench.report import format_table
+
+MIB = 1024 * 1024
+
+
+def test_table2_bfs(benchmark, results_dir):
+    records = run_once(benchmark, exp_tab2, DEFAULT_FULL, 2)
+    print()
+    rows = []
+    for r in records:
+        rows.append(
+            [
+                r["name"],
+                f"{r['csr_bytes'] / MIB:.2f}",
+                r["csr_ms"],
+                f"{r['cgr_bytes'] / MIB:.2f}",
+                r["cgr_ms"],
+                f"{r['efg_bytes'] / MIB:.2f}",
+                r["efg_ms"],
+                r["ligra_ms"],
+            ]
+        )
+    print(
+        format_table(
+            ["graph", "CSR MiB", "CSR ms", "CGR MiB", "CGR ms",
+             "EFG MiB", "EFG ms", "Lg+TD ms"],
+            rows,
+            title="Table II: BFS on scaled Titan Xp (sizes scaled 1/2048)",
+        )
+    )
+    save_records(results_dir, "tab2", records)
+
+    cap = SCALED_TITAN_XP.memory_bytes
+    in_mem = [r for r in records if r["csr_bytes"] < cap * 0.8]
+    out_mem = [r for r in records if r["csr_bytes"] > cap]
+    assert in_mem and out_mem
+
+    # Paper: EFG ~0.82x of CSR when graphs fit.
+    ratios = [r["csr_ms"] / r["efg_ms"] for r in in_mem]
+    assert 0.4 < float(np.mean(ratios)) < 1.3
+
+    # Paper: EFG 3.8x-6.5x over out-of-core CSR.
+    speedups = [r["csr_ms"] / r["efg_ms"] for r in out_mem]
+    assert float(np.mean(speedups)) > 2.5
+
+    # Paper: EFG 1.45x-2x over CGR wherever CGR runs.
+    cgr_ratios = [
+        r["cgr_ms"] / r["efg_ms"] for r in records if r["cgr_ms"] is not None
+    ]
+    assert float(np.mean(cgr_ratios)) > 1.4
+
+    # Paper: Ligra+(TD) far slower than in-memory GPU formats.
+    lig = [r["ligra_ms"] / r["csr_ms"] for r in in_mem]
+    assert float(np.mean(lig)) > 3.0

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Web-graph compression study: EFG vs CGR vs Ligra+ and reordering.
+
+Web graphs are the one category where gap/interval codes (CGR, Ligra+)
+beat plain Elias-Fano (Fig. 8) — their crawl-order ids produce long
+runs of consecutive neighbours.  This example reproduces that, then
+shows the two Sec. VIII-D / Sec. IX observations:
+
+* reordering: BP shrinks gap-code sizes further and random ordering
+  wrecks them, while EFG's size barely moves (Fig. 12a-c);
+* partitioned EF (PEF) recovers the run structure plain EF ignores.
+
+Run:  python examples/web_graph_compression.py
+"""
+
+import numpy as np
+
+from repro.core import efg_encode
+from repro.datasets import web_graph
+from repro.ef.bounds import ef_total_bits
+from repro.ef.partitioned import pef_encode
+from repro.formats import CSRGraph, cgr_encode, ligra_encode
+from repro.reorder import bp_order, gap_statistics, random_order
+
+graph = web_graph(30000, 30, mean_run_length=32, seed=11, name="web-demo")
+csr_bytes = CSRGraph.from_graph(graph).nbytes
+print(f"graph: {graph}")
+stats = gap_statistics(graph)
+print(
+    f"gap structure: mean log2 gap {stats['mean_log2_gap']:.2f}, "
+    f"{stats['unit_gap_fraction']:.0%} unit gaps\n"
+)
+
+print("=== compression ratio vs ordering (Fig. 12a-c) ===")
+orderings = {
+    "original": None,
+    "bp": bp_order(graph),
+    "random": random_order(graph, seed=1),
+}
+print(f"{'ordering':10s} {'EFG':>6s} {'CGR':>6s} {'Ligra+':>7s}")
+for name, perm in orderings.items():
+    g = graph if perm is None else graph.relabelled(perm)
+    print(
+        f"{name:10s} "
+        f"{csr_bytes / efg_encode(g).nbytes:6.2f} "
+        f"{csr_bytes / cgr_encode(g).nbytes:6.2f} "
+        f"{csr_bytes / ligra_encode(g).nbytes:7.2f}"
+    )
+print("-> EFG is ordering-independent; gap codes swing both ways.\n")
+
+print("=== partitioned EF (Sec. IX) on the same lists ===")
+ef_total = pef_total = 0
+for v in range(graph.num_nodes):
+    nbrs = graph.neighbours(v)
+    if nbrs.shape[0] < 2:
+        continue
+    ef_total += (ef_total_bits(nbrs.shape[0], int(nbrs[-1])) + 7) // 8
+    pef_total += pef_encode(nbrs).nbytes
+print(f"plain EF payload : {ef_total / 1e6:.2f} MB")
+print(f"PEF payload      : {pef_total / 1e6:.2f} MB "
+      f"({ef_total / pef_total:.2f}x smaller)")
+
+# The motivating sequence from the paper's Sec. IX.
+n, u = 4096, 10**8
+motivating = np.concatenate([np.arange(n - 1), [u - 1]])
+ef_b = (ef_total_bits(n, u - 1) + 7) // 8
+pef_b = pef_encode(motivating).nbytes
+print(
+    f"\nS = [0..{n - 2}, {u - 1}]: plain EF {ef_b} B, "
+    f"PEF {pef_b} B ({ef_b / pef_b:.0f}x)"
+)

@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+The sandbox has setuptools 65 but no `wheel`, which breaks PEP 660
+editable installs; the legacy `setup.py develop` path used with
+``--no-use-pep517`` needs this file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,447 @@
+"""One function per paper table/figure (the experiment registry).
+
+Each ``exp_*`` function reproduces the measurement behind one artifact
+of the paper's evaluation and returns structured records the benchmark
+files print/assert on.  DESIGN.md maps experiment ids to these
+functions; EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.harness import (
+    SCALED_TITAN_XP,
+    SCALED_V100,
+    EncodedGraph,
+    encoded_suite_graph,
+    make_backend,
+    pick_sources,
+    run_bfs_average,
+)
+from repro.core.efg import efg_encode
+from repro.datasets.suite import suite_entries
+from repro.ef.bounds import ef_total_bits
+from repro.ef.partitioned import pef_encode
+from repro.formats.cgr import cgr_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.ligra_plus import ligra_encode
+from repro.formats.graph import Graph
+from repro.formats.weights import generate_edge_weights
+from repro.gpusim.device import DeviceSpec
+from repro.reorder import bp_order, halo_order, random_order
+from repro.traversal.pagerank import pagerank
+from repro.traversal.sssp import sssp
+
+__all__ = [
+    "exp_tab1",
+    "exp_fig1",
+    "exp_fig8",
+    "exp_tab2",
+    "exp_fig9",
+    "exp_fig10",
+    "exp_fig11",
+    "exp_fig12",
+    "exp_tab3",
+    "exp_frontier_sort",
+    "exp_compression_time",
+    "exp_pef",
+    "exp_quantum",
+    "DEFAULT_SMALL",
+    "DEFAULT_MEDIUM",
+    "DEFAULT_FULL",
+]
+
+#: Smallest graphs — used where per-graph cost is high (SSSP sweeps).
+DEFAULT_SMALL = ("scc-lj", "scc-lj_sym", "orkut", "twitter")
+
+#: Representative mix across categories and memory regions.
+DEFAULT_MEDIUM = (
+    "scc-lj", "orkut", "urnd_26", "twitter", "sk-05", "kron_27",
+    "gsh-15-h_sym", "sk-05_sym", "uk-07-05", "moliere-16",
+)
+
+#: Every Table II graph.
+DEFAULT_FULL = tuple(e.name for e in suite_entries())
+
+
+def exp_tab1(device: DeviceSpec = SCALED_TITAN_XP) -> dict:
+    """Table I: bandwidth characteristics of the simulated device."""
+    return {
+        "gpu": device.name,
+        "memory_bytes": device.memory_bytes,
+        "dtod_bw_gbs": device.dram_bandwidth / 1e9,
+        "htod_bw_gbs": device.link_bandwidth / 1e9,
+        "bandwidth_ratio": device.bandwidth_ratio,
+        "pcie_peak_gteps_32bit": device.link_bandwidth / 4 / 1e9,
+    }
+
+
+def exp_fig1(
+    names: tuple[str, ...] = DEFAULT_FULL,
+    num_sources: int = 3,
+    device: DeviceSpec = SCALED_TITAN_XP,
+) -> list[dict]:
+    """Fig. 1: CSR BFS GTEPS vs graph size with the three regions."""
+    records = []
+    for name in names:
+        enc = encoded_suite_graph(name)
+        backend = make_backend("csr", enc, device)
+        sources = pick_sources(enc.graph, num_sources)
+        stats = run_bfs_average(backend, sources)
+        csr_bytes = enc.csr.nbytes
+        efg_bytes = enc.efg.nbytes
+        cap = device.memory_bytes
+        if backend.graph_fits_in_memory():
+            region = 1
+        elif efg_bytes <= cap:
+            region = 2
+        else:
+            region = 3
+        records.append(
+            {
+                "name": name,
+                "csr_bytes": csr_bytes,
+                "region": region,
+                "gteps": stats["gteps"],
+                "runtime_ms": stats["runtime_ms"],
+            }
+        )
+    records.sort(key=lambda r: r["csr_bytes"])
+    return records
+
+
+def exp_fig8(names: tuple[str, ...] = DEFAULT_FULL) -> list[dict]:
+    """Fig. 8: compression ratio vs CSR for EFG / Ligra+(TD) / CGR."""
+    records = []
+    for name in names:
+        entry = next(e for e in suite_entries(include_v100=True) if e.name == name)
+        enc = encoded_suite_graph(name)
+        csr_bytes = enc.csr.nbytes
+        records.append(
+            {
+                "name": name,
+                "category": entry.category,
+                "csr_bytes": csr_bytes,
+                "efg_ratio": csr_bytes / enc.efg.nbytes,
+                "cgr_ratio": csr_bytes / enc.cgr.nbytes,
+                "ligra_ratio": csr_bytes / enc.ligra.nbytes,
+            }
+        )
+    return records
+
+
+def exp_tab2(
+    names: tuple[str, ...] = DEFAULT_FULL,
+    num_sources: int = 3,
+    formats: tuple[str, ...] = ("csr", "cgr", "efg", "ligra"),
+    device: DeviceSpec = SCALED_TITAN_XP,
+) -> list[dict]:
+    """Table II: per-graph size (bytes) and BFS runtime per format.
+
+    CGR entries whose graph exceeds device memory are DNR (None) —
+    CGR has no out-of-core path (Sec. VIII-B).
+    """
+    records = []
+    for name in names:
+        enc = encoded_suite_graph(name)
+        sources = pick_sources(enc.graph, num_sources)
+        row: dict = {"name": name, "num_nodes": enc.graph.num_nodes,
+                     "num_edges": enc.graph.num_edges}
+        for fmt in formats:
+            backend = make_backend(fmt, enc, device)
+            size = {
+                "csr": enc.csr.nbytes,
+                "efg": enc.efg.nbytes,
+                "cgr": enc.cgr.nbytes,
+                "ligra": enc.ligra.nbytes,
+            }[fmt]
+            row[f"{fmt}_bytes"] = size
+            if fmt == "cgr" and not backend.graph_fits_in_memory():
+                row[f"{fmt}_ms"] = None  # DNR
+                row[f"{fmt}_gteps"] = None
+                continue
+            stats = run_bfs_average(backend, sources)
+            row[f"{fmt}_ms"] = stats["runtime_ms"]
+            row[f"{fmt}_gteps"] = stats["gteps"]
+        records.append(row)
+    return records
+
+
+def exp_fig9(tab2_records: list[dict]) -> list[dict]:
+    """Fig. 9: BFS performance relative to CSR (derived from Table II)."""
+    out = []
+    for row in tab2_records:
+        base = row.get("csr_ms")
+        rec = {"name": row["name"]}
+        for fmt in ("cgr", "efg", "ligra"):
+            ms = row.get(f"{fmt}_ms")
+            rec[f"{fmt}_vs_csr"] = (base / ms) if (base and ms) else None
+        out.append(rec)
+    return out
+
+
+def exp_fig10(
+    names: tuple[str, ...] = DEFAULT_MEDIUM,
+    num_sources: int = 2,
+    device: DeviceSpec = SCALED_TITAN_XP,
+) -> list[dict]:
+    """Fig. 10: SSSP GTEPS for CSR and EFG with weight streaming.
+
+    Regions (Sec. VIII-C): weights are O(|E|) in both formats, so what
+    fits shifts down-suite; records include each backend's residency.
+    """
+    records = []
+    for name in names:
+        enc = encoded_suite_graph(name)
+        weights = generate_edge_weights(enc.graph, seed=7)
+        sources = pick_sources(enc.graph, num_sources)
+        row: dict = {"name": name, "num_edges": enc.graph.num_edges}
+        for fmt in ("csr", "efg"):
+            backend = make_backend(fmt, enc, device, with_weights=True)
+            times, teps = [], []
+            for s in sources:
+                r = sssp(backend, int(s), weights)
+                times.append(r.runtime_ms)
+                teps.append(r.gteps)
+            row[f"{fmt}_ms"] = float(np.mean(times))
+            row[f"{fmt}_gteps"] = float(np.mean(teps))
+            plan = backend.engine.memory.plan()
+            row[f"{fmt}_structure_resident"] = backend.graph_fits_in_memory() or all(
+                plan[a].residency.value == "device"
+                for a in plan
+                if a != "weights"
+            )
+            row[f"{fmt}_weights_resident"] = (
+                plan["weights"].residency.value == "device"
+            )
+        records.append(row)
+    return records
+
+
+def exp_fig11(
+    names: tuple[str, ...] = DEFAULT_MEDIUM,
+    max_iterations: int = 50,
+    device: DeviceSpec = SCALED_TITAN_XP,
+) -> list[dict]:
+    """Fig. 11: PageRank GTEPS for CSR and EFG (50-iteration cap)."""
+    records = []
+    for name in names:
+        enc = encoded_suite_graph(name)
+        row: dict = {"name": name, "num_edges": enc.graph.num_edges}
+        for fmt in ("csr", "efg"):
+            backend = make_backend(fmt, enc, device)
+            r = pagerank(backend, max_iterations=max_iterations)
+            row[f"{fmt}_ms"] = r.runtime_ms
+            row[f"{fmt}_gteps"] = r.gteps
+            row[f"{fmt}_iterations"] = r.iterations
+        records.append(row)
+    return records
+
+
+def exp_fig12(
+    names: tuple[str, ...] = ("sk-05", "twitter", "urnd_26"),
+    num_sources: int = 2,
+    device: DeviceSpec = SCALED_TITAN_XP,
+) -> list[dict]:
+    """Fig. 12: reordering impact on compression and BFS runtime.
+
+    Orderings: original (generator order), BP, HALO, random, and
+    ``bp_from_random`` — BP applied to the randomized graph.  The last
+    one isolates BP's recovery power: our generators emit graphs in a
+    near-optimal order (unlike real crawls), so improving on "orig" is
+    not always possible, but recovering structure from a scrambled
+    labelling always is.
+    """
+    records = []
+    for name in names:
+        base = encoded_suite_graph(name).graph
+        scrambled = base.relabelled(random_order(base, seed=3))
+        variants: list[tuple[str, Graph]] = [
+            ("orig", base),
+            ("bp", base.relabelled(bp_order(base))),
+            ("halo", base.relabelled(halo_order(base))),
+            ("random", scrambled),
+            ("bp_from_random", scrambled.relabelled(bp_order(scrambled))),
+        ]
+        for oname, graph in variants:
+            enc = EncodedGraph(graph=graph)
+            sources = pick_sources(graph, num_sources)
+            rec: dict = {"name": name, "ordering": oname}
+            csr_bytes = enc.csr.nbytes
+            rec["efg_ratio"] = csr_bytes / enc.efg.nbytes
+            rec["cgr_ratio"] = csr_bytes / enc.cgr.nbytes
+            rec["ligra_ratio"] = csr_bytes / enc.ligra.nbytes
+            for fmt in ("efg", "cgr", "ligra"):
+                backend = make_backend(fmt, enc, device)
+                stats = run_bfs_average(backend, sources)
+                rec[f"{fmt}_ms"] = stats["runtime_ms"]
+            records.append(rec)
+    return records
+
+
+def exp_tab3(
+    names: tuple[str, ...] = (
+        "com-frndster", "sk-05_sym", "uk-07-05", "web-cc-h_sym",
+        "kron_27_sym", "moliere-16", "kron_28_sym", "kron_29",
+    ),
+    num_sources: int = 2,
+) -> list[dict]:
+    """Table III: BFS on the scaled V100 (32 GiB, ~60x bandwidth gap)."""
+    return exp_tab2(names, num_sources, device=SCALED_V100)
+
+
+def exp_frontier_sort(
+    names: tuple[str, ...] = DEFAULT_MEDIUM,
+    num_sources: int = 2,
+    device: DeviceSpec = SCALED_TITAN_XP,
+) -> list[dict]:
+    """Sec. VI-E ablation: EFG BFS with vs without the partial sort.
+
+    Reports both runtime and the *measured memory traffic* of the
+    expand/filter kernels.  The traffic reduction is the mechanism the
+    paper's 9% average gain acts through; in the simulator the runtime
+    delta is muted whenever the decode-instruction bound, not memory,
+    is the binding term of the ``max`` (see DESIGN.md), so the traffic
+    column is the primary evidence here.
+    """
+    from repro.traversal.bfs import bfs as run_bfs
+
+    records = []
+    for name in names:
+        enc = encoded_suite_graph(name)
+        backend = make_backend("efg", enc, device)
+        sources = pick_sources(enc.graph, num_sources)
+        with_sort = run_bfs_average(backend, sources, partial_sort=True)
+        without = run_bfs_average(backend, sources, partial_sort=False)
+
+        def traffic(partial_sort: bool) -> float:
+            run_bfs(backend, int(sources[0]), partial_sort=partial_sort)
+            summary = backend.engine.kernel_summary()
+            return sum(
+                summary[k]["device_bytes"] + summary[k]["host_bytes"]
+                for k in ("bfs_expand", "bfs_filter")
+                if k in summary
+            )
+
+        records.append(
+            {
+                "name": name,
+                "sorted_ms": with_sort["runtime_ms"],
+                "unsorted_ms": without["runtime_ms"],
+                "speedup": without["runtime_ms"] / with_sort["runtime_ms"],
+                "sorted_bytes": traffic(True),
+                "unsorted_bytes": traffic(False),
+            }
+        )
+    for r in records:
+        r["traffic_saving"] = r["unsorted_bytes"] / max(r["sorted_bytes"], 1.0)
+    return records
+
+
+def exp_compression_time(names: tuple[str, ...] = DEFAULT_SMALL) -> list[dict]:
+    """Sec. VIII-F: wall-clock encode time, EFG vs CGR vs Ligra+.
+
+    This is real wall time of our encoders (not simulated): EFG's
+    vectorized encode should be several times faster than the
+    per-list sequential CGR/Ligra+ encoders, mirroring the paper's
+    minutes-vs-half-hour gap.
+    """
+    records = []
+    for name in names:
+        graph = encoded_suite_graph(name).graph
+        t0 = time.perf_counter()
+        efg_encode(graph)
+        t_efg = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        cgr_encode(graph)
+        t_cgr = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ligra_encode(graph)
+        t_ligra = time.perf_counter() - t0
+        records.append(
+            {
+                "name": name,
+                "efg_s": t_efg,
+                "cgr_s": t_cgr,
+                "ligra_s": t_ligra,
+                "cgr_vs_efg": t_cgr / t_efg,
+                "ligra_vs_efg": t_ligra / t_efg,
+            }
+        )
+    return records
+
+
+def exp_pef(names: tuple[str, ...] = ("sk-05", "urnd_26", "web-longrun")) -> list[dict]:
+    """Sec. IX: partitioned EF on run-heavy (web) vs random lists.
+
+    Per graph, encode every list >= 2 elements with plain EF bounds and
+    with PEF, reporting the aggregate byte totals.  ``web-longrun`` is
+    the Sec. IX motivating workload — lists dominated by long runs of
+    consecutive ids (real sk/uk graphs at full scale) — where PEF's win
+    is large; on short random lists the skip metadata costs a little.
+    """
+    from repro.datasets.web import web_graph
+
+    records = []
+    for name in names:
+        if name == "web-longrun":
+            graph = web_graph(30000, 40, mean_run_length=64, seed=5,
+                              name="web-longrun")
+        else:
+            graph = encoded_suite_graph(name).graph
+        ef_bytes = 0
+        strat_bytes = {"fixed": 0, "runs": 0, "optimal": 0}
+        lists = 0
+        # Sample every 3rd list: the per-strategy sweep is offline-only
+        # and the ratios converge quickly.
+        for v in range(0, graph.num_nodes, 3):
+            nbrs = graph.neighbours(v)
+            if nbrs.shape[0] < 2:
+                continue
+            lists += 1
+            ef_bytes += (ef_total_bits(nbrs.shape[0], int(nbrs[-1])) + 7) // 8
+            for strat in strat_bytes:
+                strat_bytes[strat] += pef_encode(nbrs, strategy=strat).nbytes
+        records.append(
+            {
+                "name": name,
+                "lists": lists,
+                "ef_bytes": ef_bytes,
+                "pef_bytes": strat_bytes["runs"],
+                "pef_gain": ef_bytes / max(strat_bytes["runs"], 1),
+                "fixed_gain": ef_bytes / max(strat_bytes["fixed"], 1),
+                "optimal_gain": ef_bytes / max(strat_bytes["optimal"], 1),
+            }
+        )
+    return records
+
+
+def exp_quantum(
+    name: str = "twitter",
+    quanta: tuple[int, ...] = (32, 64, 128, 256, 512, 1024),
+    num_sources: int = 2,
+    device: DeviceSpec = SCALED_TITAN_XP,
+) -> list[dict]:
+    """Forward-pointer quantum sweep (the paper fixes k = 512)."""
+    from repro.traversal.backends import EFGBackend
+
+    graph = encoded_suite_graph(name).graph
+    csr_bytes = CSRGraph.from_graph(graph).nbytes
+    sources = pick_sources(graph, num_sources)
+    records = []
+    for k in quanta:
+        efg = efg_encode(graph, quantum=k)
+        backend = EFGBackend(efg, device)
+        stats = run_bfs_average(backend, sources)
+        records.append(
+            {
+                "quantum": k,
+                "efg_bytes": efg.nbytes,
+                "ratio": csr_bytes / efg.nbytes,
+                "runtime_ms": stats["runtime_ms"],
+            }
+        )
+    return records

@@ -1,0 +1,153 @@
+"""Benchmark harness: scaled devices, encoding caches, averaged runs.
+
+Devices are scaled by the suite's :data:`~repro.datasets.suite.SCALE_FACTOR`
+so every graph occupies the same memory region it did in the paper.
+Encodings (EFG/CGR/Ligra+) are memoised per graph name — compression is
+an offline step (Sec. VIII-F) and benchmarks should not re-pay it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.efg import EFGraph, efg_encode
+from repro.datasets.suite import SCALE_FACTOR, build_suite_graph
+from repro.formats.cgr import CGRGraph, cgr_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.formats.ligra_plus import LigraPlusGraph, ligra_encode
+from repro.gpusim.device import CPU_E5_2696V4_X2, DeviceSpec, TITAN_XP, V100
+from repro.traversal.backends import (
+    CGRBackend,
+    CSRBackend,
+    EFGBackend,
+    GraphBackend,
+    LigraBackend,
+)
+from repro.traversal.bfs import bfs
+
+__all__ = [
+    "SCALED_TITAN_XP",
+    "SCALED_V100",
+    "SCALED_CPU",
+    "EncodedGraph",
+    "encoded_suite_graph",
+    "encode_all",
+    "make_backend",
+    "pick_sources",
+    "run_bfs_average",
+]
+
+#: Titan Xp with memory and launch overhead scaled to the suite.
+SCALED_TITAN_XP = TITAN_XP.scaled(SCALE_FACTOR)
+
+#: V100, same scaling (Table III experiments).
+SCALED_V100 = V100.scaled(SCALE_FACTOR)
+
+#: The CPU host for Ligra+; graphs always fit, only overhead scales.
+SCALED_CPU = CPU_E5_2696V4_X2.scaled(SCALE_FACTOR)
+
+
+@dataclass
+class EncodedGraph:
+    """All four representations of one graph, built lazily."""
+
+    graph: Graph
+    _csr: CSRGraph | None = None
+    _efg: EFGraph | None = None
+    _cgr: CGRGraph | None = None
+    _ligra: LigraPlusGraph | None = None
+
+    @property
+    def csr(self) -> CSRGraph:
+        if self._csr is None:
+            self._csr = CSRGraph.from_graph(self.graph)
+        return self._csr
+
+    @property
+    def efg(self) -> EFGraph:
+        if self._efg is None:
+            self._efg = efg_encode(self.graph)
+        return self._efg
+
+    @property
+    def cgr(self) -> CGRGraph:
+        if self._cgr is None:
+            self._cgr = cgr_encode(self.graph)
+        return self._cgr
+
+    @property
+    def ligra(self) -> LigraPlusGraph:
+        if self._ligra is None:
+            self._ligra = ligra_encode(self.graph)
+        return self._ligra
+
+
+_ENCODED: dict[str, EncodedGraph] = {}
+
+
+def encoded_suite_graph(name: str) -> EncodedGraph:
+    """Memoised encodings of one suite graph."""
+    if name not in _ENCODED:
+        _ENCODED[name] = EncodedGraph(graph=build_suite_graph(name))
+    return _ENCODED[name]
+
+
+def encode_all(enc: EncodedGraph) -> None:
+    """Force-build every representation (for compression reports)."""
+    for attr in ("csr", "efg", "cgr", "ligra"):
+        getattr(enc, attr)
+
+
+def make_backend(
+    fmt: str,
+    enc: EncodedGraph,
+    device: DeviceSpec = SCALED_TITAN_XP,
+    with_weights: bool = False,
+) -> GraphBackend:
+    """Construct a backend for one format on one device."""
+    wb = 4 * enc.graph.num_edges if with_weights else 0
+    if fmt == "csr":
+        return CSRBackend(enc.csr, device, weight_bytes=wb)
+    if fmt == "efg":
+        return EFGBackend(enc.efg, device, weight_bytes=wb)
+    if fmt == "cgr":
+        return CGRBackend(enc.cgr, device, weight_bytes=wb)
+    if fmt == "ligra":
+        return LigraBackend(enc.ligra, SCALED_CPU, weight_bytes=wb)
+    raise ValueError(f"unknown format {fmt!r}")
+
+
+def pick_sources(graph: Graph, count: int, seed: int = 42) -> np.ndarray:
+    """Random start vertices with non-zero out-degree (paper: 100
+    random sources; we default to fewer at miniature scale)."""
+    rng = np.random.default_rng(seed)
+    candidates = np.flatnonzero(graph.degrees > 0)
+    if candidates.size == 0:
+        raise ValueError("graph has no vertex with out-degree > 0")
+    count = min(count, candidates.size)
+    return rng.choice(candidates, size=count, replace=False)
+
+
+def run_bfs_average(
+    backend: GraphBackend,
+    sources: np.ndarray,
+    partial_sort: bool = True,
+) -> dict[str, float]:
+    """Average BFS runtime/GTEPS over several sources (paper protocol)."""
+    times = []
+    gteps = []
+    edges = []
+    for s in sources:
+        r = bfs(backend, int(s), partial_sort=partial_sort)
+        times.append(r.runtime_ms)
+        gteps.append(r.gteps)
+        edges.append(r.edges_traversed)
+    return {
+        "runtime_ms": float(np.mean(times)),
+        "gteps": float(np.mean(gteps)),
+        "edges_traversed": float(np.mean(edges)),
+        "num_sources": float(len(times)),
+    }

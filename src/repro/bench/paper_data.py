@@ -1,0 +1,88 @@
+"""The paper's published numbers, kept verbatim for comparison reports.
+
+Sources: Table I (bandwidths), Table II (Titan Xp BFS sizes and
+runtimes), Table III (V100 BFS), plus the headline claims of the
+abstract and Sec. VIII.  ``None`` marks DNR ('did not run') entries —
+CGR cannot process graphs that exceed device memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperBFSRow", "TABLE2", "TABLE3", "CLAIMS"]
+
+
+@dataclass(frozen=True)
+class PaperBFSRow:
+    """One row of Table II / III: sizes in GiB, runtimes in ms."""
+
+    name: str
+    csr_gib: float
+    csr_ms: float | None
+    cgr_gib: float
+    cgr_ms: float | None
+    efg_gib: float
+    efg_ms: float
+    ligra_gib: float | None = None
+    ligra_ms: float | None = None
+
+
+#: Table II: BFS on Titan Xp (GPU) and 2x E5-2696 v4 (Ligra+ CPU).
+TABLE2: tuple[PaperBFSRow, ...] = (
+    PaperBFSRow("scc-lj", 0.28, 8, 0.19, 22, 0.18, 11, 0.21, 77),
+    PaperBFSRow("scc-lj_sym", 0.34, 10, 0.22, 28, 0.21, 14, 0.24, 90),
+    PaperBFSRow("orkut", 0.88, 13, 0.50, 45, 0.47, 28, 0.50, 140),
+    PaperBFSRow("urnd_26", 4.25, 525, 4.72, 1277, 3.40, 467, 3.92, 1523),
+    PaperBFSRow("twitter", 5.63, 234, 4.23, 425, 3.33, 238, 3.77, 1589),
+    PaperBFSRow("web-cc-fl", 6.92, 249, 5.48, 493, 4.76, 272, 5.13, 2193),
+    PaperBFSRow("gsh-15-h", 6.97, 160, 3.30, 385, 4.73, 174, 3.74, 1007),
+    PaperBFSRow("sk-05", 7.45, 57, 1.53, 190, 5.02, 115, 2.89, 533),
+    PaperBFSRow("web-cc-host", 7.93, 303, 6.36, 603, 5.52, 328, 5.92, 2530),
+    PaperBFSRow("kron_27", 8.15, 511, 7.01, 962, 5.18, 494, 6.07, 1900),
+    PaperBFSRow("urnd_26_sym", 8.25, 793, 8.59, 1610, 6.39, 758, 6.93, 2445),
+    PaperBFSRow("twitter_sym", 9.11, 348, 6.61, 906, 5.34, 368, 5.89, 3379),
+    PaperBFSRow("gsh-15-h_sym", 11.62, 1824, 4.94, 776, 7.33, 361, 5.77, 2198),
+    PaperBFSRow("web-cc-fl_sym", 12.92, 2140, 9.48, 1360, 8.17, 713, 8.84, 7589),
+    PaperBFSRow("com-frndster", 13.70, 2387, 11.98, None, 9.15, 1006, 10.54, 4082),
+    PaperBFSRow("sk-05_sym", 13.75, 2062, 1.93, 1098, 7.90, 323, 4.58, 1326),
+    PaperBFSRow("uk-07-05", 14.32, 1444, 4.30, 648, 10.31, 212, 5.97, 1009),
+    PaperBFSRow("web-cc-h_sym", 14.76, 2441, 10.89, 1519, 9.37, 842, 10.11, 7306),
+    PaperBFSRow("kron_27_sym", 15.97, 2600, 12.61, None, 9.23, 997, 10.87, 4128),
+    PaperBFSRow("moliere-16", 25.10, 4149, 18.65, None, 14.50, 2148, 16.82, 5138),
+)
+
+#: Table III: BFS on the V100 (32 GiB).
+TABLE3: tuple[PaperBFSRow, ...] = (
+    PaperBFSRow("com-frndster", 13.70, 316, 11.98, 389, 9.15, 349),
+    PaperBFSRow("sk-05_sym", 13.75, 77, 1.93, 735, 7.90, 153),
+    PaperBFSRow("uk-07-05", 14.32, 68, 4.30, 169, 10.31, 117),
+    PaperBFSRow("web-cc-h_sym", 14.76, 273, 10.89, 445, 9.37, 340),
+    PaperBFSRow("kron_27_sym", 15.97, 325, 12.61, 426, 9.23, 370),
+    PaperBFSRow("moliere-16", 25.10, 189, 18.65, 341, 14.50, 296),
+    PaperBFSRow("kron_28_sym", 32.46, 7319, 26.43, 1170, 19.64, 1012),
+    PaperBFSRow("kron_29", 33.52, 6178, 30.46, None, 22.95, 1043),
+)
+
+#: Headline claims (abstract + Sec. VIII) checked by the benchmarks.
+CLAIMS: dict[str, float | tuple[float, float]] = {
+    "efg_compression_ratio_avg": 1.55,
+    "cgr_compression_ratio_avg": 1.65,
+    "ligra_compression_ratio_avg": 1.59,
+    "efg_vs_oocore_csr_speedup": (3.8, 6.5),
+    "efg_vs_cgr_speedup": (1.45, 2.0),
+    "efg_in_memory_vs_csr": 0.82,
+    "cgr_vs_efg_small_graphs": 2.1,
+    "frontier_sort_gain_avg": 1.09,
+    "frontier_sort_gain_max": 1.33,
+    "halo_runtime_gain": (1.26, 1.32),
+    "random_order_runtime_factor": (0.65, 0.8),
+    "random_order_gapcode_compression_loss": (0.18, 0.32),
+    "bp_gapcode_compression_gain": (0.09, 0.15),
+    "v100_efg_vs_oocore_csr": 6.55,
+    "v100_efg_vs_cgr": 1.48,
+    "v100_efg_in_memory_vs_csr": 0.67,
+    "sssp_region2_speedup": 1.41,
+    "sssp_region4_speedup": 1.85,
+    "pcie_peak_gteps_32bit": 3.03,
+}

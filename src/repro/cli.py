@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info <graph.npz|edges.txt>``
+    Dataset statistics plus the sizes every format would take — EFG's
+    a-priori bound means this needs no actual compression.
+``encode <graph.npz|edges.txt> -o out.npz``
+    Compress to EFG and report ratio/encode time.
+``bfs <graph.npz|edges.txt> [--format efg|csr|cgr] [--source N]``
+    Run a simulated-GPU BFS and print runtime/GTEPS and the profile.
+``suite``
+    List the scaled paper suite with sizes and memory regions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _load(path: str):
+    from repro.formats.io import load_graph, read_edge_list
+
+    if path.endswith(".npz"):
+        return load_graph(path)
+    return read_edge_list(path, name=path)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.efg import efg_encode
+    from repro.formats.cgr import cgr_encode
+    from repro.formats.csr import CSRGraph
+    from repro.formats.ligra_plus import ligra_encode
+
+    graph = _load(args.graph)
+    stats = graph.stats()
+    for key, value in stats.items():
+        print(f"{key:16s}: {value}")
+    csr = CSRGraph.from_graph(graph).nbytes
+    print(f"{'csr_bytes':16s}: {csr:,}")
+    efg = efg_encode(graph).nbytes
+    print(f"{'efg_bytes':16s}: {efg:,}  ({csr / efg:.2f}x)")
+    if args.all_formats:
+        cgr = cgr_encode(graph).nbytes
+        lig = ligra_encode(graph).nbytes
+        print(f"{'cgr_bytes':16s}: {cgr:,}  ({csr / cgr:.2f}x)")
+        print(f"{'ligra_bytes':16s}: {lig:,}  ({csr / lig:.2f}x)")
+    return 0
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    from repro.core.efg import efg_encode
+    from repro.formats.csr import CSRGraph
+
+    graph = _load(args.graph)
+    t0 = time.perf_counter()
+    efg = efg_encode(graph, quantum=args.quantum)
+    elapsed = time.perf_counter() - t0
+    csr = CSRGraph.from_graph(graph).nbytes
+    print(
+        f"encoded {graph.num_edges:,} edges in {elapsed:.2f}s: "
+        f"{csr:,} -> {efg.nbytes:,} bytes ({csr / efg.nbytes:.2f}x)"
+    )
+    if args.output:
+        np.savez_compressed(
+            args.output,
+            vlist=efg.vlist,
+            num_lower_bits=efg.num_lower_bits,
+            offsets=efg.offsets,
+            data=efg.data,
+            quantum=np.int64(efg.quantum),
+        )
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_bfs(args: argparse.Namespace) -> int:
+    from repro.core.efg import efg_encode
+    from repro.formats.cgr import cgr_encode
+    from repro.formats.csr import CSRGraph
+    from repro.gpusim.device import TITAN_XP
+    from repro.traversal.backends import CGRBackend, CSRBackend, EFGBackend
+    from repro.traversal.bfs import bfs
+
+    graph = _load(args.graph)
+    device = TITAN_XP.scaled(args.device_scale)
+    if args.format == "efg":
+        backend = EFGBackend(efg_encode(graph), device)
+    elif args.format == "csr":
+        backend = CSRBackend(CSRGraph.from_graph(graph), device)
+    elif args.format == "cgr":
+        backend = CGRBackend(cgr_encode(graph), device)
+    else:
+        raise SystemExit(f"unknown format {args.format!r}")
+    source = args.source
+    if graph.degrees[source] == 0:
+        source = int(np.argmax(graph.degrees))
+        print(f"source {args.source} has no out-edges; using {source}")
+    result = bfs(backend, source)
+    fits = "resident" if backend.graph_fits_in_memory() else "out-of-core"
+    print(
+        f"{args.format} BFS from {source}: {result.runtime_ms:.3f} ms "
+        f"simulated, {result.gteps:.2f} GTEPS, {result.num_levels} levels "
+        f"({fits})"
+    )
+    print()
+    print(backend.engine.profile_report())
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.datasets.suite import build_suite_graph, suite_entries
+    from repro.formats.csr import CSRGraph
+    from repro.gpusim.device import TITAN_XP
+
+    cap = TITAN_XP.scaled(2048).memory_bytes
+    print(f"{'graph':16s} {'category':8s} {'|V|':>8s} {'|E|':>9s} "
+          f"{'CSR MB':>8s} region")
+    for entry in suite_entries(include_v100=args.v100):
+        graph = build_suite_graph(entry.name)
+        csr = CSRGraph.from_graph(graph).nbytes
+        region = "fits" if csr < cap else "out-of-core"
+        print(
+            f"{entry.name:16s} {entry.category:8s} {graph.num_nodes:8,d} "
+            f"{graph.num_edges:9,d} {csr / 1e6:8.2f} {region}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EFG compressed-graph tools (IPDPS'23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="dataset statistics and format sizes")
+    p.add_argument("graph")
+    p.add_argument("--all-formats", action="store_true",
+                   help="also encode CGR and Ligra+ (slower)")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("encode", help="compress a graph to EFG")
+    p.add_argument("graph")
+    p.add_argument("-o", "--output", help="write EFG arrays to this .npz")
+    p.add_argument("--quantum", type=int, default=512,
+                   help="forward-pointer quantum k (default 512)")
+    p.set_defaults(func=_cmd_encode)
+
+    p = sub.add_parser("bfs", help="simulated-GPU BFS")
+    p.add_argument("graph")
+    p.add_argument("--format", choices=("efg", "csr", "cgr"), default="efg")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--device-scale", type=float, default=2048,
+                   help="shrink the Titan Xp by this factor (default 2048)")
+    p.set_defaults(func=_cmd_bfs)
+
+    p = sub.add_parser("suite", help="list the scaled paper suite")
+    p.add_argument("--v100", action="store_true",
+                   help="include the Table III additions")
+    p.set_defaults(func=_cmd_suite)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

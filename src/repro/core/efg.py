@@ -1,0 +1,391 @@
+"""The Elias-Fano Graph (EFG) format (Sec. V) and its batched decoder.
+
+Representation (Fig. 3c): four arrays, the first three indexed by
+vertex id —
+
+* ``vlist`` — CSR-style exclusive degree prefix sum; gives the degree
+  ``deg_v = vlist[v+1] - vlist[v]`` (the element count of the
+  compressed list) but, unlike CSR, does **not** index the data.
+* ``num_lower_bits`` — per-list EF parameter ``l``.
+* ``offsets`` — exclusive prefix sum of per-list compressed byte sizes.
+* ``data`` — payload; per list the sections *(forward pointers | lower
+  bits | upper bits)* in that order, each byte aligned.
+
+The encoder is fully vectorized across all lists at once: lower bits
+are scattered with at most ``max(l)`` masked passes, upper-bit stop
+positions (``(x >> l) + i``) and forward-pointer values (``x >> l`` at
+anchor elements) come straight from arithmetic — no bit scanning.
+
+``decode_lists`` is the whole-batch equivalent of the multi-list
+thread-block kernel (Fig. 7): popcount -> segmented scans ->
+``binsearch_maxle`` -> ``select1_byte`` LUT, across every byte of every
+requested list in one shot.  The literal per-block kernel lives in
+:mod:`repro.core.kernels`; tests assert both produce identical output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ef.bitstream import extract_fields
+from repro.ef.forward import DEFAULT_QUANTUM
+from repro.formats.graph import Graph
+from repro.primitives.bitops import POPCOUNT_TABLE, SELECT_IN_BYTE_TABLE
+from repro.primitives.scan import exclusive_scan
+from repro.primitives.search import binsearch_maxle
+
+__all__ = ["EFGraph", "efg_encode", "decode_lists", "csr_gather_indices"]
+
+
+def csr_gather_indices(starts: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand per-segment (start, length) into flat gather indices.
+
+    Returns ``(indices, segment_ids)`` where ``indices`` enumerates
+    ``starts[s] + 0..lengths[s]-1`` for every segment ``s`` in order.
+    This is the ubiquitous CSR-expansion idiom (repeat + cumsum), the
+    vectorized form of "each thread finds its item via scan+search".
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    seg_ids = np.repeat(np.arange(lengths.shape[0], dtype=np.int64), lengths)
+    ex, _ = exclusive_scan(lengths)
+    local = np.arange(total, dtype=np.int64) - ex[seg_ids]
+    return starts[seg_ids] + local, seg_ids
+
+
+@dataclass
+class EFGraph:
+    """Whole-graph EFG container (Sec. V).
+
+    Section byte layout per list ``v`` (all byte aligned):
+
+    ``data[offsets[v] : offsets[v+1]] = fwd(4B each) | lower | upper``
+
+    with ``num_fwd = deg_v // quantum``, ``lower_bytes =
+    ceil(deg_v * l_v / 8)`` and the remainder being upper bytes.
+    """
+
+    vlist: np.ndarray
+    num_lower_bits: np.ndarray
+    offsets: np.ndarray
+    data: np.ndarray
+    quantum: int = DEFAULT_QUANTUM
+    name: str = ""
+    _degree_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def num_nodes(self) -> int:
+        """|V|."""
+        return int(self.vlist.shape[0] - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """|E|."""
+        return int(self.vlist[-1])
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree per vertex (constant time via vlist)."""
+        if self._degree_cache is None:
+            self._degree_cache = np.diff(self.vlist)
+        return self._degree_cache
+
+    @property
+    def nbytes(self) -> int:
+        """Storage accounting mirroring the paper's 32-bit CSR baseline.
+
+        vlist and offsets as 4 B entries, ``num_lower_bits`` 1 B per
+        vertex, plus the payload.  (Scaled-down payloads stay < 4 GiB,
+        so 32-bit offsets are faithful.)
+        """
+        nv = self.num_nodes
+        return 4 * (nv + 1) + nv + 4 * (nv + 1) + int(self.data.shape[0])
+
+    # -- per-list section geometry ------------------------------------
+
+    def fwd_nbytes(self, v: np.ndarray) -> np.ndarray:
+        """Forward-pointer section size per list (4 B per pointer)."""
+        return (self.degrees[v] // self.quantum) * 4
+
+    def lower_nbytes(self, v: np.ndarray) -> np.ndarray:
+        """Lower-bits section size per list."""
+        deg = self.degrees[v]
+        l = self.num_lower_bits[v].astype(np.int64)
+        return (deg * l + 7) >> 3
+
+    def upper_start_byte(self, v: np.ndarray) -> np.ndarray:
+        """Absolute data offset of each list's upper-bits section."""
+        v = np.asarray(v)
+        return self.offsets[v] + self.fwd_nbytes(v) + self.lower_nbytes(v)
+
+    def lower_start_byte(self, v: np.ndarray) -> np.ndarray:
+        """Absolute data offset of each list's lower-bits section."""
+        v = np.asarray(v)
+        return self.offsets[v] + self.fwd_nbytes(v)
+
+    def upper_nbytes(self, v: np.ndarray) -> np.ndarray:
+        """Upper-bits section size per list."""
+        v = np.asarray(v)
+        return self.offsets[v + 1] - self.upper_start_byte(v)
+
+    def forward_values(self, v: int) -> np.ndarray:
+        """Decode the forward-pointer section of one list (uint32 LE)."""
+        start = int(self.offsets[v])
+        count = int(self.degrees[v]) // self.quantum
+        raw = self.data[start : start + 4 * count]
+        return raw.view("<u4").astype(np.int64)
+
+    # -- decoding -------------------------------------------------------
+
+    def neighbours(self, v: int) -> np.ndarray:
+        """Decode one full neighbour list."""
+        out, _ = decode_lists(self, np.array([v], dtype=np.int64))
+        return out
+
+    def edge_at(self, v: int, i: int) -> int:
+        """Random access: the i-th neighbour of ``v`` without a full
+        decode (forward pointer + bounded select, Sec. IV-A)."""
+        deg = int(self.degrees[v])
+        if not 0 <= i < deg:
+            raise IndexError(f"vertex {v} has no edge {i}")
+        from repro.ef.select import select1_scalar
+
+        k = self.quantum
+        up_start = int(self.upper_start_byte(np.array([v]))[0])
+        up_len = int(self.upper_nbytes(np.array([v]))[0])
+        window = self.data[up_start : up_start + up_len]
+        fwd = self.forward_values(v)
+        l = int(self.num_lower_bits[v])
+        j = (i + 1) // k
+        if j > 0:
+            anchor = j * k - 1
+            anchor_bit = int(fwd[j - 1]) + anchor  # select1(anchor)
+            if anchor == i:
+                select_pos = anchor_bit
+            else:
+                select_pos = select1_scalar(
+                    window, i - anchor - 1, start_bit=anchor_bit + 1
+                )
+        else:
+            select_pos = select1_scalar(window, i)
+        upper_half = select_pos - i
+        if l == 0:
+            return upper_half
+        low_bit = int(self.lower_start_byte(np.array([v]))[0]) * 8 + i * l
+        lower_half = int(extract_fields(self.data, np.array([low_bit]), l)[0])
+        return (upper_half << l) | lower_half
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Adjacency query in O(log deg) random accesses — constant-ish
+        time membership on the *compressed* graph."""
+        deg = int(self.degrees[u])
+        if deg == 0:
+            return False
+        lo, hi = 0, deg - 1
+        if self.edge_at(u, lo) == v or self.edge_at(u, hi) == v:
+            return True
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            value = self.edge_at(u, mid)
+            if value == v:
+                return True
+            if value < v:
+                lo = mid
+            else:
+                hi = mid
+        return False
+
+    def to_graph(self) -> Graph:
+        """Decode the whole graph back to sorted-adjacency form."""
+        verts = np.arange(self.num_nodes, dtype=np.int64)
+        elist, _ = decode_lists(self, verts)
+        return Graph(
+            vlist=self.vlist.copy(), elist=elist, directed=True, name=self.name
+        )
+
+
+def efg_encode(
+    graph: Graph, quantum: int = DEFAULT_QUANTUM, name: str | None = None
+) -> EFGraph:
+    """Vectorized whole-graph EFG encoder.
+
+    The only precondition is sorted neighbour lists (Sec. V); the
+    :class:`~repro.formats.graph.Graph` container guarantees strictly
+    increasing rows.
+    """
+    if quantum <= 0:
+        raise ValueError(f"quantum must be positive, got {quantum}")
+    nv = graph.num_nodes
+    degrees = graph.degrees.astype(np.int64)
+    elist = graph.elist
+
+    # Per-list largest element u (0 for empty lists).
+    u = np.zeros(nv, dtype=np.int64)
+    nonempty = degrees > 0
+    u[nonempty] = elist[graph.vlist[1:][nonempty] - 1]
+
+    # l = max(0, floor(log2(u / n))) — exact in integer arithmetic:
+    # bit_length(u // n) - 1 for u >= n, else 0.
+    ratio = np.zeros(nv, dtype=np.int64)
+    ratio[nonempty] = u[nonempty] // degrees[nonempty]
+    # np.int64 has no bit_length; use frexp-free trick via log2 of
+    # (ratio+1) is inexact for big ints — ratios here are < 2^53 so
+    # floor(log2(ratio)) via bit twiddling on float is safe up to 2^52.
+    l = np.zeros(nv, dtype=np.int64)
+    big = ratio >= 1
+    l[big] = np.floor(np.log2(ratio[big].astype(np.float64))).astype(np.int64)
+    # Guard against float rounding at exact powers of two.
+    lb = l[big]
+    rb = ratio[big]
+    lb = lb + ((rb >> (lb + 1)) > 0)
+    lb = lb - ((rb >> lb) == 0)
+    l[big] = lb
+
+    # --- section sizes and offsets ---
+    num_fwd = degrees // quantum
+    fwd_bytes = num_fwd * 4
+    lower_bytes = (degrees * l + 7) >> 3
+    highs_last = np.zeros(nv, dtype=np.int64)
+    highs_last[nonempty] = u[nonempty] >> l[nonempty]
+    upper_bits = np.where(nonempty, degrees + highs_last, 0)
+    upper_bytes = (upper_bits + 7) >> 3
+    list_bytes = fwd_bytes + lower_bytes + upper_bytes
+    offsets = np.zeros(nv + 1, dtype=np.int64)
+    np.cumsum(list_bytes, out=offsets[1:])
+
+    data = np.zeros(int(offsets[-1]), dtype=np.uint8)
+
+    # Per-edge bookkeeping: owning list and local index.
+    seg_ids = np.repeat(np.arange(nv, dtype=np.int64), degrees)
+    ex_deg, _ = exclusive_scan(degrees)
+    local_idx = np.arange(elist.shape[0], dtype=np.int64) - ex_deg[seg_ids]
+    l_per_edge = l[seg_ids]
+    highs = elist >> l_per_edge
+    lows = elist & ((np.int64(1) << l_per_edge) - 1)
+
+    # --- upper bits: stop bit for local element i at (high_i + i) ---
+    upper_base_bit = (offsets[:-1] + fwd_bytes + lower_bytes) * 8
+    stop_pos = upper_base_bit[seg_ids] + highs + local_idx
+    np.bitwise_or.at(
+        data, stop_pos >> 3, np.uint8(1) << (stop_pos & 7).astype(np.uint8)
+    )
+
+    # --- lower bits: l[v] bits per element, packed LSB-first ---
+    lower_base_bit = (offsets[:-1] + fwd_bytes) * 8
+    elem_bit0 = lower_base_bit[seg_ids] + local_idx * l_per_edge
+    max_l = int(l.max(initial=0))
+    for b in range(max_l):
+        mask = l_per_edge > b
+        if not mask.any():
+            break
+        bitset = ((lows[mask] >> np.int64(b)) & 1).astype(bool)
+        pos = elem_bit0[mask][bitset] + b
+        np.bitwise_or.at(data, pos >> 3, np.uint8(1) << (pos & 7).astype(np.uint8))
+
+    # --- forward pointers: value of (x >> l) at elements j*quantum - 1 ---
+    total_fwd = int(num_fwd.sum())
+    if total_fwd:
+        anchor_pos, fwd_seg = csr_gather_indices(
+            np.zeros(nv, dtype=np.int64), num_fwd
+        )
+        # anchor_pos is the pointer ordinal j-1 within its list.
+        anchor_elem = (anchor_pos + 1) * quantum - 1  # local element index
+        flat_elem = ex_deg[fwd_seg] + anchor_elem
+        values = (elist[flat_elem] >> l[fwd_seg]).astype("<u4")
+        # Scatter 4-byte LE values into each list's fwd section.
+        byte0 = offsets[fwd_seg] + anchor_pos * 4
+        raw = values.view(np.uint8).reshape(-1, 4)
+        for k in range(4):
+            data[byte0 + k] = raw[:, k]
+
+    return EFGraph(
+        vlist=graph.vlist.copy(),
+        num_lower_bits=l.astype(np.uint8),
+        offsets=offsets,
+        data=data,
+        quantum=quantum,
+        name=name if name is not None else graph.name,
+    )
+
+
+def decode_lists(
+    efg: EFGraph, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode the full neighbour lists of a batch of vertices.
+
+    The whole-batch form of the multi-list kernel (Fig. 7): all upper
+    bytes of all requested lists are gathered into one window; popcount,
+    scans, ``binsearch_maxle`` and the ``select1_byte`` LUT then decode
+    every value in parallel.
+
+    Returns
+    -------
+    (values, segment_ids):
+        ``values`` — concatenated decoded neighbour ids;
+        ``segment_ids`` — for each value, the index *into ``vertices``*
+        of the list it belongs to.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    degrees = efg.degrees[vertices]
+    total_vals = int(degrees.sum())
+    if total_vals == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    # Gather every upper byte of every list (threads <- bytes, Fig. 7 step 1).
+    up_start = efg.upper_start_byte(vertices)
+    up_len = efg.upper_nbytes(vertices)
+    byte_idx, byte_seg = csr_gather_indices(up_start, up_len)
+    window = efg.data[byte_idx]
+
+    # popcount + block-wide exclusive scan (steps 2-3).
+    popc = POPCOUNT_TABLE[window].astype(np.int64)
+    exsum, total_pop = exclusive_scan(popc)
+    if total_pop != total_vals:
+        raise AssertionError(
+            f"corrupt EFG data: {total_pop} stop bits for {total_vals} values"
+        )
+
+    # Each value's global rank -> target byte via binsearch (steps 4-5).
+    ex_deg, _ = exclusive_scan(degrees)
+    val_seg = np.repeat(np.arange(vertices.shape[0], dtype=np.int64), degrees)
+    local_rank = np.arange(total_vals, dtype=np.int64) - ex_deg[val_seg]
+    # Popcounts accumulate across list boundaries in `exsum`; since every
+    # list contributes exactly its degree in stop bits, the global rank of
+    # local value i of segment s is ex_deg[s] + i — the same arithmetic
+    # the segmented scan performs per block in the kernel.
+    global_rank = ex_deg[val_seg] + local_rank
+    target_byte = binsearch_maxle(exsum, global_rank)
+    in_byte_rank = global_rank - exsum[target_byte]
+    in_byte_pos = SELECT_IN_BYTE_TABLE[window[target_byte], in_byte_rank].astype(
+        np.int64
+    )
+
+    # Bits preceding the target byte *within its own list* (steps 6-8).
+    up_start_ex, _ = exclusive_scan(up_len)
+    bytes_before = target_byte - up_start_ex[byte_seg[target_byte]]
+    select_in_list = bytes_before * 8 + in_byte_pos
+
+    # upper half = select1(i) - i; combine with lower half (step 9).
+    upper_half = select_in_list - local_rank
+    l_per_val = efg.num_lower_bits[vertices][val_seg].astype(np.int64)
+    low_base_bit = efg.lower_start_byte(vertices) * 8
+    low_pos = low_base_bit[val_seg] + local_rank * l_per_val
+
+    values = upper_half << l_per_val
+    has_low = l_per_val > 0
+    if has_low.any():
+        # extract_fields needs one width; group by width (few distinct).
+        widths = np.unique(l_per_val[has_low])
+        lows = np.zeros(total_vals, dtype=np.int64)
+        for w in widths:
+            sel = l_per_val == w
+            lows[sel] = extract_fields(efg.data, low_pos[sel], int(w)).astype(
+                np.int64
+            )
+        values |= lows
+    return values, val_seg

@@ -1,0 +1,61 @@
+"""Frontier management for level-synchronous traversals.
+
+Wraps the active-vertex set of one BFS/SSSP level plus the partial
+radix sort of Sec. VI-E: sorting only the top 65% of the vertex-id bits
+restores most memory locality for a fraction of a full sort's cost
+(average ~9%, max ~33% runtime improvement in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.primitives.sort import partial_sort_frontier
+
+__all__ = ["Frontier"]
+
+
+@dataclass
+class Frontier:
+    """Active vertex set of one traversal level."""
+
+    vertices: np.ndarray
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices, dtype=np.int64)
+        if self.vertices.size and (
+            self.vertices.min() < 0 or self.vertices.max() >= self.num_nodes
+        ):
+            raise ValueError("frontier vertex out of range")
+
+    def __len__(self) -> int:
+        return int(self.vertices.shape[0])
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the traversal has converged."""
+        return self.vertices.shape[0] == 0
+
+    def partially_sorted(self, fraction: float = 0.65) -> "Frontier":
+        """Radix-sort the top ``fraction`` of id bits (Sec. VI-E)."""
+        return Frontier(
+            vertices=partial_sort_frontier(self.vertices, self.num_nodes, fraction),
+            num_nodes=self.num_nodes,
+        )
+
+    def sorted(self) -> "Frontier":
+        """Exact sort (for tests and locality upper-bound ablations)."""
+        return Frontier(vertices=np.sort(self.vertices), num_nodes=self.num_nodes)
+
+    def locality_span(self) -> int:
+        """Mean absolute id difference between adjacent frontier entries.
+
+        A cheap proxy for how scattered the memory accesses of a block
+        processing this frontier will be; the partial sort shrinks it.
+        """
+        if self.vertices.shape[0] < 2:
+            return 0
+        return int(np.abs(np.diff(self.vertices)).mean())

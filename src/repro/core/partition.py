@@ -1,0 +1,121 @@
+"""Load-balanced partitioning of frontier edges (Sec. VI-A, Fig. 4).
+
+The frontier's out-edges are distributed so every thread block gets
+roughly the same number of edges regardless of the degree skew:
+
+1. exclusive prefix sum of the frontier vertices' degrees;
+2. each block's first edge id is ``block * edges_per_block``;
+3. a ``binsearch_maxle`` into the scan maps that edge id back to a
+   frontier position, and the remainder gives the offset within that
+   vertex's list.
+
+A block may therefore start mid-list and span many whole lists — the
+partial-list (Sec. VI-C) and multi-list (Sec. VI-D) machinery exists
+precisely to decode such slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.primitives.scan import exclusive_scan
+from repro.primitives.search import binsearch_maxle
+
+__all__ = ["BlockAssignment", "partition_edges_to_blocks", "edges_to_threads"]
+
+
+@dataclass(frozen=True)
+class BlockAssignment:
+    """Edge ranges assigned to each thread block.
+
+    For block ``b`` the edges ``[edge_start[b], edge_start[b+1])`` of
+    the flattened frontier edge space are assigned; the block begins at
+    frontier position ``first_list[b]``, skipping the first
+    ``first_offset[b]`` elements of that vertex's list.
+    """
+
+    edge_start: np.ndarray  # int64, num_blocks + 1
+    first_list: np.ndarray  # int64, num_blocks
+    first_offset: np.ndarray  # int64, num_blocks
+    degree_exsum: np.ndarray  # int64, len(frontier) (exclusive scan)
+    total_edges: int
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of thread blocks in the launch."""
+        return int(self.first_list.shape[0])
+
+    def block_slices(self, b: int) -> tuple[int, int, int, int]:
+        """(first_list, first_offset, last_list, end_offset) for block b.
+
+        ``last_list`` is inclusive; ``end_offset`` is the exclusive end
+        offset within ``last_list``.
+        """
+        start_edge = int(self.edge_start[b])
+        end_edge = int(self.edge_start[b + 1])
+        if end_edge <= start_edge:
+            return int(self.first_list[b]), int(self.first_offset[b]), int(
+                self.first_list[b]
+            ), int(self.first_offset[b])
+        last = int(binsearch_maxle(self.degree_exsum, np.array([end_edge - 1]))[0])
+        end_off = end_edge - int(self.degree_exsum[last])
+        return int(self.first_list[b]), int(self.first_offset[b]), last, end_off
+
+
+def partition_edges_to_blocks(
+    frontier_degrees: np.ndarray, edges_per_block: int
+) -> BlockAssignment:
+    """Split the frontier's edges into equal-size blocks (Fig. 4).
+
+    Parameters
+    ----------
+    frontier_degrees:
+        Degree of each frontier vertex, in frontier order.
+    edges_per_block:
+        Target edges per thread block (the CTA work granularity).
+    """
+    if edges_per_block <= 0:
+        raise ValueError(f"edges_per_block must be positive, got {edges_per_block}")
+    frontier_degrees = np.asarray(frontier_degrees, dtype=np.int64)
+    exsum, total = exclusive_scan(frontier_degrees)
+    num_blocks = max(1, -(-total // edges_per_block)) if total else 0
+    edge_start = np.minimum(
+        np.arange(num_blocks + 1, dtype=np.int64) * edges_per_block, total
+    )
+    if num_blocks == 0:
+        return BlockAssignment(
+            edge_start=np.zeros(1, dtype=np.int64),
+            first_list=np.empty(0, dtype=np.int64),
+            first_offset=np.empty(0, dtype=np.int64),
+            degree_exsum=exsum,
+            total_edges=0,
+        )
+    first_list = binsearch_maxle(exsum, edge_start[:-1])
+    first_offset = edge_start[:-1] - exsum[first_list]
+    return BlockAssignment(
+        edge_start=edge_start,
+        first_list=first_list,
+        first_offset=first_offset,
+        degree_exsum=exsum,
+        total_edges=total,
+    )
+
+
+def edges_to_threads(
+    frontier_degrees: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-thread mapping of Fig. 4: thread t visits edge ``within[t]``
+    of frontier vertex ``position[t]``.
+
+    Returns ``(position, within)`` arrays of length ``sum(degrees)``.
+    """
+    frontier_degrees = np.asarray(frontier_degrees, dtype=np.int64)
+    exsum, total = exclusive_scan(frontier_degrees)
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    tids = np.arange(total, dtype=np.int64)
+    position = binsearch_maxle(exsum, tids)
+    within = tids - exsum[position]
+    return position, within

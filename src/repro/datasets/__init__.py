@@ -1,0 +1,38 @@
+"""Synthetic dataset generators and the scaled-down paper suite.
+
+The paper evaluates web, social, biological and synthetic graphs of
+68.9 M - 6.68 B edges (Table II).  Without those datasets we generate
+category-matched synthetic graphs scaled down by a fixed factor, with
+the *properties the experiments react to* preserved:
+
+* **social** — R-MAT power-law degree skew, weak locality;
+* **web** — heavy id-locality with long runs of consecutive
+  neighbours (what interval/gap codes exploit, Fig. 8);
+* **uniform random** (``urnd``) — no structure at all;
+* **kron** — Graph500-style Kronecker, extreme skew;
+* **bio** — high average degree, mild clustering (moliere-like).
+
+The simulated device capacity is scaled by the same factor
+(:meth:`repro.gpusim.DeviceSpec.scaled`), so each graph lands in the
+same memory region it occupied in the paper.
+"""
+
+from repro.datasets.random_graph import uniform_random_graph
+from repro.datasets.rmat import rmat_graph
+from repro.datasets.suite import (
+    SCALE_FACTOR,
+    SuiteEntry,
+    build_suite_graph,
+    suite_entries,
+)
+from repro.datasets.web import web_graph
+
+__all__ = [
+    "rmat_graph",
+    "uniform_random_graph",
+    "web_graph",
+    "SuiteEntry",
+    "suite_entries",
+    "build_suite_graph",
+    "SCALE_FACTOR",
+]

@@ -1,0 +1,214 @@
+"""Elias-Fano encode / decode of a single monotone sequence (Sec. IV).
+
+A sequence ``0 <= x_0 <= ... <= x_{n-1} <= u`` is split per element into
+``l = max(0, floor(log2(u/n)))`` lower bits (stored contiguously) and the
+remaining upper bits (stored as unary-coded gaps with 1 as the stop bit).
+Total storage is at most ``n * (2 + ceil(log2(u/n)))`` bits.
+
+Encoders here are offline/CPU-side (Sec. VIII-F: compression is an
+offline step); the vectorized batch decoder mirrors the GPU
+decomposition and is what the simulator's kernels build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ef.bitstream import pack_bits, unpack_bits
+from repro.ef.bounds import ef_num_lower_bits, ef_upper_bits
+from repro.ef.forward import DEFAULT_QUANTUM, ForwardPointers, build_forward_pointers
+from repro.ef.select import select1_bitarray, select1_scalar
+from repro.primitives.bitops import POPCOUNT_TABLE, SELECT_IN_BYTE_TABLE
+from repro.primitives.scan import exclusive_scan
+from repro.primitives.search import binsearch_maxle
+
+__all__ = ["EFSequence", "ef_encode", "ef_decode", "ef_decode_at", "ef_decode_range"]
+
+
+@dataclass(frozen=True)
+class EFSequence:
+    """One Elias-Fano-coded monotone sequence.
+
+    Attributes
+    ----------
+    n:
+        Number of elements.
+    u:
+        Upper bound used at encode time (the largest element by default).
+    num_lower_bits:
+        Per-element lower-bit width ``l``.
+    lower:
+        Byte-packed lower-bits section (LSB-first).
+    upper:
+        Byte-packed unary upper-bits section (LSB-first).
+    forward:
+        Forward pointers over ``upper`` (may have zero entries for short
+        lists).
+    """
+
+    n: int
+    u: int
+    num_lower_bits: int
+    lower: np.ndarray
+    upper: np.ndarray
+    forward: ForwardPointers = field(repr=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes (forward + lower + upper, byte aligned)."""
+        return self.forward.nbytes + int(self.lower.shape[0]) + int(self.upper.shape[0])
+
+    def to_blob(self) -> np.ndarray:
+        """Serialize payload sections in EFG order: forward | lower | upper."""
+        fwd_bytes = self.forward.values.astype("<u4").view(np.uint8)
+        return np.concatenate([fwd_bytes, self.lower, self.upper])
+
+
+def ef_encode(
+    values: np.ndarray,
+    u: int | None = None,
+    quantum: int = DEFAULT_QUANTUM,
+) -> EFSequence:
+    """Encode a non-decreasing sequence of non-negative integers.
+
+    Parameters
+    ----------
+    values:
+        Sorted (non-decreasing) integers; duplicates are allowed by the
+        encoding (adjacency lists are strictly increasing, but EF itself
+        is defined for monotone sequences).
+    u:
+        Upper bound on the last value; defaults to ``values[-1]``.
+    quantum:
+        Forward-pointer spacing ``k`` (paper default 512).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.ndim != 1 or values.shape[0] == 0:
+        raise ValueError("ef_encode requires a non-empty 1-D sequence")
+    if values[0] < 0:
+        raise ValueError("ef_encode requires non-negative values")
+    if np.any(np.diff(values) < 0):
+        raise ValueError("ef_encode requires a non-decreasing sequence")
+    n = int(values.shape[0])
+    last = int(values[-1])
+    if u is None:
+        u = last
+    elif u < last:
+        raise ValueError(f"upper bound {u} below the last value {last}")
+
+    l = ef_num_lower_bits(n, u)
+    low_mask = np.int64((1 << l) - 1)
+    lower = pack_bits((values & low_mask).astype(np.uint64), l)
+
+    highs = (values >> np.int64(l)).astype(np.int64)
+    total_upper_bits = ef_upper_bits(n, u)
+    # Stop bit for element i sits at bit position highs[i] + i.
+    stop_positions = highs + np.arange(n, dtype=np.int64)
+    upper = np.zeros((total_upper_bits + 7) >> 3, dtype=np.uint8)
+    np.bitwise_or.at(
+        upper,
+        stop_positions >> 3,
+        (np.uint8(1) << (stop_positions & 7).astype(np.uint8)),
+    )
+    forward = build_forward_pointers(upper, n, quantum)
+    return EFSequence(
+        n=n, u=int(u), num_lower_bits=l, lower=lower, upper=upper, forward=forward
+    )
+
+
+def ef_decode(seq: EFSequence) -> np.ndarray:
+    """Decode the full sequence with the batched select decomposition."""
+    return ef_decode_range(seq, 0, seq.n)
+
+
+def ef_decode_at(seq: EFSequence, i: int) -> int:
+    """Random access to element ``i`` using forward pointers.
+
+    ``x_i = ((select1(i) - i) << l) | lower[i]`` — the forward pointer
+    bounds the select scan to at most one quantum of stop bits.
+    """
+    if not 0 <= i < seq.n:
+        raise IndexError(f"index {i} out of range for sequence of {seq.n}")
+    anchor_elem, anchor_bit = seq.forward.floor_anchor(i)
+    if anchor_elem == i:
+        select_pos = anchor_bit
+    elif anchor_elem < 0:
+        select_pos = select1_scalar(seq.upper, i)
+    else:
+        select_pos = select1_scalar(
+            seq.upper, i - anchor_elem - 1, start_bit=anchor_bit + 1
+        )
+    upper_half = select_pos - i
+    lower_half = int(
+        unpack_bits(seq.lower, seq.num_lower_bits, 1, start_bit=i * seq.num_lower_bits)[0]
+    )
+    return (upper_half << seq.num_lower_bits) | lower_half
+
+
+def ef_decode_range(seq: EFSequence, a: int, b: int) -> np.ndarray:
+    """Decode elements ``[a, b)`` scanning only the covering byte range.
+
+    This is the partial-list problem of Sec. VI-C: locate the closest
+    forward pointer preceding ``a`` and the closest covering pointer at
+    or after ``b - 1``, then run the popcount/scan/binsearch/select
+    pipeline over just the bytes in between.
+    """
+    if not 0 <= a <= b <= seq.n:
+        raise IndexError(f"range [{a}, {b}) invalid for sequence of {seq.n}")
+    if a == b:
+        return np.empty(0, dtype=np.int64)
+
+    # --- bound the upper-bits scan with forward pointers (Fig. 6) ---
+    anchor_elem, anchor_bit = seq.forward.floor_anchor(a)
+    if anchor_elem >= a:
+        # floor_anchor anchors j*k-1 <= a only when (a+1) >= j*k; it can
+        # equal a itself, in which case start the scan at its stop bit.
+        start_bit = anchor_bit
+        base_rank = anchor_elem  # set bits strictly before start_bit
+    elif anchor_elem < 0:
+        start_bit = 0
+        base_rank = 0
+    else:
+        start_bit = anchor_bit + 1
+        base_rank = anchor_elem + 1
+
+    end_elem, end_bit = seq.forward.ceil_anchor(b - 1, seq.n)
+    if end_elem < 0:
+        stop_bit = seq.upper.shape[0] * 8
+    else:
+        stop_bit = end_bit + 1
+
+    first_byte = start_bit >> 3
+    last_byte = min((stop_bit + 7) >> 3, seq.upper.shape[0])
+    window = seq.upper[first_byte:last_byte]
+
+    # Mask bits before start_bit in the first byte so ranks line up.
+    window = window.copy()
+    lead = start_bit & 7
+    if lead:
+        window[0] &= np.uint8((0xFF << lead) & 0xFF)
+
+    # Ranks of the wanted elements relative to the window.
+    want = np.arange(a, b, dtype=np.int64)
+    rel = want - base_rank
+    select_pos = _batched_select_window(window, rel) + first_byte * 8
+
+    upper_half = select_pos - want
+    lower_half = unpack_bits(
+        seq.lower, seq.num_lower_bits, b - a, start_bit=a * seq.num_lower_bits
+    ).astype(np.int64)
+    return (upper_half << np.int64(seq.num_lower_bits)) | lower_half
+
+
+def _batched_select_window(window: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+    """popcount + exclusive scan + binsearch + select1_byte over a window."""
+    popc = POPCOUNT_TABLE[window].astype(np.int64)
+    exsum, total = exclusive_scan(popc)
+    if ranks.size and ranks.max() >= total:
+        raise IndexError("select rank beyond set bits in window")
+    target_byte = binsearch_maxle(exsum, ranks)
+    in_rank = ranks - exsum[target_byte]
+    in_pos = SELECT_IN_BYTE_TABLE[window[target_byte], in_rank].astype(np.int64)
+    return target_byte * 8 + in_pos

@@ -1,0 +1,222 @@
+"""CGR baseline — interval/residual compression with VLC gaps.
+
+Reimplementation of the encoding of Sha, Li & Tan, *GPU-based graph
+traversal on compressed graphs* (SIGMOD'19), the paper's GPU
+state-of-the-art comparator:
+
+* Each sorted neighbour list is split into maximal **intervals** (runs
+  of consecutive ids with length >= ``MIN_INTERVAL``) and leftover
+  **residuals**.
+* Interval left endpoints and lengths, and residual values, are
+  **gap-transformed** (the first residual relative to the source vertex
+  id, sign-zigzagged) and written with a byte-oriented variable-length
+  code (7 payload bits + continuation bit).
+
+Decoding a list is a *sequential dependent chain* — each varint must be
+parsed before the next can start — which is precisely why the paper's
+EFG wins on decompression throughput and why CGR cannot split a single
+list across thread blocks the way EFG's forward pointers allow.
+
+Compression behaviour reproduced: excellent on web-graphs (long runs ->
+intervals), mediocre on social/random graphs, badly hurt by random
+reordering (gaps blow up) — Figs. 8 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.graph import Graph
+
+__all__ = ["CGRGraph", "cgr_encode", "cgr_encode_list", "cgr_decode_list", "cgr_list_steps"]
+
+#: Minimum run length promoted to an interval (CGR default).
+MIN_INTERVAL = 4
+
+
+def _zigzag(value: int) -> int:
+    """Map a signed int to an unsigned one (0,-1,1,-2,... -> 0,1,2,3,...)."""
+    return (value << 1) ^ (value >> 63)
+
+
+def _unzigzag(value: int) -> int:
+    """Inverse of :func:`_zigzag`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """Append a 7-bit-payload varint (continuation bit = 0x80)."""
+    if value < 0:
+        raise ValueError(f"varint requires non-negative value, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: np.ndarray, pos: int) -> tuple[int, int]:
+    """Read one varint at byte offset ``pos``; return (value, new_pos)."""
+    value = 0
+    shift = 0
+    while True:
+        byte = int(data[pos])
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def _find_intervals(nbrs: np.ndarray) -> tuple[list[tuple[int, int]], np.ndarray]:
+    """Split a sorted list into (left, length) intervals and residuals."""
+    if nbrs.shape[0] == 0:
+        return [], nbrs
+    # Runs of consecutive integers: break where the gap is not exactly 1.
+    breaks = np.flatnonzero(np.diff(nbrs) != 1)
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks + 1, [nbrs.shape[0]]])
+    lengths = ends - starts
+    is_interval = lengths >= MIN_INTERVAL
+    intervals = [
+        (int(nbrs[s]), int(l))
+        for s, l in zip(starts[is_interval], lengths[is_interval])
+    ]
+    residual_mask = np.ones(nbrs.shape[0], dtype=bool)
+    for s, e in zip(starts[is_interval], ends[is_interval]):
+        residual_mask[s:e] = False
+    return intervals, nbrs[residual_mask]
+
+
+def cgr_encode_list(v: int, nbrs: np.ndarray) -> bytes:
+    """Encode one neighbour list of vertex ``v``.
+
+    Layout: ``#intervals, [left-gaps..., len-MIN...], #residuals,
+    [first residual zigzag-relative-to-v, gaps - 1 ...]`` all varints.
+    """
+    nbrs = np.asarray(nbrs, dtype=np.int64)
+    out = bytearray()
+    intervals, residuals = _find_intervals(nbrs)
+    _write_varint(out, len(intervals))
+    prev = v
+    first = True
+    for left, length in intervals:
+        if first:
+            _write_varint(out, _zigzag(left - prev))
+            first = False
+        else:
+            _write_varint(out, left - prev)
+        _write_varint(out, length - MIN_INTERVAL)
+        prev = left + length
+    _write_varint(out, residuals.shape[0])
+    prev = v
+    first = True
+    for value in residuals:
+        value = int(value)
+        if first:
+            _write_varint(out, _zigzag(value - prev))
+            first = False
+        else:
+            _write_varint(out, value - prev - 1)
+        prev = value
+    return bytes(out)
+
+
+def cgr_decode_list(v: int, data: np.ndarray, offset: int = 0) -> np.ndarray:
+    """Sequentially decode one list (the dependent-chain decoder)."""
+    data = np.asarray(data, dtype=np.uint8)
+    pos = offset
+    n_intervals, pos = _read_varint(data, pos)
+    interval_values: list[np.ndarray] = []
+    prev = v
+    for i in range(n_intervals):
+        raw, pos = _read_varint(data, pos)
+        left = prev + (_unzigzag(raw) if i == 0 else raw)
+        length_m, pos = _read_varint(data, pos)
+        length = length_m + MIN_INTERVAL
+        interval_values.append(np.arange(left, left + length, dtype=np.int64))
+        prev = left + length
+    n_residuals, pos = _read_varint(data, pos)
+    residuals = np.empty(n_residuals, dtype=np.int64)
+    prev = v
+    for i in range(n_residuals):
+        raw, pos = _read_varint(data, pos)
+        value = prev + (_unzigzag(raw) if i == 0 else raw + 1)
+        residuals[i] = value
+        prev = value
+    if interval_values:
+        merged = np.concatenate(interval_values + [residuals])
+        merged.sort()
+        return merged
+    return residuals
+
+
+@dataclass(frozen=True)
+class CGRGraph:
+    """Whole-graph CGR container: per-vertex byte offsets + payload.
+
+    ``steps`` counts the varints in each list's encoding — the length
+    of the *dependent decode chain* a warp must parse sequentially.
+    The traversal cost model uses it for the serialization charge and
+    the per-launch critical-path floor (a hub list cannot be split
+    across thread blocks in CGR).
+    """
+
+    graph: Graph
+    offsets: np.ndarray  # int64, |V|+1, exclusive byte offsets into data
+    data: np.ndarray  # uint8 payload
+    steps: np.ndarray  # int64, |V|, varints per list (decode chain length)
+
+    @property
+    def num_nodes(self) -> int:
+        """|V|."""
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """|E|."""
+        return self.graph.num_edges
+
+    @property
+    def nbytes(self) -> int:
+        """Storage: 4 B per offset entry (32-bit, like the paper) + payload."""
+        return 4 * int(self.offsets.shape[0]) + int(self.data.shape[0])
+
+    def neighbours(self, v: int) -> np.ndarray:
+        """Decode vertex ``v``'s list."""
+        return cgr_decode_list(v, self.data, int(self.offsets[v]))
+
+    def list_nbytes(self, v: int | np.ndarray) -> np.ndarray:
+        """Compressed byte length of one or many lists."""
+        v = np.asarray(v)
+        return (self.offsets[v + 1] - self.offsets[v]).astype(np.int64)
+
+
+def cgr_list_steps(v: int, nbrs: np.ndarray) -> int:
+    """Varints in the encoding of one list (decode chain length)."""
+    intervals, residuals = _find_intervals(np.asarray(nbrs, dtype=np.int64))
+    return 2 + 2 * len(intervals) + int(residuals.shape[0])
+
+
+def cgr_encode(graph: Graph) -> CGRGraph:
+    """Encode every neighbour list; offline step."""
+    chunks: list[bytes] = []
+    offsets = np.zeros(graph.num_nodes + 1, dtype=np.int64)
+    steps = np.zeros(graph.num_nodes, dtype=np.int64)
+    for v in range(graph.num_nodes):
+        nbrs = graph.neighbours(v)
+        blob = cgr_encode_list(v, nbrs)
+        chunks.append(blob)
+        offsets[v + 1] = offsets[v] + len(blob)
+        steps[v] = cgr_list_steps(v, nbrs)
+    data = (
+        np.frombuffer(b"".join(chunks), dtype=np.uint8)
+        if chunks
+        else np.empty(0, dtype=np.uint8)
+    )
+    return CGRGraph(graph=graph, offsets=offsets, data=data, steps=steps)

@@ -1,0 +1,61 @@
+"""Graph persistence (``.npz`` based) and edge-list text IO.
+
+Compression is an offline step (Sec. VIII-F): datasets are generated or
+converted once, saved, and reloaded by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.formats.graph import Graph
+
+__all__ = ["save_graph", "load_graph", "read_edge_list", "write_edge_list"]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: str | os.PathLike) -> None:
+    """Save a graph to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        vlist=graph.vlist,
+        elist=graph.elist,
+        directed=np.bool_(graph.directed),
+        name=np.str_(graph.name),
+    )
+
+
+def load_graph(path: str | os.PathLike) -> Graph:
+    """Load a graph saved by :func:`save_graph`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported graph file version {version}")
+        return Graph(
+            vlist=data["vlist"],
+            elist=data["elist"],
+            directed=bool(data["directed"]),
+            name=str(data["name"]),
+        )
+
+
+def write_edge_list(graph: Graph, path: str | os.PathLike) -> None:
+    """Write a whitespace-separated ``src dst`` text edge list."""
+    src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), graph.degrees)
+    np.savetxt(path, np.column_stack([src, graph.elist]), fmt="%d")
+
+
+def read_edge_list(
+    path: str | os.PathLike, directed: bool = True, name: str = ""
+) -> Graph:
+    """Read a ``src dst`` text edge list (comments with ``#`` allowed)."""
+    pairs = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    if pairs.size == 0:
+        raise ValueError(f"empty edge list: {path}")
+    if pairs.shape[1] < 2:
+        raise ValueError("edge list rows need at least src and dst columns")
+    return Graph.from_edges(pairs[:, 0], pairs[:, 1], directed=directed, name=name)

@@ -1,0 +1,220 @@
+"""Analytic kernel cost model.
+
+Converts the traffic a kernel *actually generated* — measured from the
+real data structures, not assumed — into a simulated runtime:
+
+``time = launch_overhead + max(dram_time, link_time, compute_time)``
+
+* ``dram_time`` — bytes touched in device-resident arrays over the
+  device bandwidth, with sector-granularity amplification for
+  uncoalesced accesses (an uncoalesced 4 B load still moves a 32 B
+  sector).
+* ``link_time`` — bytes touched in host-resident arrays over the PCIe
+  bandwidth at zero-copy cacheline granularity (the EMOGI model,
+  Sec. II).
+* ``compute_time`` — instructions over the chip's effective
+  instruction throughput.  ``simt_efficiency`` models divergence,
+  dependency stalls and occupancy limits of irregular kernels (binary
+  searches, LUT probes, shared-memory syncs); graph kernels typically
+  sustain 10-20% of peak issue rate.
+
+Serialized work (CGR's dependent varint chains, where one lane of a
+warp parses while the rest idle) is charged via
+:meth:`KernelLaunch.serial_work`, which multiplies by the warp width —
+the SIMT cost of a sequential algorithm.
+
+The overlap assumption (``max`` rather than sum) matches a
+memory-bound GPU kernel with enough concurrent warps to hide whichever
+component is not the bottleneck.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.memory import MemoryManager, Residency
+
+__all__ = [
+    "AccessPattern",
+    "CostParams",
+    "KernelCost",
+    "CostModel",
+    "stream_transfer_bytes",
+]
+
+
+#: Accesses whose transfer unit reappeared within this many prior
+#: accesses are merged — models the coalescer plus the L2/MSHR window
+#: that combines requests from concurrently-running warps.
+COALESCE_WINDOW = 32
+
+
+def stream_transfer_bytes(
+    ids: np.ndarray,
+    elem_bytes: int,
+    unit_bytes: int,
+    window: int = COALESCE_WINDOW,
+) -> int:
+    """Bytes a coalescing memory system moves for an access stream.
+
+    ``ids`` are element indices in issue order.  An access whose
+    ``unit_bytes`` transfer unit (DRAM sector or PCIe cacheline) was
+    touched within the previous ``window`` accesses is merged with the
+    in-flight request — the hardware coalescer + L2 hit behaviour — so
+    a clustered stream costs close to ``len * elem_bytes`` while a
+    scattered one costs a full unit per access.  This is what makes the
+    model sensitive to frontier ordering (Sec. VI-E) and to graph
+    reordering (Sec. VIII-D): locality is *measured* from the ids the
+    kernel really touches.
+    """
+    ids = np.asarray(ids)
+    if ids.size == 0:
+        return 0
+    if elem_bytes <= 0 or unit_bytes <= 0:
+        raise ValueError("elem_bytes and unit_bytes must be positive")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    units = (ids.astype(np.int64) * elem_bytes) // unit_bytes
+    merged = np.zeros(units.shape[0], dtype=bool)
+    for k in range(1, min(window, units.shape[0] - 1) + 1):
+        merged[k:] |= units[k:] == units[:-k]
+    misses = int((~merged).sum())
+    return misses * unit_bytes
+
+
+class AccessPattern(enum.Enum):
+    """How a kernel touches an array."""
+
+    #: Sequential, full-sector utilisation (e.g. scanning elist ranges).
+    COALESCED = "coalesced"
+    #: Data-dependent scatter/gather — every element pulls a whole
+    #: sector (device) or cacheline (host link).
+    RANDOM = "random"
+    #: One fetch shared by the whole block (e.g. a list header).
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Calibration constants (documented in DESIGN.md).
+
+    ``simt_efficiency`` — sustained fraction of peak issue rate for
+    irregular integer kernels.  ``warp_width`` — lanes that idle while
+    serialized code runs on one.
+    """
+
+    simt_efficiency: float = 0.15
+    warp_width: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0 < self.simt_efficiency <= 1:
+            raise ValueError("simt_efficiency must be in (0, 1]")
+        if self.warp_width < 1:
+            raise ValueError("warp_width must be >= 1")
+
+
+@dataclass
+class KernelCost:
+    """Accumulated cost of one kernel launch.
+
+    ``floor_seconds`` is a critical-path lower bound that the ``max``
+    in :meth:`CostModel.kernel_seconds` cannot hide behind bandwidth:
+    a dependent chain no amount of parallel hardware can shorten
+    (e.g. CGR's longest per-list varint chain).
+    """
+
+    name: str
+    device_bytes: float = 0.0
+    host_bytes: float = 0.0
+    instructions: float = 0.0
+    floor_seconds: float = 0.0
+    launches: int = 1
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def merge(self, other: "KernelCost") -> None:
+        """Fold another launch's cost into this one (for summaries)."""
+        self.device_bytes += other.device_bytes
+        self.host_bytes += other.host_bytes
+        self.instructions += other.instructions
+        self.floor_seconds += other.floor_seconds
+        self.launches += other.launches
+        for key, value in other.breakdown.items():
+            self.breakdown[key] = self.breakdown.get(key, 0.0) + value
+
+
+@dataclass
+class CostModel:
+    """Charges :class:`KernelCost` records against a :class:`DeviceSpec`."""
+
+    device: DeviceSpec
+    memory: MemoryManager
+    params: CostParams = field(default_factory=CostParams)
+
+    def effective_bytes(
+        self, count: int, elem_bytes: int, pattern: AccessPattern, residency: Residency
+    ) -> float:
+        """Bytes actually moved for ``count`` accesses of ``elem_bytes``."""
+        if count < 0 or elem_bytes < 0:
+            raise ValueError("count and elem_bytes must be non-negative")
+        if pattern is AccessPattern.COALESCED:
+            return float(count * elem_bytes)
+        if pattern is AccessPattern.BROADCAST:
+            return float(elem_bytes)
+        # RANDOM: each access pulls a whole transfer unit.
+        if residency is Residency.DEVICE:
+            unit = self.device.sector_bytes
+        else:
+            unit = self.device.link_line_bytes
+        return float(count * max(elem_bytes, unit))
+
+    def charge(
+        self,
+        cost: KernelCost,
+        array: str,
+        count: int,
+        elem_bytes: int,
+        pattern: AccessPattern,
+    ) -> None:
+        """Record an access to a registered array on ``cost``."""
+        residency = self.memory.residency(array)
+        nbytes = self.effective_bytes(count, elem_bytes, pattern, residency)
+        if residency is Residency.DEVICE:
+            cost.device_bytes += nbytes
+        else:
+            cost.host_bytes += nbytes
+        cost.breakdown[array] = cost.breakdown.get(array, 0.0) + nbytes
+
+    def charge_stream(
+        self, cost: KernelCost, array: str, ids: np.ndarray, elem_bytes: int
+    ) -> None:
+        """Charge an access stream with measured coalescing."""
+        residency = self.memory.residency(array)
+        if residency is Residency.DEVICE:
+            unit = self.device.sector_bytes
+        else:
+            unit = self.device.link_line_bytes
+        nbytes = float(stream_transfer_bytes(ids, elem_bytes, unit))
+        if residency is Residency.DEVICE:
+            cost.device_bytes += nbytes
+        else:
+            cost.host_bytes += nbytes
+        cost.breakdown[array] = cost.breakdown.get(array, 0.0) + nbytes
+
+    def compute_seconds(self, instructions: float) -> float:
+        """Instruction time at the effective (derated) issue rate."""
+        throughput = self.device.instruction_throughput * self.params.simt_efficiency
+        return instructions / throughput
+
+    def kernel_seconds(self, cost: KernelCost) -> float:
+        """Simulated duration of one (merged) kernel launch record."""
+        dram_time = cost.device_bytes / self.device.dram_bandwidth
+        link_time = cost.host_bytes / self.device.link_bandwidth
+        compute_time = self.compute_seconds(cost.instructions)
+        overhead = cost.launches * self.device.launch_overhead_s
+        return overhead + max(
+            dram_time, link_time, compute_time, cost.floor_seconds
+        )

@@ -1,0 +1,144 @@
+"""Device specifications (paper Table I + Sec. VIII-E).
+
+Bandwidths are the paper's measured numbers: Titan Xp 417.4 GB/s
+device-to-device vs 12.1 GB/s host-to-device over PCIe 3.0 (a ~35x
+gap); V100 731.3 GiB/s HBM on the same PCIe link (~60x gap).
+
+``scaled_capacity`` produces a device with a *smaller memory* but the
+same bandwidth ratios: our synthetic graphs are 10^4-10^6 edges, so the
+simulated capacity is shrunk proportionally to recreate the paper's
+three regions (fits / fits-after-compression / never-fits) at
+laptop scale.  Region membership depends only on size relative to
+capacity, and GTEPS depends only on traffic over bandwidth, so the
+shapes survive the rescaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "TITAN_XP", "V100", "CPU_E5_2696V4_X2"]
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one (simulated) processor.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    memory_bytes:
+        Device memory capacity (the 12 GiB / 32 GiB of the paper).
+    dram_bandwidth:
+        Internal memory bandwidth, bytes/s (DtoD in Table I).
+    link_bandwidth:
+        Host interconnect bandwidth, bytes/s (HtoD in Table I).
+    num_sms:
+        Streaming multiprocessors (or CPU cores for a CPU spec).
+    lanes_per_sm:
+        SIMD lanes per SM (CUDA cores / SM; SIMD width for CPUs).
+    clock_hz:
+        Core clock.
+    sector_bytes:
+        DRAM transaction granularity — an uncoalesced access still
+        moves a whole sector.
+    link_line_bytes:
+        Zero-copy transfer granularity over the interconnect (EMOGI
+        streams at cacheline granularity).
+    launch_overhead_s:
+        Fixed cost per kernel launch.
+    is_gpu:
+        False for the CPU comparator (Ligra+ runs there).
+    """
+
+    name: str
+    memory_bytes: int
+    dram_bandwidth: float
+    link_bandwidth: float
+    num_sms: int
+    lanes_per_sm: int
+    clock_hz: float
+    sector_bytes: int = 32
+    link_line_bytes: int = 128
+    launch_overhead_s: float = 5e-6
+    is_gpu: bool = True
+
+    @property
+    def instruction_throughput(self) -> float:
+        """Peak simple-instruction rate across the chip (instr/s)."""
+        return self.num_sms * self.lanes_per_sm * self.clock_hz
+
+    @property
+    def bandwidth_ratio(self) -> float:
+        """DRAM over link bandwidth (~35x Titan Xp, ~60x V100)."""
+        return self.dram_bandwidth / self.link_bandwidth
+
+    def scaled_capacity(self, memory_bytes: int) -> "DeviceSpec":
+        """Same silicon, smaller memory — for scaled-down datasets."""
+        if memory_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {memory_bytes}")
+        return replace(self, memory_bytes=memory_bytes)
+
+    def scaled(self, factor: float) -> "DeviceSpec":
+        """Scale the device down by ``factor`` for miniature datasets.
+
+        Divides the memory capacity *and* the kernel launch overhead by
+        ``factor`` while keeping every bandwidth and throughput intact.
+        Rationale: our synthetic graphs are ~``factor``x smaller than
+        the paper's, so per-level kernel times shrink by ~``factor``;
+        shrinking the fixed overhead equally preserves the paper's
+        ratio of overhead to bandwidth-bound time (otherwise launch
+        overhead would swamp every measurement at miniature scale).
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            memory_bytes=max(1, int(self.memory_bytes / factor)),
+            launch_overhead_s=self.launch_overhead_s / factor,
+        )
+
+
+#: Paper Table I: Titan Xp, 12 GiB, PCIe 3.0.
+TITAN_XP = DeviceSpec(
+    name="Titan Xp",
+    memory_bytes=12 * GIB,
+    dram_bandwidth=417.4e9,
+    link_bandwidth=12.1e9,
+    num_sms=30,
+    lanes_per_sm=128,
+    clock_hz=1.58e9,
+)
+
+#: Sec. VIII-E: V100, 32 GiB HBM2, 731.3 GiB/s, same PCIe 3.0 link.
+V100 = DeviceSpec(
+    name="V100",
+    memory_bytes=32 * GIB,
+    dram_bandwidth=731.3 * GIB,
+    link_bandwidth=12.1e9,
+    num_sms=80,
+    lanes_per_sm=64,
+    clock_hz=1.53e9,
+)
+
+#: The paper's CPU host: 2x E5-2696 v4 (44 cores / 88 threads).
+#: Ligra+(TD) runs here; ~77 GB/s aggregate DRAM bandwidth per the
+#: platform's 4-channel DDR4-2400 x 2 sockets.  It has no PCIe penalty
+#: (the graph always "fits") but an order of magnitude less bandwidth
+#: and parallelism than the GPU.
+CPU_E5_2696V4_X2 = DeviceSpec(
+    name="2x E5-2696 v4",
+    memory_bytes=256 * GIB,
+    dram_bandwidth=77e9,
+    link_bandwidth=77e9,
+    num_sms=44,
+    lanes_per_sm=8,
+    clock_hz=2.2e9,
+    sector_bytes=64,
+    link_line_bytes=64,
+    launch_overhead_s=2e-6,
+    is_gpu=False,
+)

@@ -1,0 +1,119 @@
+"""Simulation engine: device + memory plan + accumulated timeline.
+
+One :class:`SimEngine` drives one analytics run.  Traversal code opens
+kernels with :meth:`launch`; on close, the kernel's simulated duration
+is appended to the timeline.  ``elapsed_seconds`` is the sum over
+launches (level-synchronous algorithms serialize their kernels), and
+``kernel_summary`` aggregates by kernel name for profiling-style
+reports — mirroring how one reads an ``nvprof`` trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.gpusim.cost import CostModel, CostParams, KernelCost
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.memory import MemoryManager
+
+__all__ = ["SimEngine"]
+
+
+@dataclass
+class SimEngine:
+    """Deterministic simulated-time accumulator for one device run."""
+
+    device: DeviceSpec
+    memory: MemoryManager
+    params: CostParams = field(default_factory=CostParams)
+    _timeline: list[tuple[str, float]] = field(default_factory=list)
+    _by_kernel: dict[str, KernelCost] = field(default_factory=dict)
+
+    @classmethod
+    def for_device(
+        cls,
+        device: DeviceSpec,
+        reserve_bytes: int = 0,
+        params: CostParams | None = None,
+    ) -> "SimEngine":
+        """Convenience constructor wiring a fresh memory manager."""
+        memory = MemoryManager(
+            capacity_bytes=device.memory_bytes, reserve_bytes=reserve_bytes
+        )
+        return cls(device=device, memory=memory, params=params or CostParams())
+
+    @property
+    def model(self) -> CostModel:
+        """Cost model bound to this engine's device and memory plan."""
+        return CostModel(device=self.device, memory=self.memory, params=self.params)
+
+    @contextmanager
+    def launch(self, name: str) -> Iterator[KernelLaunch]:
+        """Open a kernel launch; its cost lands on the timeline at exit."""
+        kernel = KernelLaunch(name=name, model=self.model)
+        yield kernel
+        seconds = self.model.kernel_seconds(kernel.cost)
+        self._timeline.append((name, seconds))
+        # Aggregate a *copy* so the caller's live cost record stays
+        # untouched by later launches of the same kernel.
+        snapshot = KernelCost(
+            name=name,
+            device_bytes=kernel.cost.device_bytes,
+            host_bytes=kernel.cost.host_bytes,
+            instructions=kernel.cost.instructions,
+            floor_seconds=kernel.cost.floor_seconds,
+            launches=kernel.cost.launches,
+            breakdown=dict(kernel.cost.breakdown),
+        )
+        if name in self._by_kernel:
+            self._by_kernel[name].merge(snapshot)
+        else:
+            self._by_kernel[name] = snapshot
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total simulated time across all launches so far."""
+        return sum(t for _, t in self._timeline)
+
+    @property
+    def num_launches(self) -> int:
+        """Number of kernel launches recorded."""
+        return len(self._timeline)
+
+    def reset_timeline(self) -> None:
+        """Clear timing state, keeping the memory plan (new traversal run)."""
+        self._timeline.clear()
+        self._by_kernel.clear()
+
+    def kernel_summary(self) -> dict[str, dict[str, float]]:
+        """Aggregate traffic/instructions/time by kernel name."""
+        out: dict[str, dict[str, float]] = {}
+        times: dict[str, float] = {}
+        for name, seconds in self._timeline:
+            times[name] = times.get(name, 0.0) + seconds
+        for name, cost in self._by_kernel.items():
+            out[name] = {
+                "launches": float(cost.launches),
+                "device_bytes": cost.device_bytes,
+                "host_bytes": cost.host_bytes,
+                "instructions": cost.instructions,
+                "seconds": times.get(name, 0.0),
+            }
+        return out
+
+    def profile_report(self) -> str:
+        """nvprof-style text table of where simulated time went."""
+        summary = self.kernel_summary()
+        total = self.elapsed_seconds or 1.0
+        lines = [f"{'kernel':32s} {'time(ms)':>10s} {'%':>6s} {'launches':>9s}"]
+        for name, row in sorted(
+            summary.items(), key=lambda kv: -kv[1]["seconds"]
+        ):
+            lines.append(
+                f"{name:32s} {row['seconds'] * 1e3:10.3f} "
+                f"{100 * row['seconds'] / total:6.1f} {int(row['launches']):9d}"
+            )
+        return "\n".join(lines)

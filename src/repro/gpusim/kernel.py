@@ -1,0 +1,95 @@
+"""Kernel launch recording interface.
+
+Traversal code wraps each logical GPU kernel in a :class:`KernelLaunch`
+(usually via :meth:`repro.gpusim.engine.SimEngine.launch`) and reports
+the accesses it performs while the vectorized NumPy does the actual
+work.  Keeping the accounting calls adjacent to the computation keeps
+traffic honest: the counts come from live array sizes, never constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.cost import AccessPattern, CostModel, KernelCost
+
+__all__ = ["KernelLaunch"]
+
+
+@dataclass
+class KernelLaunch:
+    """One simulated kernel launch being recorded."""
+
+    name: str
+    model: CostModel
+    cost: KernelCost = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cost = KernelCost(name=self.name)
+
+    # -- memory traffic -------------------------------------------------
+
+    def read(
+        self,
+        array: str,
+        count: int,
+        elem_bytes: int,
+        pattern: AccessPattern = AccessPattern.COALESCED,
+    ) -> None:
+        """Record ``count`` reads of ``elem_bytes`` from ``array``."""
+        self.model.charge(self.cost, array, count, elem_bytes, pattern)
+
+    def write(
+        self,
+        array: str,
+        count: int,
+        elem_bytes: int,
+        pattern: AccessPattern = AccessPattern.COALESCED,
+    ) -> None:
+        """Record writes; charged like reads (write-allocate traffic)."""
+        self.model.charge(self.cost, array, count, elem_bytes, pattern)
+
+    def atomic(self, array: str, count: int, elem_bytes: int = 4) -> None:
+        """Record atomics: a random read-modify-write per operation."""
+        self.model.charge(self.cost, array, count, elem_bytes, AccessPattern.RANDOM)
+        self.cost.instructions += 2.0 * count  # RMW issue cost
+
+    def read_stream(self, array: str, ids, elem_bytes: int) -> None:
+        """Record an access stream with measured coalescing.
+
+        ``ids`` are the element indices in issue order; consecutive
+        accesses falling in the same transfer unit are merged, so the
+        charge reflects the stream's real locality.
+        """
+        self.model.charge_stream(self.cost, array, ids, elem_bytes)
+
+    # -- compute ---------------------------------------------------------
+
+    def instructions(self, count: float) -> None:
+        """Record ``count`` data-parallel instructions."""
+        if count < 0:
+            raise ValueError(f"negative instruction count: {count}")
+        self.cost.instructions += float(count)
+
+    def serial_work(self, lane_instructions: float) -> None:
+        """Record work executed by a single lane while its warp waits.
+
+        Used for dependent decode chains (CGR varint parsing): one lane
+        doing N instructions occupies warp_width lane-slots.
+        """
+        if lane_instructions < 0:
+            raise ValueError("negative serial work")
+        self.cost.instructions += float(lane_instructions) * self.model.params.warp_width
+
+    def serial_floor(self, lane_cycles: float) -> None:
+        """Impose a critical-path floor of ``lane_cycles`` core cycles.
+
+        Models the longest dependent chain in the launch (e.g. one hub
+        list parsed by a single lane): the kernel cannot finish sooner
+        regardless of bandwidth or free SMs.
+        """
+        if lane_cycles < 0:
+            raise ValueError("negative floor")
+        self.cost.floor_seconds = max(
+            self.cost.floor_seconds, lane_cycles / self.model.device.clock_hz
+        )

@@ -1,0 +1,80 @@
+"""Graph analytics over CSR / EFG / CGR / Ligra+ backends.
+
+Level-synchronous BFS (Alg. 1), frontier-relaxation SSSP and push-style
+PageRank, each running functionally in vectorized NumPy on a
+:class:`~repro.gpusim.SimEngine` that charges the traffic the chosen
+graph representation actually generates.
+"""
+
+from repro.traversal.backends import (
+    CGRBackend,
+    CSRBackend,
+    EFGBackend,
+    GraphBackend,
+    LigraBackend,
+)
+from repro.traversal.betweenness import BetweennessResult, betweenness_centrality
+from repro.traversal.bfs import BFSResult, bfs
+from repro.traversal.components import (
+    ComponentsResult,
+    connected_components,
+    connected_components_lp,
+)
+from repro.traversal.delta_stepping import (
+    DeltaSteppingResult,
+    delta_stepping_sssp,
+)
+from repro.traversal.direction_optimizing import (
+    DirectionOptimizingResult,
+    bfs_direction_optimizing,
+)
+from repro.traversal.distributed import (
+    MultiGPUBFSResult,
+    VertexPartition,
+    multi_gpu_bfs,
+)
+from repro.traversal.kcore import KCoreResult, kcore_decomposition
+from repro.traversal.pagerank import PageRankResult, pagerank
+from repro.traversal.sssp import SSSPResult, sssp
+from repro.traversal.triangles import TriangleCountResult, triangle_count
+from repro.traversal.validate_tree import BFSValidationError, validate_bfs_tree
+from repro.traversal.validate import (
+    reference_bfs_levels,
+    reference_pagerank,
+    reference_sssp_distances,
+)
+
+__all__ = [
+    "GraphBackend",
+    "CSRBackend",
+    "EFGBackend",
+    "CGRBackend",
+    "LigraBackend",
+    "bfs",
+    "BFSResult",
+    "bfs_direction_optimizing",
+    "DirectionOptimizingResult",
+    "connected_components",
+    "connected_components_lp",
+    "ComponentsResult",
+    "betweenness_centrality",
+    "BetweennessResult",
+    "multi_gpu_bfs",
+    "MultiGPUBFSResult",
+    "VertexPartition",
+    "sssp",
+    "SSSPResult",
+    "delta_stepping_sssp",
+    "DeltaSteppingResult",
+    "triangle_count",
+    "TriangleCountResult",
+    "kcore_decomposition",
+    "KCoreResult",
+    "pagerank",
+    "PageRankResult",
+    "reference_bfs_levels",
+    "reference_sssp_distances",
+    "reference_pagerank",
+    "validate_bfs_tree",
+    "BFSValidationError",
+]

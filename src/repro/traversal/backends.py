@@ -1,0 +1,443 @@
+"""Format backends: functional expansion + honest traffic accounting.
+
+A backend binds one graph representation to a simulated device and
+exposes ``expand(frontier, kernel)`` — decode the frontier's neighbour
+lists, charging the kernel for the traffic and instructions that
+representation really generates:
+
+* **CSR** — constant-time edge gather; traffic is the raw ``elist``
+  slices plus per-vertex ``vlist`` lookups.
+* **EFG** — runs the real batched decode kernel
+  (:func:`repro.core.efg.decode_lists`); traffic is the *compressed*
+  payload bytes (forward pointers + lower + upper sections) and the
+  decode costs ~70 extra instructions per edge (binary search, LUT
+  probe, scan bookkeeping — Sec. VI-B).
+* **CGR** — interval/residual varint decode is a per-list dependent
+  chain: one lane parses while its warp waits, charged via
+  ``serial_work`` at the measured compressed chain length.  Functional
+  neighbours come from the embedded reference adjacency (the byte
+  decoder itself is validated in unit tests); the *cost* path uses the
+  real compressed sizes.
+* **Ligra+** — same chain model on the CPU device (one list per
+  thread, lane width 1), reflecting its shared-memory parallelism.
+
+All per-array traffic uses :meth:`KernelLaunch.read_stream`, so
+coalescing is measured from the actual ids touched — this is what makes
+reordering (Sec. VIII-D) and partial frontier sorting (Sec. VI-E)
+matter in the model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.efg import EFGraph, csr_gather_indices, decode_lists
+from repro.formats.cgr import CGRGraph
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.formats.ligra_plus import LigraPlusGraph
+from repro.gpusim.cost import CostParams
+from repro.gpusim.device import CPU_E5_2696V4_X2, DeviceSpec
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.kernel import KernelLaunch
+
+__all__ = [
+    "GraphBackend",
+    "CSRBackend",
+    "EFGBackend",
+    "CGRBackend",
+    "LigraBackend",
+]
+
+#: Per-edge bookkeeping instructions shared by every format (frontier
+#: math, bounds checks, enqueue).
+BASE_INSTR_PER_EDGE = 12.0
+
+#: Extra per-edge decode instructions for EFG (Sec. VI-B pipeline:
+#: ~8-step binary search, select LUT probe, segmented-scan bookkeeping,
+#: shift/or combine).
+EFG_DECODE_INSTR_PER_EDGE = 68.0
+
+#: Amortised single-lane cycles per varint in a CGR decode chain
+#: (shift/accumulate, continuation branch, running-prefix update).
+CGR_CYCLES_PER_STEP = 5.0
+
+#: Issue-to-use latency of one dependent varint parse — the critical
+#: path cost per chain element when a single lane walks a hub list.
+CGR_DEP_LATENCY_CYCLES = 8.0
+
+#: Ligra+ CPU decode cycles per compressed byte (scalar loop).
+LIGRA_CYCLES_PER_BYTE = 6.0
+
+
+class GraphBackend(abc.ABC):
+    """One graph representation bound to a simulated device."""
+
+    engine: SimEngine
+    format_name: str
+
+    # -- construction helpers -------------------------------------------
+
+    def _finish_setup(self, weight_bytes: int = 0) -> None:
+        """Register working arrays common to the analytics."""
+        nv = self.num_nodes
+        mem = self.engine.memory
+        # Working data the kernels need resident (priority -1: the
+        # planner places it first, mirroring how one allocates outputs
+        # before deciding what else fits — Sec. II bullet 1).
+        mem.register("work:labels", 4 * nv, priority=-1)
+        mem.register("work:visited", nv, priority=-1)
+        mem.register("work:frontier", 8 * nv, priority=-1)
+        if weight_bytes:
+            mem.register("weights", weight_bytes, priority=2)
+
+    # -- interface --------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """|V|."""
+
+    @property
+    @abc.abstractmethod
+    def num_edges(self) -> int:
+        """|E|."""
+
+    @property
+    @abc.abstractmethod
+    def degrees(self) -> np.ndarray:
+        """Out-degree per vertex."""
+
+    def expand(
+        self, frontier: np.ndarray, kernel: KernelLaunch
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decode the frontier's lists; return (neighbours, frontier_pos).
+
+        ``neighbours`` is the concatenation of the frontier vertices'
+        lists in frontier order; ``frontier_pos[i]`` is the index into
+        ``frontier`` of the vertex that produced ``neighbours[i]``.
+        Charges the traffic/instructions of this representation on
+        ``kernel``.
+        """
+        frontier = np.asarray(frontier, dtype=np.int64)
+        nbrs, seg = self._decode(frontier)
+        self.charge_expand(frontier, nbrs, kernel)
+        return nbrs, seg
+
+    @abc.abstractmethod
+    def _decode(self, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Functional neighbour-list decode (no cost accounting)."""
+
+    @abc.abstractmethod
+    def charge_expand(
+        self, frontier: np.ndarray, nbrs: np.ndarray, kernel: KernelLaunch
+    ) -> None:
+        """Charge the traffic/instructions this format's expansion of
+        ``frontier`` generates.  ``nbrs`` is the decoded neighbour
+        stream (used only to measure candidate-stream locality and
+        counts, never to shortcut the traffic computation).
+        """
+
+    def charge_scan_prefix(
+        self, vertices: np.ndarray, scanned: np.ndarray, kernel: KernelLaunch
+    ) -> None:
+        """Charge an early-exiting prefix scan of each vertex's list.
+
+        Bottom-up BFS (direction optimisation) reads only the leading
+        ``scanned[i]`` elements of vertex ``i``'s list before exiting.
+        Metadata is still touched per vertex; payload bytes are charged
+        pro rata to the scanned fraction (prefix reads are sequential,
+        so coalescing is ideal).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        scanned = np.asarray(scanned, dtype=np.int64)
+        payload_name, payload_bytes, meta_name, meta_elem = self._payload_info(
+            vertices
+        )
+        kernel.read_stream(meta_name, vertices, meta_elem)
+        deg = np.maximum(self.degrees[vertices], 1)
+        prefix_bytes = payload_bytes * scanned / deg
+        kernel.read(payload_name, int(np.ceil(prefix_bytes.sum())), 1)
+        kernel.instructions(
+            (BASE_INSTR_PER_EDGE + self._decode_instr_per_edge())
+            * float(scanned.sum())
+        )
+
+    def _decode_instr_per_edge(self) -> float:
+        """Extra decode instructions per edge for this format."""
+        return 0.0
+
+    @abc.abstractmethod
+    def _payload_info(
+        self, vertices: np.ndarray
+    ) -> tuple[str, np.ndarray, str, int]:
+        """(payload array, per-list payload bytes, metadata array,
+        metadata bytes per vertex) for ``vertices``."""
+
+    def edge_slots(self, frontier: np.ndarray) -> np.ndarray:
+        """Flat weight-array slots for the frontier's edges.
+
+        Slot numbering is CSR edge order (``vlist[v] + n``), shared by
+        every backend (Sec. VI-F: weights are not compressed).
+        """
+        frontier = np.asarray(frontier, dtype=np.int64)
+        slots, _ = csr_gather_indices(
+            self._vlist()[frontier], self.degrees[frontier]
+        )
+        return slots
+
+    @abc.abstractmethod
+    def _vlist(self) -> np.ndarray:
+        """Row-offset array used for edge-slot numbering."""
+
+    def graph_fits_in_memory(self) -> bool:
+        """True when every registered array is device resident."""
+        return self.engine.memory.all_resident()
+
+
+@dataclass(init=False)
+class CSRBackend(GraphBackend):
+    """Uncompressed CSR on the GPU (cugraph-equivalent, Sec. III-D)."""
+
+    csr: CSRGraph
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        device: DeviceSpec,
+        weight_bytes: int = 0,
+        params: CostParams | None = None,
+    ) -> None:
+        self.csr = csr
+        self.format_name = "csr"
+        self.engine = SimEngine.for_device(device, params=params)
+        nv = csr.num_nodes
+        self.engine.memory.register("vlist", 4 * (nv + 1), priority=0)
+        self.engine.memory.register("elist", 4 * csr.num_edges, priority=1)
+        self._finish_setup(weight_bytes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.csr.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.csr.num_edges
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return self.csr.graph.degrees
+
+    def _vlist(self) -> np.ndarray:
+        return self.csr.graph.vlist
+
+    def _decode(self, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        edge_idx, seg = csr_gather_indices(
+            self.csr.graph.vlist[frontier], self.degrees[frontier]
+        )
+        return self.csr.graph.elist[edge_idx], seg
+
+    def _payload_info(self, vertices):
+        return "elist", 4 * self.degrees[vertices], "vlist", 8
+
+    def charge_expand(
+        self, frontier: np.ndarray, nbrs: np.ndarray, kernel: KernelLaunch
+    ) -> None:
+        edge_idx, _ = csr_gather_indices(
+            self.csr.graph.vlist[frontier], self.degrees[frontier]
+        )
+        # Traffic: vlist pair per frontier vertex + the elist slices.
+        kernel.read_stream("vlist", frontier, 8)
+        kernel.read_stream("elist", edge_idx, 4)
+        kernel.instructions(BASE_INSTR_PER_EDGE * nbrs.shape[0])
+
+
+@dataclass(init=False)
+class EFGBackend(GraphBackend):
+    """The paper's EFG format with run-time decompression (Secs. V-VI)."""
+
+    efg: EFGraph
+
+    def __init__(
+        self,
+        efg: EFGraph,
+        device: DeviceSpec,
+        weight_bytes: int = 0,
+        params: CostParams | None = None,
+    ) -> None:
+        self.efg = efg
+        self.format_name = "efg"
+        self.engine = SimEngine.for_device(device, params=params)
+        nv = efg.num_nodes
+        # vlist (4B) + num_lower_bits (1B) + offsets (4B) per vertex.
+        self.engine.memory.register("efg_meta", 9 * (nv + 1), priority=0)
+        self.engine.memory.register("efg_data", int(efg.data.shape[0]), priority=1)
+        self._finish_setup(weight_bytes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.efg.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.efg.num_edges
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return self.efg.degrees
+
+    def _vlist(self) -> np.ndarray:
+        return self.efg.vlist
+
+    def _decode(self, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return decode_lists(self.efg, frontier)
+
+    def _payload_info(self, vertices):
+        per_list = self.efg.offsets[vertices + 1] - self.efg.offsets[vertices]
+        return "efg_data", per_list, "efg_meta", 9
+
+    def _decode_instr_per_edge(self) -> float:
+        return EFG_DECODE_INSTR_PER_EDGE
+
+    def charge_expand(
+        self, frontier: np.ndarray, nbrs: np.ndarray, kernel: KernelLaunch
+    ) -> None:
+        # Traffic: per-vertex metadata + the full compressed payloads
+        # (forward pointers, lower and upper sections are all touched).
+        kernel.read_stream("efg_meta", frontier, 9)
+        payload_idx, _ = csr_gather_indices(
+            self.efg.offsets[frontier],
+            self.efg.offsets[frontier + 1] - self.efg.offsets[frontier],
+        )
+        kernel.read_stream("efg_data", payload_idx, 1)
+        kernel.instructions(
+            (BASE_INSTR_PER_EDGE + EFG_DECODE_INSTR_PER_EDGE) * nbrs.shape[0]
+        )
+
+
+@dataclass(init=False)
+class CGRBackend(GraphBackend):
+    """CGR comparator: sequential per-list varint chains on the GPU."""
+
+    cgr: CGRGraph
+
+    def __init__(
+        self,
+        cgr: CGRGraph,
+        device: DeviceSpec,
+        weight_bytes: int = 0,
+        params: CostParams | None = None,
+    ) -> None:
+        self.cgr = cgr
+        self.format_name = "cgr"
+        self.engine = SimEngine.for_device(device, params=params)
+        nv = cgr.num_nodes
+        self.engine.memory.register("cgr_offsets", 4 * (nv + 1), priority=0)
+        self.engine.memory.register("cgr_data", int(cgr.data.shape[0]), priority=1)
+        self._finish_setup(weight_bytes)
+        # CGR has no out-of-core path (Sec. VIII-B: DNR beyond memory).
+        self.supports_out_of_core = False
+
+    @property
+    def num_nodes(self) -> int:
+        return self.cgr.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.cgr.num_edges
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return self.cgr.graph.degrees
+
+    def _vlist(self) -> np.ndarray:
+        return self.cgr.graph.vlist
+
+    def _decode(self, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        graph = self.cgr.graph
+        edge_idx, seg = csr_gather_indices(
+            graph.vlist[frontier], self.degrees[frontier]
+        )
+        return graph.elist[edge_idx], seg
+
+    def _payload_info(self, vertices):
+        return "cgr_data", self.cgr.list_nbytes(vertices), "cgr_offsets", 8
+
+    def charge_expand(
+        self, frontier: np.ndarray, nbrs: np.ndarray, kernel: KernelLaunch
+    ) -> None:
+        list_bytes = self.cgr.list_nbytes(frontier)
+        kernel.read_stream("cgr_offsets", frontier, 8)
+        payload_idx, _ = csr_gather_indices(self.cgr.offsets[frontier], list_bytes)
+        kernel.read_stream("cgr_data", payload_idx, 1)
+        # Dependent varint chains: one lane per list parses serially,
+        # at the measured chain length (varints per list).
+        steps = self.cgr.steps[frontier]
+        kernel.serial_work(CGR_CYCLES_PER_STEP * float(steps.sum()))
+        # A list cannot be split across blocks in CGR, so the longest
+        # chain in the launch is a hard critical path (hub lists!).
+        if steps.size:
+            kernel.serial_floor(CGR_DEP_LATENCY_CYCLES * float(steps.max()))
+        kernel.instructions(BASE_INSTR_PER_EDGE * nbrs.shape[0])
+
+
+@dataclass(init=False)
+class LigraBackend(GraphBackend):
+    """Ligra+(TD) comparator on the CPU host (Sec. VII)."""
+
+    ligra: LigraPlusGraph
+
+    def __init__(
+        self,
+        ligra: LigraPlusGraph,
+        device: DeviceSpec = CPU_E5_2696V4_X2,
+        weight_bytes: int = 0,
+        params: CostParams | None = None,
+    ) -> None:
+        self.ligra = ligra
+        self.format_name = "ligra+"
+        # CPU: no SIMT divergence penalty, lane width 1 for serial code.
+        cpu_params = params or CostParams(simt_efficiency=0.5, warp_width=1)
+        self.engine = SimEngine.for_device(device, params=cpu_params)
+        nv = ligra.num_nodes
+        self.engine.memory.register("lg_vertices", 8 * nv, priority=0)
+        self.engine.memory.register("lg_data", int(ligra.data.shape[0]), priority=1)
+        self._finish_setup(weight_bytes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.ligra.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.ligra.num_edges
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return self.ligra.graph.degrees
+
+    def _vlist(self) -> np.ndarray:
+        return self.ligra.graph.vlist
+
+    def _decode(self, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        graph = self.ligra.graph
+        edge_idx, seg = csr_gather_indices(
+            graph.vlist[frontier], self.degrees[frontier]
+        )
+        return graph.elist[edge_idx], seg
+
+    def _payload_info(self, vertices):
+        return "lg_data", self.ligra.list_nbytes(vertices), "lg_vertices", 8
+
+    def charge_expand(
+        self, frontier: np.ndarray, nbrs: np.ndarray, kernel: KernelLaunch
+    ) -> None:
+        list_bytes = self.ligra.list_nbytes(frontier)
+        kernel.read_stream("lg_vertices", frontier, 8)
+        payload_idx, _ = csr_gather_indices(self.ligra.offsets[frontier], list_bytes)
+        kernel.read_stream("lg_data", payload_idx, 1)
+        kernel.serial_work(LIGRA_CYCLES_PER_BYTE * float(list_bytes.sum()))
+        kernel.instructions(BASE_INSTR_PER_EDGE * nbrs.shape[0])

@@ -1,0 +1,143 @@
+"""Triangle counting on compressed graphs.
+
+Beyond frontier traversal, the other canonical graph-analytics kernel
+is triangle counting, whose inner loop is *sorted-list intersection* —
+a natural fit for Elias-Fano lists, which decode in sorted order and
+support skip-ahead via forward pointers.
+
+The implementation is the standard degree-ordered algorithm: orient
+each undirected edge from its lower-(degree, id) endpoint to the
+higher one, generate the oriented wedges (u -> v, u -> w with v < w in
+the orientation), and probe whether the closing arc v -> w exists.
+Orientation bounds per-vertex out-degree by ~sqrt(|E|), keeping the
+wedge count near O(|E|^1.5) even on power-law graphs.
+
+Costs are charged on the backend like every other kernel: one full
+oriented-adjacency decode plus one binary-search probe per wedge.
+Validated against networkx in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.efg import csr_gather_indices
+from repro.formats.graph import Graph
+from repro.traversal.backends import GraphBackend
+
+__all__ = ["TriangleCountResult", "triangle_count"]
+
+
+@dataclass(frozen=True)
+class TriangleCountResult:
+    """Outcome of one triangle-counting run."""
+
+    triangles: int
+    wedges_checked: int
+    sim_seconds: float
+
+    @property
+    def runtime_ms(self) -> float:
+        """Simulated runtime in milliseconds."""
+        return self.sim_seconds * 1e3
+
+
+def _oriented(graph: Graph) -> Graph:
+    """Orient each undirected edge low->high by (degree, id)."""
+    nv = graph.num_nodes
+    deg = graph.degrees
+    src = np.repeat(np.arange(nv, dtype=np.int64), deg)
+    dst = graph.elist
+    rank_src = deg[src] * np.int64(nv) + src
+    rank_dst = deg[dst] * np.int64(nv) + dst
+    keep = rank_src < rank_dst
+    return Graph.from_edges(
+        src[keep], dst[keep], num_nodes=nv, directed=True,
+        name=f"{graph.name}_oriented",
+    )
+
+
+def triangle_count(
+    backend: GraphBackend,
+    wedge_chunk: int = 1 << 20,
+) -> TriangleCountResult:
+    """Count triangles of the (undirected) graph behind ``backend``.
+
+    The backend must wrap a symmetrised graph (both arc directions
+    present); each triangle is counted exactly once.
+
+    Parameters
+    ----------
+    backend:
+        Format backend; its decode cost is charged for reading the
+        adjacency, and a probe per wedge for closing-arc membership.
+    wedge_chunk:
+        Wedges processed per simulated kernel launch (memory bound for
+        the host process, not a correctness knob).
+    """
+    engine = backend.engine
+    engine.reset_timeline()
+
+    # Decode the full adjacency once through the backend (charged), then
+    # orient it for wedge generation.
+    nv = backend.num_nodes
+    all_vertices = np.arange(nv, dtype=np.int64)
+    with engine.launch("tc_decode") as k:
+        nbrs, seg = backend.expand(all_vertices, k)
+    full = Graph(
+        vlist=np.concatenate([[0], np.cumsum(np.bincount(seg, minlength=nv))]),
+        elist=nbrs,
+        directed=False,
+    )
+    oriented = _oriented(full)
+    odeg = oriented.degrees
+
+    # Sorted key array of oriented arcs for membership probes.
+    osrc = np.repeat(np.arange(nv, dtype=np.int64), odeg)
+    keys = osrc * np.int64(nv) + oriented.elist  # already sorted
+
+    # Wedge generation: for each arc (u, v) at local index i of u's
+    # oriented list, pair v with every later neighbour w of u (j > i).
+    arc_owner = osrc
+    arc_pos = np.arange(oriented.num_edges, dtype=np.int64)
+    local_i = arc_pos - oriented.vlist[arc_owner]
+    seconds_per_arc = odeg[arc_owner] - local_i - 1
+    total_wedges = int(seconds_per_arc.sum())
+    triangles = 0
+    if total_wedges:
+        # Flat indices of the w elements, chunked to bound host memory.
+        w_idx_all, wedge_arc = csr_gather_indices(arc_pos + 1, seconds_per_arc)
+        for start in range(0, total_wedges, wedge_chunk):
+            stop = min(start + wedge_chunk, total_wedges)
+            w_vals = oriented.elist[w_idx_all[start:stop]]
+            v_vals = oriented.elist[wedge_arc[start:stop]]
+            # The closing arc is oriented low->high by (degree, id),
+            # which need not match the id order the wedge pair came in.
+            deg_all = full.degrees
+            rank_v = deg_all[v_vals] * np.int64(nv) + v_vals
+            rank_w = deg_all[w_vals] * np.int64(nv) + w_vals
+            lo = np.where(rank_v < rank_w, v_vals, w_vals)
+            hi = np.where(rank_v < rank_w, w_vals, v_vals)
+            probe = lo * np.int64(nv) + hi
+            pos = np.searchsorted(keys, probe)
+            in_range = pos < keys.shape[0]
+            hit = in_range & (
+                keys[np.minimum(pos, keys.shape[0] - 1)] == probe
+            )
+            triangles += int(hit.sum())
+            with engine.launch("tc_probe") as k:
+                # One binary-search probe per wedge: log2(m) dependent
+                # reads into the arc-key array plus index math.
+                n_wedges = stop - start
+                k.read_stream("work:labels", probe % max(nv, 1), 8)
+                k.instructions(
+                    (12.0 + 2.0 * np.log2(max(keys.shape[0], 2))) * n_wedges
+                )
+
+    return TriangleCountResult(
+        triangles=triangles,
+        wedges_checked=total_wedges,
+        sim_seconds=engine.elapsed_seconds,
+    )

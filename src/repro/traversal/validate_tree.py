@@ -1,0 +1,77 @@
+"""Graph500-style BFS output validation.
+
+The Graph500 benchmark specifies five checks for a claimed BFS tree;
+:func:`validate_bfs_tree` implements them against our
+:class:`~repro.traversal.bfs.BFSResult`:
+
+1. the source is its own parent at level 0;
+2. reached sets agree between ``levels`` and ``parents``;
+3. every tree edge ``(parents[v], v)`` exists in the graph;
+4. levels increase by exactly one along tree edges;
+5. no graph edge spans more than one level (both endpoints reached),
+   and no reached->unreached edge exists.
+
+Used by the test suite as an independent check of every backend's BFS
+(stronger than comparing levels alone: it also pins the parent tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.graph import Graph
+
+__all__ = ["validate_bfs_tree", "BFSValidationError"]
+
+
+class BFSValidationError(AssertionError):
+    """A Graph500 validation rule failed."""
+
+
+def validate_bfs_tree(
+    graph: Graph, source: int, levels: np.ndarray, parents: np.ndarray
+) -> None:
+    """Raise :class:`BFSValidationError` unless the BFS output is valid."""
+    nv = graph.num_nodes
+    levels = np.asarray(levels)
+    parents = np.asarray(parents)
+    if levels.shape != (nv,) or parents.shape != (nv,):
+        raise BFSValidationError("levels/parents shape mismatch")
+
+    # (1) root conventions.
+    if parents[source] != source or levels[source] != 0:
+        raise BFSValidationError("source must be its own parent at level 0")
+
+    # (2) reached sets agree.
+    reached_l = levels >= 0
+    reached_p = parents >= 0
+    if not np.array_equal(reached_l, reached_p):
+        raise BFSValidationError("levels and parents disagree on reachability")
+
+    # (3) tree edges exist; (4) levels step by one along them.
+    verts = np.flatnonzero(reached_l)
+    verts = verts[verts != source]
+    if verts.size:
+        pars = parents[verts]
+        if np.any(levels[verts] != levels[pars] + 1):
+            raise BFSValidationError("tree edge does not step one level")
+        # Edge existence: binary search each child in its parent's row.
+        starts = graph.vlist[pars]
+        ends = graph.vlist[pars + 1]
+        pos = np.empty(verts.shape[0], dtype=np.int64)
+        for i, (s, e, child) in enumerate(zip(starts, ends, verts)):
+            row = graph.elist[s:e]
+            j = np.searchsorted(row, child)
+            pos[i] = 1 if j < row.shape[0] and row[j] == child else 0
+        if not pos.all():
+            raise BFSValidationError("claimed tree edge missing from graph")
+
+    # (5) no edge skips a level or escapes the reached set.
+    src = np.repeat(np.arange(nv, dtype=np.int64), graph.degrees)
+    dst = graph.elist
+    from_reached = reached_l[src]
+    if np.any(~reached_l[dst[from_reached]]):
+        raise BFSValidationError("edge from reached to unreached vertex")
+    both = from_reached
+    if np.any(levels[dst[both]] > levels[src[both]] + 1):
+        raise BFSValidationError("graph edge spans more than one level")

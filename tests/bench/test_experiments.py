@@ -1,0 +1,86 @@
+"""Smoke tests for the experiment registry (cheap subsets only).
+
+The full experiments run under ``pytest benchmarks/``; here we verify
+the record schemas and basic invariants on the smallest suite graphs so
+regressions surface in the fast test suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    exp_fig1,
+    exp_fig8,
+    exp_fig9,
+    exp_frontier_sort,
+    exp_pef,
+    exp_quantum,
+    exp_tab1,
+    exp_tab2,
+)
+
+
+class TestTab1:
+    def test_schema(self):
+        rec = exp_tab1()
+        assert rec["dtod_bw_gbs"] == pytest.approx(417.4)
+        assert rec["bandwidth_ratio"] == pytest.approx(34.5, rel=0.01)
+
+
+class TestFig1:
+    def test_small_subset(self):
+        records = exp_fig1(names=("scc-lj", "orkut"), num_sources=1)
+        assert len(records) == 2
+        assert records[0]["csr_bytes"] <= records[1]["csr_bytes"]
+        for r in records:
+            assert r["region"] in (1, 2, 3)
+            assert r["gteps"] > 0
+
+
+class TestFig8:
+    def test_ratios_positive(self):
+        records = exp_fig8(names=("scc-lj",))
+        r = records[0]
+        assert r["category"] == "social"
+        for key in ("efg_ratio", "cgr_ratio", "ligra_ratio"):
+            assert r[key] > 1.0
+
+
+class TestTab2AndFig9:
+    def test_schema_and_derivation(self):
+        tab2 = exp_tab2(names=("scc-lj",), num_sources=1)
+        row = tab2[0]
+        for fmt in ("csr", "cgr", "efg", "ligra"):
+            assert row[f"{fmt}_bytes"] > 0
+            assert row[f"{fmt}_ms"] is None or row[f"{fmt}_ms"] > 0
+        fig9 = exp_fig9(tab2)
+        assert fig9[0]["efg_vs_csr"] == pytest.approx(
+            row["csr_ms"] / row["efg_ms"]
+        )
+
+    def test_dnr_propagates(self):
+        rows = [{"name": "x", "csr_ms": 2.0, "cgr_ms": None, "efg_ms": 1.0,
+                 "ligra_ms": 4.0}]
+        out = exp_fig9(rows)
+        assert out[0]["cgr_vs_csr"] is None
+        assert out[0]["efg_vs_csr"] == 2.0
+
+
+class TestAblations:
+    def test_frontier_sort_schema(self):
+        records = exp_frontier_sort(names=("scc-lj",), num_sources=1)
+        r = records[0]
+        assert r["speedup"] > 0
+        assert r["traffic_saving"] > 0
+        assert r["sorted_bytes"] > 0
+
+    def test_pef_motivating_case(self):
+        records = exp_pef(names=("web-longrun",))
+        assert records[0]["pef_gain"] > 1.5
+
+    def test_quantum_storage_monotone(self):
+        records = exp_quantum("scc-lj", quanta=(32, 512), num_sources=1)
+        assert records[0]["efg_bytes"] >= records[1]["efg_bytes"]
+        for r in records:
+            # Every quantum still round-trips through BFS fine.
+            assert r["runtime_ms"] > 0

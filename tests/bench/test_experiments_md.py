@@ -1,0 +1,62 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.experiments_md import write_experiments_md
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    """A minimal results directory with two artifacts."""
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "tab1.json").write_text(json.dumps([
+        {"gpu": "Titan Xp", "memory_bytes": 123, "dtod_bw_gbs": 417.4,
+         "htod_bw_gbs": 12.1, "bandwidth_ratio": 34.5,
+         "pcie_peak_gteps_32bit": 3.02},
+    ]))
+    (d / "fig1.json").write_text(json.dumps([
+        {"name": "a", "csr_bytes": 1000, "region": 1, "gteps": 10.0,
+         "runtime_ms": 1.0},
+        {"name": "b", "csr_bytes": 9000, "region": 2, "gteps": 1.0,
+         "runtime_ms": 9.0},
+    ]))
+    return str(d)
+
+
+class TestGenerator:
+    def test_writes_markdown(self, results_dir, tmp_path):
+        out = str(tmp_path / "EXP.md")
+        write_experiments_md(results_dir, out)
+        text = open(out).read()
+        assert text.startswith("# EXPERIMENTS")
+        assert "Table I" in text
+        assert "34.5x" in text
+        assert "| a | 0.00 | 1 | 10.00 |" in text
+
+    def test_missing_sections_skipped(self, results_dir, tmp_path):
+        # Only tab1 + fig1 exist; the others must not crash the writer.
+        out = str(tmp_path / "EXP.md")
+        write_experiments_md(results_dir, out)
+        text = open(out).read()
+        assert "Fig. 8" in text  # heading present even without data
+
+    def test_empty_results_dir(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        out = str(tmp_path / "EXP.md")
+        write_experiments_md(str(d), out)
+        assert os.path.exists(out)
+
+    def test_full_repo_results_if_present(self, tmp_path):
+        # When the real benchmarks have run, the generator must handle
+        # the full record set.
+        real = os.path.join("benchmarks", "results")
+        if not os.path.isdir(real) or not os.listdir(real):
+            pytest.skip("no benchmark results in this checkout")
+        out = str(tmp_path / "EXP.md")
+        write_experiments_md(real, out)
+        assert "paper" in open(out).read()

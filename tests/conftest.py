@@ -1,0 +1,53 @@
+"""Shared fixtures: deterministic small graphs and devices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.graph import Graph
+from repro.gpusim.device import TITAN_XP
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_graph(rng: np.random.Generator) -> Graph:
+    """~200-node random directed graph."""
+    n, m = 200, 1500
+    return Graph.from_edges(
+        rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n, name="small"
+    )
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """The paper's Fig. 3 sample graph (8 nodes)."""
+    adjacency = [
+        [1, 2],        # 0
+        [0, 3],        # 1
+        [0, 4],        # 2
+        [1, 7],        # 3
+        [2, 3, 7],     # 4 - the highlighted example list
+        [6],           # 5
+        [5],           # 6
+        [3, 4],        # 7
+    ]
+    return Graph.from_adjacency(adjacency, name="fig3")
+
+
+@pytest.fixture
+def chain_graph() -> Graph:
+    """0 -> 1 -> 2 -> ... -> 9 path (known BFS levels)."""
+    src = np.arange(9, dtype=np.int64)
+    return Graph.from_edges(src, src + 1, num_nodes=10, name="chain")
+
+
+@pytest.fixture
+def scaled_device():
+    """A Titan Xp shrunk for unit-test-sized graphs."""
+    return TITAN_XP.scaled(2048)

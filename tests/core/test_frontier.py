@@ -1,0 +1,49 @@
+"""Tests for frontier management and the partial sort."""
+
+import numpy as np
+import pytest
+
+from repro.core.frontier import Frontier
+
+
+class TestFrontier:
+    def test_basic(self):
+        f = Frontier(np.array([3, 1, 2]), num_nodes=10)
+        assert len(f) == 3
+        assert not f.is_empty
+
+    def test_empty(self):
+        f = Frontier(np.array([], dtype=np.int64), num_nodes=5)
+        assert f.is_empty
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Frontier(np.array([10]), num_nodes=10)
+        with pytest.raises(ValueError):
+            Frontier(np.array([-1]), num_nodes=10)
+
+    def test_sorted(self):
+        f = Frontier(np.array([5, 1, 3]), num_nodes=10).sorted()
+        assert f.vertices.tolist() == [1, 3, 5]
+
+    def test_partial_sort_preserves_membership(self, rng):
+        verts = rng.integers(0, 100000, size=400)
+        f = Frontier(verts, num_nodes=100000)
+        ps = f.partially_sorted()
+        assert np.array_equal(np.sort(ps.vertices), np.sort(verts))
+
+    def test_partial_sort_improves_locality(self, rng):
+        verts = rng.permutation(1 << 16)[:2000]
+        f = Frontier(verts, num_nodes=1 << 16)
+        assert f.partially_sorted().locality_span() < f.locality_span() / 10
+
+    def test_locality_span_trivial(self):
+        assert Frontier(np.array([4]), num_nodes=5).locality_span() == 0
+        assert Frontier(np.array([], dtype=np.int64), 5).locality_span() == 0
+
+    def test_exact_sort_at_fraction_one(self, rng):
+        verts = rng.integers(0, 1000, size=100)
+        f = Frontier(verts, num_nodes=1000)
+        assert np.array_equal(
+            f.partially_sorted(fraction=1.0).vertices, np.sort(verts)
+        )

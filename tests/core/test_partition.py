@@ -1,0 +1,90 @@
+"""Tests for load-balanced edge partitioning (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import (
+    edges_to_threads,
+    partition_edges_to_blocks,
+)
+
+
+class TestEdgesToThreads:
+    def test_fig4_example(self):
+        # Frontier degrees {2, 3, 2, 1}; thread t4 must visit edge 2 of
+        # frontier vertex 1 (the paper's worked example).
+        position, within = edges_to_threads(np.array([2, 3, 2, 1]))
+        assert position.shape == (8,)
+        assert position[4] == 1
+        assert within[4] == 2
+        assert position.tolist() == [0, 0, 1, 1, 1, 2, 2, 3]
+        assert within.tolist() == [0, 1, 0, 1, 2, 0, 1, 0]
+
+    def test_empty(self):
+        p, w = edges_to_threads(np.array([], dtype=np.int64))
+        assert p.shape == (0,) and w.shape == (0,)
+
+    def test_zeros_skipped(self):
+        p, w = edges_to_threads(np.array([0, 2, 0, 1]))
+        assert p.tolist() == [1, 1, 3]
+        assert w.tolist() == [0, 1, 0]
+
+    def test_every_edge_covered_once(self, rng):
+        deg = rng.integers(0, 40, size=100)
+        p, w = edges_to_threads(deg)
+        assert p.shape[0] == deg.sum()
+        # Each (vertex, edge) pair appears exactly once.
+        pairs = set(zip(p.tolist(), w.tolist()))
+        assert len(pairs) == deg.sum()
+        for v, n in pairs:
+            assert n < deg[v]
+
+
+class TestBlockPartition:
+    def test_equal_shares(self):
+        asn = partition_edges_to_blocks(np.array([2, 3, 2, 1]), 3)
+        assert asn.total_edges == 8
+        assert asn.num_blocks == 3
+        assert asn.edge_start.tolist() == [0, 3, 6, 8]
+
+    def test_block_slices_cover_all_edges(self, rng):
+        deg = rng.integers(0, 30, size=50)
+        asn = partition_edges_to_blocks(deg, 16)
+        covered = 0
+        for b in range(asn.num_blocks):
+            first, foff, last, eoff = asn.block_slices(b)
+            if first == last:
+                covered += eoff - foff
+                continue
+            covered += deg[first] - foff
+            covered += deg[first + 1 : last].sum()
+            covered += eoff
+        assert covered == deg.sum()
+
+    def test_single_huge_list_spans_blocks(self):
+        asn = partition_edges_to_blocks(np.array([100]), 16)
+        assert asn.num_blocks == 7
+        for b in range(7):
+            first, foff, last, eoff = asn.block_slices(b)
+            assert first == 0 and last == 0
+            assert foff == b * 16
+            assert eoff == min((b + 1) * 16, 100)
+
+    def test_empty_frontier(self):
+        asn = partition_edges_to_blocks(np.array([], dtype=np.int64), 8)
+        assert asn.num_blocks == 0
+        assert asn.total_edges == 0
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            partition_edges_to_blocks(np.array([1]), 0)
+
+    def test_block_first_offsets_consistent(self, rng):
+        deg = rng.integers(1, 10, size=40)
+        asn = partition_edges_to_blocks(deg, 8)
+        for b in range(asn.num_blocks):
+            start_edge = int(asn.edge_start[b])
+            fl = int(asn.first_list[b])
+            fo = int(asn.first_offset[b])
+            assert asn.degree_exsum[fl] + fo == start_edge
+            assert fo < deg[fl] or deg[fl] == 0

@@ -1,0 +1,75 @@
+"""Tests for the PEF-coded graph extension (Sec. IX)."""
+
+import numpy as np
+import pytest
+
+from repro.core.efg import efg_encode
+from repro.core.pefgraph import PEFGraph, pefg_encode
+from repro.ef.partitioned import pef_encode, pef_from_blob, pef_to_blob
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+
+
+class TestBlobSerialization:
+    def test_roundtrip_random(self, rng):
+        for _ in range(30):
+            vals = np.unique(rng.integers(0, 10**6, size=int(rng.integers(1, 400))))
+            seq = pef_encode(vals)
+            assert np.array_equal(pef_from_blob(pef_to_blob(seq)), vals)
+
+    def test_roundtrip_runs(self):
+        vals = np.concatenate([np.arange(100, 400), [10**6]])
+        seq = pef_encode(vals)
+        assert np.array_equal(pef_from_blob(pef_to_blob(seq)), vals)
+
+    def test_roundtrip_dense_bitmap(self):
+        vals = np.arange(0, 500, 2)
+        seq = pef_encode(vals, partition_size=128)
+        assert np.array_equal(pef_from_blob(pef_to_blob(seq)), vals)
+
+    def test_blob_size_close_to_nbytes(self, rng):
+        vals = np.unique(rng.integers(0, 10**6, size=300))
+        seq = pef_encode(vals)
+        blob = pef_to_blob(seq)
+        # Length prefixes add a few bytes per partition.
+        assert blob.shape[0] <= seq.nbytes + 7 * len(seq.partitions) + 2
+
+
+class TestPEFGraph:
+    def test_roundtrip(self, small_graph):
+        pg = pefg_encode(small_graph)
+        back = pg.to_graph()
+        assert np.array_equal(back.elist, small_graph.elist)
+        assert np.array_equal(back.vlist, small_graph.vlist)
+
+    def test_empty_lists(self):
+        g = Graph.from_adjacency([[1], [], [0, 1]])
+        pg = pefg_encode(g)
+        assert pg.neighbours(1).shape == (0,)
+        assert pg.neighbours(2).tolist() == [0, 1]
+
+    def test_bounds_check(self, small_graph):
+        pg = pefg_encode(small_graph)
+        with pytest.raises(IndexError):
+            pg.neighbours(small_graph.num_nodes)
+
+    def test_beats_plain_efg_on_runs(self):
+        from repro.datasets.web import web_graph
+
+        g = web_graph(8000, 30, mean_run_length=48, seed=2)
+        pg = pefg_encode(g)
+        eg = efg_encode(g)
+        assert pg.nbytes < eg.nbytes
+
+    def test_counts(self, small_graph):
+        pg = pefg_encode(small_graph)
+        assert pg.num_nodes == small_graph.num_nodes
+        assert pg.num_edges == small_graph.num_edges
+        assert np.array_equal(pg.degrees, small_graph.degrees)
+
+    def test_compresses_vs_csr(self, rng):
+        n, m = 4000, 60000
+        g = Graph.from_edges(
+            rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+        )
+        assert pefg_encode(g).nbytes < CSRGraph.from_graph(g).nbytes

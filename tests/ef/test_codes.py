@@ -1,0 +1,90 @@
+"""Tests for the gamma / zeta bit codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ef.bitstream import BitReader, BitWriter
+from repro.ef.codes import (
+    decode_gap_stream,
+    encode_gap_stream,
+    gamma_decode,
+    gamma_encode,
+    gamma_length_bits,
+    zeta_decode,
+    zeta_encode,
+    zeta_length_bits,
+)
+
+
+class TestGamma:
+    @pytest.mark.parametrize("value", [0, 1, 2, 3, 7, 8, 100, 2**20, 2**40])
+    def test_roundtrip(self, value):
+        w = BitWriter()
+        gamma_encode(w, value)
+        assert gamma_decode(BitReader(w.getvalue())) == value
+
+    def test_known_lengths(self):
+        # gamma(0) codes 1 -> 1 bit; gamma(2) codes 3 -> 3 bits.
+        assert gamma_length_bits(0) == 1
+        assert gamma_length_bits(2) == 3
+        assert gamma_length_bits(7) == 7
+
+    def test_length_matches_encoder(self, rng):
+        for value in rng.integers(0, 10**9, size=100):
+            w = BitWriter()
+            gamma_encode(w, int(value))
+            assert len(w) == gamma_length_bits(int(value))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gamma_encode(BitWriter(), -1)
+
+
+class TestZeta:
+    @given(value=st.integers(0, 2**50), k=st.integers(1, 8))
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_property(self, value, k):
+        w = BitWriter()
+        zeta_encode(w, value, k)
+        assert zeta_decode(BitReader(w.getvalue()), k) == value
+
+    def test_zeta1_equals_gamma_lengths(self, rng):
+        for value in rng.integers(0, 10**6, size=200):
+            assert zeta_length_bits(int(value), 1) == gamma_length_bits(int(value))
+
+    def test_length_matches_encoder(self, rng):
+        for value in rng.integers(0, 10**9, size=100):
+            for k in (1, 2, 3, 5):
+                w = BitWriter()
+                zeta_encode(w, int(value), k)
+                assert len(w) == zeta_length_bits(int(value), k), (value, k)
+
+    def test_sequence_interleaved(self, rng):
+        values = rng.integers(0, 10**6, size=300)
+        w = BitWriter()
+        for v in values:
+            zeta_encode(w, int(v), 3)
+        r = BitReader(w.getvalue())
+        got = [zeta_decode(r, 3) for _ in values]
+        assert got == values.tolist()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zeta_encode(BitWriter(), -1)
+        with pytest.raises(ValueError):
+            zeta_encode(BitWriter(), 5, k=0)
+
+
+class TestGapStream:
+    def test_roundtrip(self, rng):
+        values = rng.integers(0, 10**5, size=500)
+        blob = encode_gap_stream(values)
+        assert np.array_equal(decode_gap_stream(blob, 500), values)
+
+    def test_zeta_beats_bytes_on_small_gaps(self, rng):
+        # Web-like small gaps: zeta_3 should undercut one-byte varints.
+        gaps = rng.integers(0, 30, size=2000)
+        blob = encode_gap_stream(gaps, k=3)
+        assert blob.shape[0] < 2000  # < 1 byte per gap on average

@@ -1,0 +1,77 @@
+"""Tests for forward pointers (Sec. IV-A / VI-C)."""
+
+import numpy as np
+import pytest
+
+from repro.ef.encoding import ef_encode
+from repro.ef.forward import ForwardPointers, build_forward_pointers
+
+
+class TestBuild:
+    def test_count(self, rng):
+        for n, k in [(100, 8), (100, 512), (16, 8), (7, 8), (24, 8)]:
+            vals = np.sort(rng.integers(0, 10**6, size=n))
+            seq = ef_encode(vals, quantum=k)
+            assert seq.forward.values.shape[0] == n // k
+
+    def test_values_are_upper_halves(self, rng):
+        # Pointer j stores select1(jk-1) - (jk-1) = x_{jk-1} >> l.
+        vals = np.sort(rng.integers(0, 10**6, size=64))
+        seq = ef_encode(vals, quantum=8)
+        for j in range(1, 64 // 8 + 1):
+            anchor = j * 8 - 1
+            assert seq.forward.values[j - 1] == vals[anchor] >> seq.num_lower_bits
+
+    def test_paper_fig6_convention(self):
+        # Fig. 6: k=8, pointer for x_12 is forward[floor((12+1)/8)-1],
+        # i.e. the first pointer, anchoring x_7.
+        fp = ForwardPointers(quantum=8, values=np.array([4], dtype=np.uint32))
+        elem, bit = fp.floor_anchor(12)
+        assert elem == 7
+        assert bit == 4 + 7  # select1(7) = value + index
+
+    def test_rebuild_from_upper_matches(self, rng):
+        vals = np.sort(rng.integers(0, 10**5, size=100))
+        seq = ef_encode(vals, quantum=8)
+        rebuilt = build_forward_pointers(seq.upper, 100, quantum=8)
+        assert np.array_equal(rebuilt.values, seq.forward.values)
+
+
+class TestAnchors:
+    def test_floor_anchor_none(self):
+        fp = ForwardPointers(quantum=8, values=np.array([], dtype=np.uint32))
+        assert fp.floor_anchor(5) == (-1, -1)
+
+    def test_floor_anchor_exact(self):
+        fp = ForwardPointers(quantum=8, values=np.array([10, 20], dtype=np.uint32))
+        elem, bit = fp.floor_anchor(7)
+        assert elem == 7 and bit == 17
+
+    def test_floor_anchor_uses_latest(self):
+        fp = ForwardPointers(quantum=8, values=np.array([10, 20], dtype=np.uint32))
+        elem, bit = fp.floor_anchor(100)
+        assert elem == 15 and bit == 35
+
+    def test_ceil_anchor_none_when_past_last(self):
+        fp = ForwardPointers(quantum=8, values=np.array([10], dtype=np.uint32))
+        assert fp.ceil_anchor(9, 20) == (-1, -1)
+
+    def test_ceil_anchor_basic(self):
+        fp = ForwardPointers(quantum=8, values=np.array([10, 20], dtype=np.uint32))
+        elem, bit = fp.ceil_anchor(3, 20)
+        assert elem == 7 and bit == 17
+        elem, bit = fp.ceil_anchor(8, 20)
+        assert elem == 15 and bit == 35
+
+    def test_ceil_anchor_validates(self):
+        fp = ForwardPointers(quantum=8, values=np.array([], dtype=np.uint32))
+        with pytest.raises(ValueError):
+            fp.ceil_anchor(25, 20)
+
+    def test_bad_quantum(self):
+        with pytest.raises(ValueError):
+            ForwardPointers(quantum=0, values=np.array([], dtype=np.uint32))
+
+    def test_nbytes(self):
+        fp = ForwardPointers(quantum=8, values=np.array([1, 2, 3], dtype=np.uint32))
+        assert fp.nbytes == 12

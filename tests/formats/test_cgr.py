@@ -1,0 +1,93 @@
+"""Tests for the CGR interval/residual baseline."""
+
+import numpy as np
+import pytest
+
+from repro.formats.cgr import (
+    MIN_INTERVAL,
+    cgr_decode_list,
+    cgr_encode,
+    cgr_encode_list,
+    cgr_list_steps,
+)
+from repro.formats.graph import Graph
+
+
+class TestListRoundtrip:
+    def test_residuals_only(self, rng):
+        for _ in range(20):
+            nbrs = np.unique(rng.integers(0, 10**6, size=int(rng.integers(1, 30))))
+            # Force no runs by spacing.
+            nbrs = nbrs * 3
+            blob = np.frombuffer(cgr_encode_list(10, nbrs), dtype=np.uint8)
+            assert np.array_equal(cgr_decode_list(10, blob), nbrs)
+
+    def test_single_interval(self):
+        nbrs = np.arange(100, 120)
+        blob = np.frombuffer(cgr_encode_list(5, nbrs), dtype=np.uint8)
+        assert np.array_equal(cgr_decode_list(5, blob), nbrs)
+
+    def test_mixed(self, rng):
+        for _ in range(30):
+            runs = [np.arange(s, s + rng.integers(MIN_INTERVAL, 20))
+                    for s in rng.choice(10**5, size=3, replace=False) * 7]
+            scattered = rng.integers(10**6, 2 * 10**6, size=5)
+            nbrs = np.unique(np.concatenate(runs + [scattered]))
+            blob = np.frombuffer(cgr_encode_list(99, nbrs), dtype=np.uint8)
+            assert np.array_equal(cgr_decode_list(99, blob), nbrs)
+
+    def test_empty_list(self):
+        blob = np.frombuffer(cgr_encode_list(0, np.array([], dtype=np.int64)),
+                             dtype=np.uint8)
+        assert cgr_decode_list(0, blob).shape == (0,)
+
+    def test_neighbour_below_source(self):
+        # First gap can be negative relative to the source id (zigzag).
+        nbrs = np.array([2, 90])
+        blob = np.frombuffer(cgr_encode_list(50, nbrs), dtype=np.uint8)
+        assert np.array_equal(cgr_decode_list(50, blob), nbrs)
+
+    def test_short_runs_stay_residuals(self):
+        # Runs below MIN_INTERVAL are not promoted to intervals.
+        nbrs = np.array([10, 11, 12, 100])  # run of 3 < MIN_INTERVAL=4
+        blob = np.frombuffer(cgr_encode_list(0, nbrs), dtype=np.uint8)
+        assert np.array_equal(cgr_decode_list(0, blob), nbrs)
+        assert cgr_list_steps(0, nbrs) == 2 + 0 + 4
+
+
+class TestWholeGraph:
+    def test_roundtrip(self, small_graph):
+        cg = cgr_encode(small_graph)
+        for v in range(small_graph.num_nodes):
+            assert np.array_equal(cg.neighbours(v), small_graph.neighbours(v))
+
+    def test_offsets_monotone(self, small_graph):
+        cg = cgr_encode(small_graph)
+        assert np.all(np.diff(cg.offsets) >= 0)
+        assert cg.offsets[-1] == cg.data.shape[0]
+
+    def test_steps_counts(self, small_graph):
+        cg = cgr_encode(small_graph)
+        for v in range(0, small_graph.num_nodes, 7):
+            assert cg.steps[v] == cgr_list_steps(v, small_graph.neighbours(v))
+
+    def test_list_nbytes(self, small_graph):
+        cg = cgr_encode(small_graph)
+        v = np.arange(small_graph.num_nodes)
+        sizes = cg.list_nbytes(v)
+        assert sizes.sum() == cg.data.shape[0]
+
+    def test_compresses_runs_well(self):
+        # A graph of long runs: CGR bytes/edge far below 4.
+        adjacency = [list(range(10, 200))] + [[] for _ in range(200)]
+        g = Graph.from_adjacency(adjacency)
+        cg = cgr_encode(g)
+        assert cg.list_nbytes(np.array([0]))[0] < 10
+
+    def test_compression_hurt_by_random_order(self, rng):
+        # Gap coding degrades when ids are scrambled (Fig. 12b).
+        n = 500
+        adjacency = [np.arange(i, min(i + 20, n)) for i in range(n)]
+        g = Graph.from_adjacency(adjacency)
+        scrambled = g.relabelled(rng.permutation(n))
+        assert cgr_encode(scrambled).nbytes > 1.5 * cgr_encode(g).nbytes

@@ -1,0 +1,116 @@
+"""Tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.formats.graph import Graph
+
+
+class TestConstruction:
+    def test_from_edges_sorts_and_dedupes(self):
+        g = Graph.from_edges(
+            np.array([1, 0, 0, 1, 0]), np.array([0, 2, 1, 0, 2]), num_nodes=3
+        )
+        assert g.neighbours(0).tolist() == [1, 2]
+        assert g.neighbours(1).tolist() == [0]
+        assert g.num_edges == 3
+
+    def test_from_adjacency(self, tiny_graph):
+        assert tiny_graph.num_nodes == 8
+        assert tiny_graph.neighbours(4).tolist() == [2, 3, 7]
+
+    def test_infers_num_nodes(self):
+        g = Graph.from_edges(np.array([0, 5]), np.array([5, 0]))
+        assert g.num_nodes == 6
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(np.array([0]), np.array([5]), num_nodes=3)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(np.array([-1]), np.array([0]), num_nodes=2)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(np.array([0, 1]), np.array([1]), num_nodes=2)
+
+    def test_rejects_bad_vlist(self):
+        with pytest.raises(ValueError):
+            Graph(vlist=np.array([1, 2]), elist=np.array([0, 1]))
+        with pytest.raises(ValueError):
+            Graph(vlist=np.array([0, 2, 1]), elist=np.array([0]))
+
+    def test_empty_graph(self):
+        g = Graph(vlist=np.array([0]), elist=np.array([], dtype=np.int64))
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+
+class TestQueries:
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.degrees.tolist() == [2, 2, 2, 2, 3, 1, 1, 2]
+
+    def test_has_sorted_rows(self, small_graph):
+        assert small_graph.has_sorted_rows()
+
+    def test_unsorted_rows_detected(self):
+        g = Graph(vlist=np.array([0, 2, 2]), elist=np.array([1, 0]), directed=True)
+        assert not g.has_sorted_rows()
+
+    def test_neighbours_bounds(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.neighbours(8)
+
+    def test_stats(self, tiny_graph):
+        s = tiny_graph.stats()
+        assert s["num_nodes"] == 8
+        assert s["num_edges"] == 15
+        assert s["max_degree"] == 3
+        assert s["isolated_nodes"] == 0
+
+
+class TestTransforms:
+    def test_symmetrized_contains_both_arcs(self, small_graph):
+        sym = small_graph.symmetrized()
+        assert not sym.directed
+        for v in range(0, small_graph.num_nodes, 13):
+            for u in small_graph.neighbours(v):
+                assert v in sym.neighbours(int(u))
+                assert u in sym.neighbours(v)
+
+    def test_symmetrized_name(self, small_graph):
+        assert small_graph.symmetrized().name == "small_sym"
+
+    def test_transposed_roundtrip(self, small_graph):
+        assert np.array_equal(
+            small_graph.transposed().transposed().elist, small_graph.elist
+        )
+
+    def test_transposed_reverses(self):
+        g = Graph.from_edges(np.array([0]), np.array([1]), num_nodes=2)
+        t = g.transposed()
+        assert t.neighbours(1).tolist() == [0]
+        assert t.neighbours(0).shape == (0,)
+
+    def test_relabelled_identity(self, small_graph):
+        perm = np.arange(small_graph.num_nodes)
+        g2 = small_graph.relabelled(perm)
+        assert np.array_equal(g2.elist, small_graph.elist)
+
+    def test_relabelled_preserves_structure(self, small_graph, rng):
+        perm = rng.permutation(small_graph.num_nodes)
+        g2 = small_graph.relabelled(perm)
+        assert g2.num_edges == small_graph.num_edges
+        for v in range(0, small_graph.num_nodes, 17):
+            expect = np.sort(perm[small_graph.neighbours(v)])
+            assert np.array_equal(g2.neighbours(int(perm[v])), expect)
+
+    def test_relabelled_rejects_non_permutation(self, small_graph):
+        bad = np.zeros(small_graph.num_nodes, dtype=np.int64)
+        with pytest.raises(ValueError):
+            small_graph.relabelled(bad)
+
+    def test_relabelled_rejects_wrong_length(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.relabelled(np.array([0, 1]))

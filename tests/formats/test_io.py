@@ -1,0 +1,45 @@
+"""Tests for graph persistence."""
+
+import numpy as np
+import pytest
+
+from repro.formats.graph import Graph
+from repro.formats.io import load_graph, read_edge_list, save_graph, write_edge_list
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_graph(small_graph, path)
+        loaded = load_graph(path)
+        assert np.array_equal(loaded.vlist, small_graph.vlist)
+        assert np.array_equal(loaded.elist, small_graph.elist)
+        assert loaded.directed == small_graph.directed
+        assert loaded.name == small_graph.name
+
+    def test_undirected_flag(self, small_graph, tmp_path):
+        sym = small_graph.symmetrized()
+        path = tmp_path / "sym.npz"
+        save_graph(sym, path)
+        assert not load_graph(path).directed
+
+
+class TestEdgeListText:
+    def test_roundtrip(self, small_graph, tmp_path):
+        path = tmp_path / "edges.txt"
+        write_edge_list(small_graph, path)
+        loaded = read_edge_list(path, name="reload")
+        assert np.array_equal(loaded.vlist, small_graph.vlist)
+        assert np.array_equal(loaded.elist, small_graph.elist)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_edge_list(path)

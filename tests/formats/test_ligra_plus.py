@@ -1,0 +1,72 @@
+"""Tests for the Ligra+ byte-RLE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.formats.graph import Graph
+from repro.formats.ligra_plus import (
+    MAX_RUN,
+    ligra_decode_list,
+    ligra_encode,
+    ligra_encode_list,
+)
+
+
+class TestListRoundtrip:
+    def test_random(self, rng):
+        for _ in range(40):
+            nbrs = np.unique(rng.integers(0, 10**6, size=int(rng.integers(1, 200))))
+            v = int(rng.integers(0, 10**6))
+            blob = np.frombuffer(ligra_encode_list(v, nbrs), dtype=np.uint8)
+            assert np.array_equal(ligra_decode_list(v, nbrs.shape[0], blob), nbrs)
+
+    def test_empty(self):
+        assert ligra_encode_list(3, np.array([], dtype=np.int64)) == b""
+        assert ligra_decode_list(3, 0, np.zeros(0, dtype=np.uint8)).shape == (0,)
+
+    def test_first_neighbour_below_source(self):
+        nbrs = np.array([1, 2, 3])
+        blob = np.frombuffer(ligra_encode_list(100, nbrs), dtype=np.uint8)
+        assert np.array_equal(ligra_decode_list(100, 3, blob), nbrs)
+
+    def test_long_run_splits_headers(self):
+        # >64 equal-width gaps need multiple run headers.
+        nbrs = np.arange(0, 2 * MAX_RUN + 10) * 2 + 1
+        blob = np.frombuffer(ligra_encode_list(0, nbrs), dtype=np.uint8)
+        assert np.array_equal(ligra_decode_list(0, nbrs.shape[0], blob), nbrs)
+
+    def test_unit_gaps_one_byte_each(self):
+        # Consecutive ids: gaps of 1 -> ~1 byte/edge + headers.
+        nbrs = np.arange(5, 200)
+        blob = ligra_encode_list(4, nbrs)
+        assert len(blob) < nbrs.shape[0] + 10
+
+    def test_wide_gap_uses_four_bytes(self):
+        nbrs = np.array([0, 2**30])
+        blob = np.frombuffer(ligra_encode_list(0, nbrs), dtype=np.uint8)
+        assert np.array_equal(ligra_decode_list(0, 2, blob), nbrs)
+
+
+class TestWholeGraph:
+    def test_roundtrip(self, small_graph):
+        lg = ligra_encode(small_graph)
+        for v in range(small_graph.num_nodes):
+            assert np.array_equal(lg.neighbours(v), small_graph.neighbours(v))
+
+    def test_nbytes_includes_vertex_array(self, small_graph):
+        lg = ligra_encode(small_graph)
+        assert lg.nbytes >= 8 * small_graph.num_nodes
+
+    def test_offsets_consistent(self, small_graph):
+        lg = ligra_encode(small_graph)
+        assert lg.offsets[-1] == lg.data.shape[0]
+        assert np.all(lg.list_nbytes(np.arange(small_graph.num_nodes)) >= 0)
+
+    def test_better_on_small_gaps(self, rng):
+        n = 400
+        local = Graph.from_adjacency(
+            [np.arange(i + 1, min(i + 15, n)) for i in range(n)]
+        )
+        perm = rng.permutation(n)
+        scrambled = local.relabelled(perm)
+        assert ligra_encode(local).nbytes < ligra_encode(scrambled).nbytes

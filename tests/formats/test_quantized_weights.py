@@ -1,0 +1,102 @@
+"""Tests for 8-bit weight quantization."""
+
+import numpy as np
+import pytest
+
+from repro.formats.quantized_weights import (
+    quantization_error,
+    quantize_weights,
+)
+from repro.formats.weights import generate_edge_weights
+
+
+class TestQuantization:
+    @pytest.mark.parametrize("method", ["uniform", "quantile"])
+    def test_roundtrip_error_small(self, small_graph, method):
+        w = generate_edge_weights(small_graph, seed=1)
+        q = quantize_weights(w, method=method)
+        err = quantization_error(w, q)
+        # 256 levels over [0,1): max error bounded by ~half a level.
+        assert err["max_abs"] < 0.01
+        assert err["rmse"] < 0.005
+
+    def test_storage_4x_smaller(self, small_graph):
+        w = generate_edge_weights(small_graph)
+        q = quantize_weights(w)
+        assert q.nbytes < w.nbytes / 2  # 4x minus the 1 KiB codebook
+
+    def test_dequantize_slots(self, small_graph):
+        w = generate_edge_weights(small_graph)
+        q = quantize_weights(w)
+        slots = np.array([0, 5, 10])
+        assert np.array_equal(q.dequantize(slots), q.dequantize()[slots])
+
+    def test_quantile_handles_skew(self, rng):
+        # Heavy-tailed weights: quantile codebook keeps relative error
+        # sane where uniform wastes levels on the empty tail.
+        w = rng.pareto(2.0, size=50000).astype(np.float32)
+        uq = quantization_error(w, quantize_weights(w, "uniform"))
+        qq = quantization_error(w, quantize_weights(w, "quantile"))
+        assert qq["mean_abs"] < uq["mean_abs"]
+
+    def test_constant_weights(self):
+        w = np.full(100, 0.5, dtype=np.float32)
+        q = quantize_weights(w, "uniform")
+        assert np.allclose(q.dequantize(), 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_weights(np.array([], dtype=np.float32))
+        with pytest.raises(ValueError):
+            quantize_weights(np.array([-1.0], dtype=np.float32))
+        with pytest.raises(ValueError):
+            quantize_weights(np.array([1.0]), method="fancy")
+
+
+class TestSSSPWithQuantizedWeights:
+    def test_distance_error_bounded(self, small_graph, scaled_device):
+        from repro.core.efg import efg_encode
+        from repro.traversal.backends import EFGBackend
+        from repro.traversal.sssp import sssp
+
+        w = generate_edge_weights(small_graph, seed=2)
+        q = quantize_weights(w)
+        backend = EFGBackend(
+            efg_encode(small_graph), scaled_device,
+            weight_bytes=q.nbytes,
+        )
+        exact = sssp(backend, 0, w).distances
+        approx = sssp(backend, 0, q.dequantize()).distances
+        finite = np.isfinite(exact)
+        assert np.array_equal(finite, np.isfinite(approx))
+        # Path error accumulates at most max_abs per hop; BFS-depth
+        # bounds hops, so the distances stay close.
+        assert np.abs(approx[finite] - exact[finite]).max() < 0.1
+
+    def test_regions_shift(self, rng):
+        # The point of the extension: a capacity where float32 weights
+        # stream but quantized weights stay resident.
+        from repro.core.efg import efg_encode
+        from repro.formats.graph import Graph
+        from repro.gpusim.device import TITAN_XP
+        from repro.traversal.backends import EFGBackend
+
+        n, m = 8000, 250000
+        g = Graph.from_edges(
+            rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+        )
+        efg = efg_encode(g)
+        w = generate_edge_weights(g)
+        q = quantize_weights(w)
+        cap = efg.nbytes + q.nbytes + 40 * n + 1024
+        device = TITAN_XP.scaled(2048).scaled_capacity(cap)
+        float_backend = EFGBackend(efg, device, weight_bytes=w.nbytes)
+        quant_backend = EFGBackend(efg, device, weight_bytes=q.nbytes)
+        assert (
+            float_backend.engine.memory.plan()["weights"].residency.value
+            == "host"
+        )
+        assert (
+            quant_backend.engine.memory.plan()["weights"].residency.value
+            == "device"
+        )

@@ -1,0 +1,131 @@
+"""Tests for the analytic cost model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.cost import (
+    AccessPattern,
+    CostModel,
+    CostParams,
+    KernelCost,
+    stream_transfer_bytes,
+)
+from repro.gpusim.device import TITAN_XP
+from repro.gpusim.memory import MemoryManager, Residency
+
+
+@pytest.fixture
+def model():
+    mm = MemoryManager(capacity_bytes=1000)
+    mm.register("dev_array", 100)
+    mm.register("host_array", 5000)
+    return CostModel(device=TITAN_XP, memory=mm)
+
+
+class TestStreamTransferBytes:
+    def test_sequential_is_compact(self):
+        ids = np.arange(1000)
+        # 4 B elements sequential: 4000 bytes -> 125 sectors of 32 B.
+        assert stream_transfer_bytes(ids, 4, 32) == 125 * 32
+
+    def test_scattered_pays_full_sectors(self):
+        ids = np.arange(1000) * 1000
+        assert stream_transfer_bytes(ids, 4, 32) == 1000 * 32
+
+    def test_repeats_merge(self):
+        ids = np.zeros(100, dtype=np.int64)
+        assert stream_transfer_bytes(ids, 4, 32) == 32
+
+    def test_empty(self):
+        assert stream_transfer_bytes(np.array([], dtype=np.int64), 4, 32) == 0
+
+    def test_sorted_beats_shuffled(self, rng):
+        ids = rng.integers(0, 4000, size=3000)
+        shuffled = stream_transfer_bytes(ids, 4, 32)
+        ordered = stream_transfer_bytes(np.sort(ids), 4, 32)
+        assert ordered < shuffled
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            stream_transfer_bytes(np.array([1]), 0, 32)
+
+
+class TestEffectiveBytes:
+    def test_coalesced(self, model):
+        assert model.effective_bytes(100, 4, AccessPattern.COALESCED,
+                                     Residency.DEVICE) == 400
+
+    def test_random_device_sector(self, model):
+        assert model.effective_bytes(100, 4, AccessPattern.RANDOM,
+                                     Residency.DEVICE) == 100 * 32
+
+    def test_random_host_cacheline(self, model):
+        assert model.effective_bytes(100, 4, AccessPattern.RANDOM,
+                                     Residency.HOST) == 100 * 128
+
+    def test_broadcast(self, model):
+        assert model.effective_bytes(1000, 8, AccessPattern.BROADCAST,
+                                     Residency.DEVICE) == 8
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.effective_bytes(-1, 4, AccessPattern.COALESCED,
+                                  Residency.DEVICE)
+
+
+class TestCharging:
+    def test_charge_routes_by_residency(self, model):
+        cost = KernelCost(name="k")
+        model.charge(cost, "dev_array", 10, 4, AccessPattern.COALESCED)
+        model.charge(cost, "host_array", 10, 4, AccessPattern.COALESCED)
+        assert cost.device_bytes == 40
+        assert cost.host_bytes == 40
+        assert cost.breakdown["dev_array"] == 40
+
+    def test_kernel_seconds_max_rule(self, model):
+        cost = KernelCost(name="k")
+        cost.device_bytes = 417.4e9  # exactly 1 second of DRAM
+        cost.host_bytes = 0
+        cost.instructions = 0
+        t = model.kernel_seconds(cost)
+        assert t == pytest.approx(1.0 + TITAN_XP.launch_overhead_s)
+
+    def test_link_time_dominates_when_host(self, model):
+        cost = KernelCost(name="k")
+        cost.host_bytes = 12.1e9  # 1 second of PCIe
+        cost.device_bytes = 417.4e9 / 100
+        assert model.kernel_seconds(cost) == pytest.approx(
+            1.0 + TITAN_XP.launch_overhead_s
+        )
+
+    def test_floor_seconds_enforced(self, model):
+        cost = KernelCost(name="k")
+        cost.floor_seconds = 2.0
+        assert model.kernel_seconds(cost) >= 2.0
+
+    def test_compute_derating(self, model):
+        # 1 instruction at peak would be ~1/6e12 s; with 15% efficiency
+        # it is ~6.7x slower.
+        peak = TITAN_XP.instruction_throughput
+        t = model.compute_seconds(peak)
+        assert t == pytest.approx(1 / 0.15)
+
+    def test_merge(self):
+        a = KernelCost(name="k", device_bytes=10, instructions=5)
+        b = KernelCost(name="k", device_bytes=20, host_bytes=7,
+                       floor_seconds=0.5)
+        a.merge(b)
+        assert a.device_bytes == 30
+        assert a.host_bytes == 7
+        assert a.launches == 2
+        assert a.floor_seconds == 0.5
+
+
+class TestCostParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostParams(simt_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CostParams(simt_efficiency=1.5)
+        with pytest.raises(ValueError):
+            CostParams(warp_width=0)

@@ -1,0 +1,57 @@
+"""Tests for device specs (Table I)."""
+
+import pytest
+
+from repro.gpusim.device import CPU_E5_2696V4_X2, DeviceSpec, TITAN_XP, V100
+
+
+class TestTable1:
+    def test_titan_xp_matches_paper(self):
+        assert TITAN_XP.memory_bytes == 12 * 1024**3
+        assert TITAN_XP.dram_bandwidth == pytest.approx(417.4e9)
+        assert TITAN_XP.link_bandwidth == pytest.approx(12.1e9)
+
+    def test_bandwidth_ratio_35x(self):
+        # Sec. II: internal BW ~35x higher than the interconnect.
+        assert TITAN_XP.bandwidth_ratio == pytest.approx(35, rel=0.03)
+
+    def test_v100_ratio_60x(self):
+        # Sec. VIII-E: ~60x on the V100.
+        assert V100.bandwidth_ratio == pytest.approx(60, rel=0.1)
+
+    def test_pcie_peak_gteps(self):
+        # Sec. II: 3.03 GTEPS theoretical peak with 32-bit types.
+        assert TITAN_XP.link_bandwidth / 4 / 1e9 == pytest.approx(3.03, rel=0.01)
+
+    def test_cpu_is_not_gpu(self):
+        assert not CPU_E5_2696V4_X2.is_gpu
+        assert CPU_E5_2696V4_X2.num_sms == 44
+
+
+class TestScaling:
+    def test_scaled_preserves_bandwidths(self):
+        s = TITAN_XP.scaled(2048)
+        assert s.dram_bandwidth == TITAN_XP.dram_bandwidth
+        assert s.link_bandwidth == TITAN_XP.link_bandwidth
+        assert s.memory_bytes == TITAN_XP.memory_bytes // 2048
+        assert s.launch_overhead_s == pytest.approx(
+            TITAN_XP.launch_overhead_s / 2048
+        )
+
+    def test_scaled_capacity_only(self):
+        s = TITAN_XP.scaled_capacity(1000)
+        assert s.memory_bytes == 1000
+        assert s.launch_overhead_s == TITAN_XP.launch_overhead_s
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            TITAN_XP.scaled(0)
+        with pytest.raises(ValueError):
+            TITAN_XP.scaled_capacity(-1)
+
+    def test_instruction_throughput(self):
+        spec = DeviceSpec(
+            name="x", memory_bytes=1, dram_bandwidth=1, link_bandwidth=1,
+            num_sms=2, lanes_per_sm=4, clock_hz=100.0,
+        )
+        assert spec.instruction_throughput == 800.0

@@ -1,0 +1,82 @@
+"""Tests for the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import TITAN_XP
+from repro.gpusim.engine import SimEngine
+
+
+@pytest.fixture
+def engine():
+    eng = SimEngine.for_device(TITAN_XP)
+    eng.memory.register("arr", 1000)
+    return eng
+
+
+class TestLaunch:
+    def test_timeline_accumulates(self, engine):
+        with engine.launch("k1") as k:
+            k.read("arr", 100, 4)
+        with engine.launch("k2") as k:
+            k.read("arr", 100, 4)
+        assert engine.num_launches == 2
+        assert engine.elapsed_seconds > 0
+
+    def test_reset(self, engine):
+        with engine.launch("k") as k:
+            k.instructions(1e9)
+        engine.reset_timeline()
+        assert engine.elapsed_seconds == 0
+        assert engine.num_launches == 0
+
+    def test_launch_overhead_counted(self, engine):
+        with engine.launch("noop"):
+            pass
+        assert engine.elapsed_seconds == pytest.approx(
+            TITAN_XP.launch_overhead_s
+        )
+
+    def test_summary_merges_by_name(self, engine):
+        for _ in range(3):
+            with engine.launch("same") as k:
+                k.read("arr", 10, 4)
+        summary = engine.kernel_summary()
+        assert summary["same"]["launches"] == 3
+        assert summary["same"]["device_bytes"] == 3 * 40
+
+    def test_profile_report_format(self, engine):
+        with engine.launch("expand") as k:
+            k.instructions(100)
+        report = engine.profile_report()
+        assert "expand" in report
+        assert "time(ms)" in report
+
+
+class TestKernelLaunchAPI:
+    def test_atomic_charges_random(self, engine):
+        with engine.launch("k") as k:
+            k.atomic("arr", 10, 4)
+            assert k.cost.device_bytes == 10 * TITAN_XP.sector_bytes
+            assert k.cost.instructions == 20
+
+    def test_read_stream(self, engine):
+        with engine.launch("k") as k:
+            k.read_stream("arr", np.arange(64), 4)
+            # 64 sequential 4 B reads = 8 sectors of 32 B.
+            assert k.cost.device_bytes == 8 * 32
+
+    def test_serial_work_multiplies_by_warp(self, engine):
+        with engine.launch("k") as k:
+            k.serial_work(10)
+            assert k.cost.instructions == 10 * 32
+
+    def test_serial_floor(self, engine):
+        with engine.launch("k") as k:
+            k.serial_floor(TITAN_XP.clock_hz)  # one second of cycles
+        assert engine.elapsed_seconds >= 1.0
+
+    def test_negative_instructions_rejected(self, engine):
+        with pytest.raises(ValueError):
+            with engine.launch("k") as k:
+                k.instructions(-1)

@@ -1,0 +1,54 @@
+"""Tests for the chrome-trace exporter."""
+
+import json
+
+import pytest
+
+from repro.gpusim.device import TITAN_XP
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.trace import timeline_events, write_chrome_trace
+
+
+@pytest.fixture
+def engine():
+    eng = SimEngine.for_device(TITAN_XP)
+    eng.memory.register("arr", 1000)
+    with eng.launch("expand") as k:
+        k.read("arr", 100, 4)
+    with eng.launch("filter") as k:
+        k.instructions(1e6)
+    with eng.launch("expand") as k:
+        k.read("arr", 50, 4)
+    return eng
+
+
+class TestTimelineEvents:
+    def test_one_event_per_launch(self, engine):
+        events = timeline_events(engine)
+        assert len(events) == 3
+        assert [e["name"] for e in events] == ["expand", "filter", "expand"]
+
+    def test_events_contiguous(self, engine):
+        events = timeline_events(engine)
+        for prev, cur in zip(events, events[1:]):
+            assert cur["ts"] == pytest.approx(prev["ts"] + prev["dur"])
+
+    def test_total_matches_elapsed(self, engine):
+        events = timeline_events(engine)
+        total_us = sum(e["dur"] for e in events)
+        assert total_us == pytest.approx(engine.elapsed_seconds * 1e6)
+
+    def test_same_kernel_same_track(self, engine):
+        events = timeline_events(engine)
+        assert events[0]["tid"] == events[2]["tid"]
+        assert events[0]["tid"] != events[1]["tid"]
+
+
+class TestWriteTrace:
+    def test_valid_json(self, engine, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(engine, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["device"] == "Titan Xp"
+        assert len(payload["traceEvents"]) == 3
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])

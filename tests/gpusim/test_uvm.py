@@ -1,0 +1,79 @@
+"""Tests for the UVM demand-paging model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.uvm import UVM_PAGE_BYTES, UVMSimulator
+
+
+class TestBasics:
+    def test_first_touch_migrates(self):
+        uvm = UVMSimulator(cache_bytes=10 * UVM_PAGE_BYTES)
+        moved = uvm.access(np.array([0]), elem_bytes=4)
+        assert moved == 1
+        assert uvm.migrated_bytes == UVM_PAGE_BYTES
+
+    def test_hit_is_free(self):
+        uvm = UVMSimulator(cache_bytes=10 * UVM_PAGE_BYTES)
+        uvm.access(np.array([0]), 4)
+        moved = uvm.access(np.array([1, 2, 3]), 4)
+        assert moved == 0
+        # Consecutive same-page accesses coalesce into one lookup.
+        assert uvm.hits == 1
+
+    def test_page_granularity(self):
+        uvm = UVMSimulator(cache_bytes=10 * UVM_PAGE_BYTES)
+        per_page = UVM_PAGE_BYTES // 4
+        moved = uvm.access(np.array([0, per_page, 2 * per_page]), 4)
+        assert moved == 3
+
+    def test_lru_eviction(self):
+        uvm = UVMSimulator(cache_bytes=2 * UVM_PAGE_BYTES)
+        per_page = UVM_PAGE_BYTES // 4
+        uvm.access(np.array([0]), 4)             # page 0
+        uvm.access(np.array([per_page]), 4)      # page 1
+        uvm.access(np.array([2 * per_page]), 4)  # page 2 evicts page 0
+        assert uvm.evicted_pages == 1
+        moved = uvm.access(np.array([0]), 4)     # page 0 must re-migrate
+        assert moved == 1
+
+    def test_base_offset_separates_arrays(self):
+        uvm = UVMSimulator(cache_bytes=10 * UVM_PAGE_BYTES)
+        uvm.access(np.array([0]), 4, base_offset=0)
+        moved = uvm.access(np.array([0]), 4, base_offset=UVM_PAGE_BYTES)
+        assert moved == 1
+
+    def test_reset(self):
+        uvm = UVMSimulator(cache_bytes=2 * UVM_PAGE_BYTES)
+        uvm.access(np.arange(10**5), 4)
+        uvm.reset()
+        assert uvm.migrated_pages == 0
+        assert uvm.access(np.array([0]), 4) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UVMSimulator(cache_bytes=10)
+
+
+class TestAccessPatterns:
+    def test_sequential_amortises(self):
+        # A full sequential sweep costs exactly the array's pages.
+        uvm = UVMSimulator(cache_bytes=4 * UVM_PAGE_BYTES)
+        n = 8 * UVM_PAGE_BYTES // 4
+        uvm.access(np.arange(n), 4)
+        assert uvm.migrated_pages == 8
+
+    def test_random_thrashes(self, rng):
+        # Sparse random probes over a space far larger than the cache:
+        # almost every access migrates a full page (the paper's case
+        # against UVM for graph traversal).
+        uvm = UVMSimulator(cache_bytes=4 * UVM_PAGE_BYTES)
+        n_elems = 1000 * UVM_PAGE_BYTES // 4
+        probes = rng.integers(0, n_elems, size=2000)
+        uvm.access(probes, 4)
+        assert uvm.migrated_pages > 1800
+
+    def test_transfer_seconds(self):
+        uvm = UVMSimulator(cache_bytes=4 * UVM_PAGE_BYTES)
+        uvm.access(np.array([0]), 4)
+        assert uvm.transfer_seconds(UVM_PAGE_BYTES) == pytest.approx(1.0)

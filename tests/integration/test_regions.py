@@ -1,0 +1,76 @@
+"""Memory-region behaviour: the Fig. 1 / Fig. 10 structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.efg import efg_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.gpusim.device import TITAN_XP
+from repro.traversal.backends import CSRBackend, EFGBackend
+from repro.traversal.bfs import bfs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(5)
+    n, m = 15000, 400000
+    return Graph.from_edges(
+        rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+    )
+
+
+def _device_for(capacity: int):
+    # Keep the miniature-scale launch overhead of the suite devices.
+    return TITAN_XP.scaled(2048).scaled_capacity(capacity)
+
+
+class TestFig1Regions:
+    def test_region1_csr_wins_or_ties(self, graph):
+        # Region 1: everything fits; compression has no bandwidth to
+        # save, so EFG's decode overhead makes it slightly slower.
+        csr = CSRGraph.from_graph(graph)
+        efg = efg_encode(graph)
+        cap = csr.nbytes * 2
+        t_csr = bfs(CSRBackend(csr, _device_for(cap)), 0).sim_seconds
+        t_efg = bfs(EFGBackend(efg, _device_for(cap)), 0).sim_seconds
+        assert t_csr <= t_efg * 1.3
+
+    def test_region2_efg_wins_big(self, graph):
+        # Region 2: CSR spills, EFG fits -> the paper's headline 3.8-6.5x.
+        csr = CSRGraph.from_graph(graph)
+        efg = efg_encode(graph)
+        cap = int((csr.nbytes + efg.nbytes) / 2) + 40 * graph.num_nodes
+        csr_b = CSRBackend(csr, _device_for(cap))
+        efg_b = EFGBackend(efg, _device_for(cap))
+        assert not csr_b.graph_fits_in_memory()
+        assert efg_b.graph_fits_in_memory()
+        speedup = bfs(csr_b, 0).sim_seconds / bfs(efg_b, 0).sim_seconds
+        assert 2.0 < speedup < 40.0
+
+    def test_region3_compression_still_helps(self, graph):
+        # Region 3: neither fits; EFG still moves fewer bytes over PCIe.
+        csr = CSRGraph.from_graph(graph)
+        efg = efg_encode(graph)
+        cap = 40 * graph.num_nodes  # working arrays + metadata only
+        csr_b = CSRBackend(csr, _device_for(cap))
+        efg_b = EFGBackend(efg, _device_for(cap))
+        assert not efg_b.graph_fits_in_memory()
+        t_csr = bfs(csr_b, 0).sim_seconds
+        t_efg = bfs(efg_b, 0).sim_seconds
+        assert t_efg < t_csr  # paper: 1.8x on moliere-16
+
+    def test_gteps_cliff_between_regions(self, graph):
+        # The sharp Fig. 1 drop: same graph, in-memory vs out-of-core.
+        csr = CSRGraph.from_graph(graph)
+        fits = CSRBackend(csr, _device_for(csr.nbytes * 2))
+        spills = CSRBackend(csr, _device_for(40 * graph.num_nodes))
+        g_fit = bfs(fits, 0)
+        g_spill = bfs(spills, 0)
+        assert g_fit.gteps > 5 * g_spill.gteps
+
+    def test_out_of_core_below_pcie_peak(self, graph):
+        # Sec. II: 3.03 GTEPS is the hard 32-bit out-of-core ceiling.
+        csr = CSRGraph.from_graph(graph)
+        spills = CSRBackend(csr, _device_for(40 * graph.num_nodes))
+        assert bfs(spills, 0).gteps < 3.03

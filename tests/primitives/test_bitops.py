@@ -1,0 +1,128 @@
+"""Tests for popcount and select-in-byte lookup tables."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.bitops import (
+    POPCOUNT_TABLE,
+    SELECT_IN_BYTE_TABLE,
+    bits_to_bytes,
+    bytes_to_bits,
+    popcount_bytes,
+    popcount_u64,
+    select_in_byte,
+    select_in_bytes_vector,
+)
+
+
+class TestPopcountTable:
+    def test_known_values(self):
+        assert POPCOUNT_TABLE[0] == 0
+        assert POPCOUNT_TABLE[0xFF] == 8
+        assert POPCOUNT_TABLE[0b10101000] == 3
+        assert POPCOUNT_TABLE[1] == 1
+
+    def test_matches_bin_count(self):
+        for b in range(256):
+            assert POPCOUNT_TABLE[b] == bin(b).count("1")
+
+    def test_table_is_immutable(self):
+        with pytest.raises(ValueError):
+            POPCOUNT_TABLE[0] = 5
+
+
+class TestSelectTable:
+    def test_size_is_2kib(self):
+        assert SELECT_IN_BYTE_TABLE.nbytes == 2048
+
+    def test_all_entries_against_reference(self):
+        for b in range(256):
+            positions = [p for p in range(8) if b & (1 << p)]
+            for i in range(8):
+                expect = positions[i] if i < len(positions) else 8
+                assert SELECT_IN_BYTE_TABLE[b, i] == expect
+
+    def test_table_is_immutable(self):
+        with pytest.raises(ValueError):
+            SELECT_IN_BYTE_TABLE[0, 0] = 1
+
+
+class TestPopcountBytes:
+    def test_vectorized(self):
+        data = np.array([0, 1, 3, 255, 0b10101000], dtype=np.uint8)
+        assert popcount_bytes(data).tolist() == [0, 1, 2, 8, 3]
+
+    def test_preserves_shape(self):
+        data = np.zeros((3, 4), dtype=np.uint8)
+        assert popcount_bytes(data).shape == (3, 4)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            popcount_bytes(np.array([1, 2], dtype=np.int32))
+
+
+class TestPopcountU64:
+    def test_against_python_bitcount(self, rng):
+        values = rng.integers(0, 2**63, size=100).astype(np.uint64)
+        got = popcount_u64(values)
+        for v, g in zip(values, got):
+            assert g == bin(int(v)).count("1")
+
+    def test_all_ones(self):
+        assert popcount_u64(np.array([2**64 - 1], dtype=np.uint64))[0] == 64
+
+
+class TestSelectInByte:
+    def test_example_from_paper(self):
+        # Fig. 5: select the 2nd (0-indexed) set bit of 10101000b.
+        # LSB-first: set bits at positions 3, 5, 7 -> rank 2 is pos 7.
+        assert select_in_byte(0b10101000, 2) == 7
+
+    def test_not_enough_bits_returns_8(self):
+        assert select_in_byte(0b1, 1) == 8
+
+    def test_rejects_bad_byte(self):
+        with pytest.raises(ValueError):
+            select_in_byte(300, 0)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError):
+            select_in_byte(1, 9)
+
+
+class TestSelectInBytesVector:
+    def test_matches_scalar(self, rng):
+        bytes_ = rng.integers(0, 256, size=64).astype(np.uint8)
+        idx = rng.integers(0, 8, size=64)
+        got = select_in_bytes_vector(bytes_, idx)
+        for b, i, g in zip(bytes_, idx, got):
+            assert g == select_in_byte(int(b), int(i))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            select_in_bytes_vector(
+                np.zeros(3, dtype=np.uint8), np.zeros(4, dtype=np.int64)
+            )
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ValueError):
+            select_in_bytes_vector(
+                np.zeros(1, dtype=np.uint8), np.array([8])
+            )
+
+
+class TestBitByteConversions:
+    @pytest.mark.parametrize(
+        "bits,expected", [(0, 0), (1, 1), (8, 1), (9, 2), (64, 8), (65, 9)]
+    )
+    def test_bits_to_bytes(self, bits, expected):
+        assert bits_to_bytes(bits) == expected
+
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(3) == 24
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(-1)
+        with pytest.raises(ValueError):
+            bytes_to_bits(-1)

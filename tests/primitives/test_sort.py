@@ -1,0 +1,95 @@
+"""Tests for radix sort and the partial frontier sort (Sec. VI-E)."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.sort import (
+    partial_radix_sort_key,
+    partial_sort_frontier,
+    radix_sort,
+)
+
+
+class TestRadixSort:
+    def test_sorts(self, rng):
+        keys = rng.integers(0, 10**6, size=2000)
+        assert np.array_equal(radix_sort(keys), np.sort(keys))
+
+    def test_empty(self):
+        assert radix_sort(np.array([], dtype=np.int64)).shape == (0,)
+
+    def test_single(self):
+        assert radix_sort(np.array([42])).tolist() == [42]
+
+    def test_already_sorted(self):
+        keys = np.arange(100)
+        assert np.array_equal(radix_sort(keys), keys)
+
+    def test_duplicates(self):
+        keys = np.array([3, 1, 3, 1, 3])
+        assert radix_sort(keys).tolist() == [1, 1, 3, 3, 3]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            radix_sort(np.array([-1, 2]))
+
+    def test_respects_num_bits(self):
+        # Sorting only the low 8 bits leaves higher-bit order untouched
+        # for equal low bytes (stability check).
+        keys = np.array([0x201, 0x101, 0x102])
+        got = radix_sort(keys, num_bits=8)
+        assert got.tolist() == [0x201, 0x101, 0x102]
+
+
+class TestPartialKey:
+    def test_keeps_top_bits(self):
+        keys = np.array([0b11111111], dtype=np.uint64)
+        masked = partial_radix_sort_key(keys, total_bits=8, fraction=0.5)
+        # 65% default not used; fraction 0.5 keeps top 4 bits.
+        assert masked[0] == 0b11110000
+
+    def test_full_fraction_keeps_all(self):
+        keys = np.array([0b1011], dtype=np.uint64)
+        assert partial_radix_sort_key(keys, 4, 1.0)[0] == 0b1011
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            partial_radix_sort_key(np.array([1]), 8, 0.0)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            partial_radix_sort_key(np.array([1]), 0)
+
+
+class TestPartialSortFrontier:
+    def test_preserves_multiset(self, rng):
+        frontier = rng.integers(0, 10000, size=500)
+        out = partial_sort_frontier(frontier, 10000)
+        assert np.array_equal(np.sort(out), np.sort(frontier))
+
+    def test_improves_order(self, rng):
+        frontier = rng.permutation(100000)[:5000]
+        out = partial_sort_frontier(frontier, 100000)
+        # Partial sort restores locality: the mean jump between
+        # consecutive entries collapses from ~uniform-random to the
+        # dropped-bits neighbourhood.
+        span_before = float(np.abs(np.diff(frontier)).mean())
+        span_after = float(np.abs(np.diff(out)).mean())
+        assert span_after < span_before / 50
+
+    def test_top_bits_fully_sorted(self, rng):
+        num_nodes = 1 << 16
+        frontier = rng.integers(0, num_nodes, size=2000)
+        out = partial_sort_frontier(frontier, num_nodes, fraction=0.65)
+        kept = int(round(16 * 0.65))
+        shift = 16 - kept
+        assert np.all(np.diff(out >> shift) >= 0)
+
+    def test_empty(self):
+        out = partial_sort_frontier(np.array([], dtype=np.int64), 10)
+        assert out.shape == (0,)
+
+    def test_full_fraction_is_exact_sort(self, rng):
+        frontier = rng.integers(0, 1 << 10, size=300)
+        out = partial_sort_frontier(frontier, 1 << 10, fraction=1.0)
+        assert np.array_equal(out, np.sort(frontier))

@@ -1,0 +1,105 @@
+"""Property-based tests for the EFG format and kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.efg import decode_lists, efg_encode
+from repro.core.kernels import (
+    decompress_multiple_lists,
+    decompress_partial_list,
+    decompress_single_list,
+)
+from repro.formats.graph import Graph
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(2, 60))
+    m = draw(st.integers(1, 500))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    return Graph.from_edges(
+        rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+    )
+
+
+class TestEFGProperties:
+    @given(graph=graphs(), quantum=st.sampled_from([1, 2, 8, 512]))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, graph, quantum):
+        efg = efg_encode(graph, quantum=quantum)
+        back = efg.to_graph()
+        assert np.array_equal(back.elist, graph.elist)
+        assert np.array_equal(back.vlist, graph.vlist)
+
+    @given(graph=graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_size_order_invariance(self, graph):
+        # EF bounds depend only on per-list (n, u); a permutation
+        # changes u per list but the aggregate stays within a few %.
+        rng = np.random.default_rng(0)
+        scrambled = graph.relabelled(rng.permutation(graph.num_nodes))
+        a, b = efg_encode(graph).nbytes, efg_encode(scrambled).nbytes
+        assert abs(a - b) <= 0.1 * max(a, b)
+
+    @given(graph=graphs(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_decode_matches_singles(self, graph, data):
+        efg = efg_encode(graph)
+        size = data.draw(st.integers(0, 20))
+        batch = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, graph.num_nodes - 1),
+                    min_size=size, max_size=size,
+                )
+            ),
+            dtype=np.int64,
+        )
+        vals, seg = decode_lists(efg, batch)
+        expect = (
+            np.concatenate([graph.neighbours(int(v)) for v in batch])
+            if batch.size
+            else np.empty(0, dtype=np.int64)
+        )
+        assert np.array_equal(vals, expect)
+
+    @given(graph=graphs(), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_kernel_equivalence(self, graph, data):
+        # The literal thread-block kernels agree with the fast path
+        # for any frontier and any block size.
+        efg = efg_encode(graph, quantum=4)
+        frontier = np.array(
+            data.draw(
+                st.lists(st.integers(0, graph.num_nodes - 1), min_size=1,
+                         max_size=15)
+            ),
+            dtype=np.int64,
+        )
+        epb = data.draw(st.sampled_from([1, 2, 5, 64]))
+        vals, seg, _ = decompress_multiple_lists(efg, frontier, edges_per_block=epb)
+        ref_vals, ref_seg = decode_lists(efg, frontier)
+        assert np.array_equal(vals, ref_vals)
+        assert np.array_equal(seg, ref_seg)
+
+    @given(graph=graphs(), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_partial_list_any_range(self, graph, data):
+        efg = efg_encode(graph, quantum=2)
+        v = data.draw(st.integers(0, graph.num_nodes - 1))
+        deg = int(graph.degrees[v])
+        a = data.draw(st.integers(0, deg))
+        b = data.draw(st.integers(a, deg))
+        got = decompress_partial_list(efg, v, a, b)
+        assert np.array_equal(got, graph.neighbours(v)[a:b])
+
+    @given(graph=graphs(), dimx=st.sampled_from([1, 3, 32]))
+    @settings(max_examples=30, deadline=None)
+    def test_single_list_dimx_invariance(self, graph, dimx):
+        efg = efg_encode(graph)
+        v = int(np.argmax(graph.degrees))
+        assert np.array_equal(
+            decompress_single_list(efg, v, dimx=dimx), graph.neighbours(v)
+        )

@@ -1,0 +1,112 @@
+"""Property-based tests for the extension modules (PEF blobs, BV,
+delta-stepping, distributed BFS)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ef.partitioned import pef_encode, pef_from_blob, pef_to_blob
+from repro.formats.bv import bv_encode
+from repro.formats.graph import Graph
+from repro.formats.weights import generate_edge_weights
+from repro.gpusim.device import TITAN_XP
+from repro.gpusim.uvm import UVM_PAGE_BYTES, UVMSimulator
+
+DEVICE = TITAN_XP.scaled(2048)
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(2, 60))
+    m = draw(st.integers(1, 400))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    return Graph.from_edges(
+        rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+    )
+
+
+class TestPEFBlob:
+    @given(
+        values=st.sets(st.integers(0, 2**31 - 1), min_size=1, max_size=400).map(sorted),
+        size=st.sampled_from([4, 32, 128]),
+        strategy=st.sampled_from(["runs", "fixed"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_blob_roundtrip(self, values, size, strategy):
+        vals = np.array(values, dtype=np.int64)
+        seq = pef_encode(vals, partition_size=size, strategy=strategy)
+        assert np.array_equal(pef_from_blob(pef_to_blob(seq)), vals)
+
+    @given(run_start=st.integers(0, 10**6), run_len=st.integers(2, 2000),
+           tail=st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_run_plus_outlier(self, run_start, run_len, tail):
+        vals = np.arange(run_start, run_start + run_len, dtype=np.int64)
+        if tail > vals[-1]:
+            vals = np.append(vals, tail)
+        seq = pef_encode(vals)
+        assert np.array_equal(pef_from_blob(pef_to_blob(seq)), vals)
+
+
+class TestBVProperty:
+    @given(graph=graphs(), window=st.sampled_from([0, 2, 7]),
+           chain=st.sampled_from([1, 3]))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, graph, window, chain):
+        bv = bv_encode(graph, window=window, max_ref_chain=chain)
+        for v in range(graph.num_nodes):
+            assert np.array_equal(bv.neighbours(v), graph.neighbours(v))
+
+
+class TestDeltaSteppingProperty:
+    @given(graph=graphs(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_distances_match_reference(self, graph, data):
+        from repro.core.efg import efg_encode
+        from repro.traversal.backends import EFGBackend
+        from repro.traversal.delta_stepping import delta_stepping_sssp
+        from repro.traversal.validate import reference_sssp_distances
+
+        w = generate_edge_weights(graph, seed=1)
+        src = data.draw(st.integers(0, graph.num_nodes - 1))
+        delta = data.draw(st.sampled_from([0.05, 0.2, 1.0]))
+        backend = EFGBackend(
+            efg_encode(graph), DEVICE, weight_bytes=4 * graph.num_edges
+        )
+        got = delta_stepping_sssp(backend, src, w, delta=delta).distances
+        ref = reference_sssp_distances(graph, src, w)
+        finite = np.isfinite(ref)
+        assert np.allclose(got[finite], ref[finite], atol=1e-5)
+        assert np.all(np.isinf(got[~finite]))
+
+
+class TestDistributedProperty:
+    @given(graph=graphs(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_levels_invariant_to_gpu_count(self, graph, data):
+        from repro.traversal.distributed import multi_gpu_bfs
+
+        src = data.draw(st.integers(0, graph.num_nodes - 1))
+        base = multi_gpu_bfs(graph, src, 1, DEVICE).levels
+        for gpus in (2, 3):
+            got = multi_gpu_bfs(graph, src, gpus, DEVICE).levels
+            assert np.array_equal(got, base)
+
+
+class TestUVMProperty:
+    @given(
+        ids=st.lists(st.integers(0, 10**6), min_size=1, max_size=300),
+        cache_pages=st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, ids, cache_pages):
+        uvm = UVMSimulator(cache_bytes=cache_pages * UVM_PAGE_BYTES)
+        arr = np.array(ids, dtype=np.int64)
+        uvm.access(arr, 4)
+        distinct_pages = len(set((i * 4) // UVM_PAGE_BYTES for i in ids))
+        # Migrations at least cover the distinct pages, at most one per
+        # (coalesced) access.
+        assert uvm.migrated_pages >= min(distinct_pages, 1)
+        assert uvm.migrated_pages >= distinct_pages - 0  # cold cache
+        assert uvm.evicted_pages == max(0, uvm.migrated_pages - cache_pages)

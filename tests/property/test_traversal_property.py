@@ -1,0 +1,94 @@
+"""Property-based tests: analytics invariants across backends."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.efg import efg_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.formats.weights import generate_edge_weights
+from repro.gpusim.device import TITAN_XP
+from repro.traversal.backends import CSRBackend, EFGBackend
+from repro.traversal.bfs import bfs
+from repro.traversal.sssp import sssp
+from repro.traversal.validate import reference_bfs_levels
+
+DEVICE = TITAN_XP.scaled(2048)
+
+
+@st.composite
+def graph_and_source(draw):
+    n = draw(st.integers(2, 50))
+    m = draw(st.integers(1, 300))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    g = Graph.from_edges(
+        rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+    )
+    src = draw(st.integers(0, n - 1))
+    return g, src
+
+
+class TestBFSInvariants:
+    @given(gs=graph_and_source())
+    @settings(max_examples=40, deadline=None)
+    def test_levels_match_reference(self, gs):
+        g, src = gs
+        backend = EFGBackend(efg_encode(g), DEVICE)
+        assert np.array_equal(
+            bfs(backend, src).levels, reference_bfs_levels(g, src)
+        )
+
+    @given(gs=graph_and_source())
+    @settings(max_examples=30, deadline=None)
+    def test_level_edge_property(self, gs):
+        # For every edge (u, v) with u reached: level[v] <= level[u]+1.
+        g, src = gs
+        backend = CSRBackend(CSRGraph.from_graph(g), DEVICE)
+        levels = bfs(backend, src).levels
+        srcs = np.repeat(np.arange(g.num_nodes), g.degrees)
+        reached = levels[srcs] >= 0
+        assert np.all(levels[g.elist[reached]] != -1)
+        assert np.all(
+            levels[g.elist[reached]] <= levels[srcs[reached]] + 1
+        )
+
+    @given(gs=graph_and_source())
+    @settings(max_examples=30, deadline=None)
+    def test_source_is_level_zero(self, gs):
+        g, src = gs
+        backend = EFGBackend(efg_encode(g), DEVICE)
+        levels = bfs(backend, src).levels
+        assert levels[src] == 0
+        assert np.all(levels >= -1)
+
+
+class TestSSSPInvariants:
+    @given(gs=graph_and_source())
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality_on_edges(self, gs):
+        # Settled distances satisfy d[v] <= d[u] + w(u, v).
+        g, src = gs
+        w = generate_edge_weights(g, seed=1)
+        backend = EFGBackend(
+            efg_encode(g), DEVICE, weight_bytes=4 * g.num_edges
+        )
+        dist = sssp(backend, src, w).distances
+        srcs = np.repeat(np.arange(g.num_nodes), g.degrees)
+        finite = np.isfinite(dist[srcs])
+        lhs = dist[g.elist[finite]]
+        rhs = dist[srcs[finite]] + w[finite]
+        assert np.all(lhs <= rhs + 1e-6)
+
+    @given(gs=graph_and_source())
+    @settings(max_examples=20, deadline=None)
+    def test_bfs_reachability_equals_sssp(self, gs):
+        g, src = gs
+        w = generate_edge_weights(g, seed=2)
+        backend = EFGBackend(
+            efg_encode(g), DEVICE, weight_bytes=4 * g.num_edges
+        )
+        dist = sssp(backend, src, w).distances
+        levels = bfs(backend, src).levels
+        assert np.array_equal(np.isfinite(dist), levels >= 0)

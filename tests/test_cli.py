@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.formats.graph import Graph
+from repro.formats.io import save_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path, rng):
+    n, m = 300, 3000
+    g = Graph.from_edges(
+        rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n, name="cli"
+    )
+    path = tmp_path / "g.npz"
+    save_graph(g, path)
+    return str(path)
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("0 1\n1 2\n2 0\n")
+    return str(path)
+
+
+class TestInfo:
+    def test_npz(self, graph_file, capsys):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "num_edges" in out
+        assert "efg_bytes" in out
+
+    def test_edge_list(self, edge_file, capsys):
+        assert main(["info", edge_file]) == 0
+        assert "num_nodes" in capsys.readouterr().out
+
+    def test_all_formats(self, edge_file, capsys):
+        assert main(["info", edge_file, "--all-formats"]) == 0
+        out = capsys.readouterr().out
+        assert "cgr_bytes" in out
+        assert "ligra_bytes" in out
+
+
+class TestEncode:
+    def test_encode_reports_ratio(self, graph_file, capsys):
+        assert main(["encode", graph_file]) == 0
+        assert "x)" in capsys.readouterr().out
+
+    def test_encode_writes_output(self, graph_file, tmp_path, capsys):
+        out_path = str(tmp_path / "out.npz")
+        assert main(["encode", graph_file, "-o", out_path]) == 0
+        data = np.load(out_path)
+        assert "vlist" in data and "data" in data
+        assert int(data["quantum"]) == 512
+
+    def test_custom_quantum(self, graph_file, tmp_path):
+        out_path = str(tmp_path / "out.npz")
+        assert main(["encode", graph_file, "-o", out_path, "--quantum", "64"]) == 0
+        assert int(np.load(out_path)["quantum"]) == 64
+
+
+class TestBFS:
+    @pytest.mark.parametrize("fmt", ["efg", "csr", "cgr"])
+    def test_formats(self, graph_file, capsys, fmt):
+        assert main(["bfs", graph_file, "--format", fmt]) == 0
+        out = capsys.readouterr().out
+        assert "GTEPS" in out
+        assert "bfs_expand" in out
+
+    def test_dead_source_redirects(self, tmp_path, capsys):
+        g = Graph.from_adjacency([[], [2], [1]])
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        assert main(["bfs", str(path), "--source", "0"]) == 0
+        assert "has no out-edges" in capsys.readouterr().out
+
+
+class TestSuite:
+    def test_lists_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "scc-lj" in out
+        assert "moliere-16" in out
+        assert "out-of-core" in out

@@ -1,0 +1,78 @@
+"""Tests for betweenness centrality."""
+
+import numpy as np
+import pytest
+
+from repro.core.efg import efg_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.traversal.backends import CSRBackend, EFGBackend
+from repro.traversal.betweenness import betweenness_centrality
+
+nx = pytest.importorskip("networkx")
+
+
+def _nx_betweenness(graph, normalized=True):
+    G = nx.DiGraph()
+    G.add_nodes_from(range(graph.num_nodes))
+    src = np.repeat(np.arange(graph.num_nodes), graph.degrees)
+    G.add_edges_from(zip(src.tolist(), graph.elist.tolist()))
+    bc = nx.betweenness_centrality(G, normalized=normalized)
+    return np.array([bc[i] for i in range(graph.num_nodes)])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fmt", ["csr", "efg"])
+    def test_matches_networkx(self, scaled_device, rng, fmt):
+        n, m = 40, 200
+        g = Graph.from_edges(
+            rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+        )
+        backend = (
+            CSRBackend(CSRGraph.from_graph(g), scaled_device)
+            if fmt == "csr"
+            else EFGBackend(efg_encode(g), scaled_device)
+        )
+        got = betweenness_centrality(backend).scores
+        ref = _nx_betweenness(g)
+        assert np.allclose(got, ref, atol=1e-9)
+
+    def test_path_graph(self, chain_graph, scaled_device):
+        backend = CSRBackend(CSRGraph.from_graph(chain_graph), scaled_device)
+        got = betweenness_centrality(backend).scores
+        ref = _nx_betweenness(chain_graph)
+        assert np.allclose(got, ref, atol=1e-12)
+
+    def test_star_center_dominates(self, scaled_device):
+        # Undirected star: the hub lies on every pair's shortest path.
+        n = 8
+        star = Graph.from_adjacency(
+            [[i for i in range(1, n)]] + [[0] for _ in range(n - 1)]
+        )
+        backend = CSRBackend(CSRGraph.from_graph(star), scaled_device)
+        scores = betweenness_centrality(backend, normalized=False).scores
+        assert scores[0] > 0
+        assert np.all(scores[1:] == 0)
+
+    def test_sampling_unbiased_on_full_set(self, scaled_device, rng):
+        n, m = 25, 120
+        g = Graph.from_edges(
+            rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+        )
+        backend = CSRBackend(CSRGraph.from_graph(g), scaled_device)
+        full = betweenness_centrality(
+            backend, sources=np.arange(n)
+        ).scores
+        ref = _nx_betweenness(g)
+        assert np.allclose(full, ref, atol=1e-9)
+
+    def test_source_validation(self, small_graph, scaled_device):
+        backend = CSRBackend(CSRGraph.from_graph(small_graph), scaled_device)
+        with pytest.raises(IndexError):
+            betweenness_centrality(backend, sources=np.array([10**6]))
+
+    def test_costs_charged(self, small_graph, scaled_device):
+        backend = EFGBackend(efg_encode(small_graph), scaled_device)
+        result = betweenness_centrality(backend, sources=np.array([0, 1]))
+        assert result.sim_seconds > 0
+        assert result.num_sources == 2

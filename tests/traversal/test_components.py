@@ -1,0 +1,120 @@
+"""Tests for connected components."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from repro.core.efg import efg_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.traversal.backends import CSRBackend, EFGBackend
+from repro.traversal.components import connected_components
+
+
+def _scipy_components(graph):
+    mat = sp.csr_matrix(
+        (np.ones(graph.num_edges), graph.elist, graph.vlist),
+        shape=(graph.num_nodes, graph.num_nodes),
+    )
+    return csgraph.connected_components(mat, directed=False)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fmt", ["csr", "efg"])
+    def test_matches_scipy(self, small_graph, scaled_device, fmt):
+        sym = small_graph.symmetrized()
+        backend = (
+            CSRBackend(CSRGraph.from_graph(sym), scaled_device)
+            if fmt == "csr"
+            else EFGBackend(efg_encode(sym), scaled_device)
+        )
+        result = connected_components(backend)
+        ncc, labels = _scipy_components(sym)
+        assert result.num_components == ncc
+        # Same partition (labels may be permuted).
+        for c in np.unique(labels):
+            members = np.flatnonzero(labels == c)
+            assert len(np.unique(result.labels[members])) == 1
+
+    def test_isolated_vertices(self, scaled_device):
+        g = Graph.from_adjacency([[1], [0], [], []])
+        backend = CSRBackend(CSRGraph.from_graph(g), scaled_device)
+        result = connected_components(backend)
+        assert result.num_components == 3
+
+    def test_single_component(self, chain_graph, scaled_device):
+        sym = chain_graph.symmetrized()
+        backend = EFGBackend(efg_encode(sym), scaled_device)
+        result = connected_components(backend)
+        assert result.num_components == 1
+        assert np.all(result.labels == result.labels[0])
+
+    def test_component_sizes(self, scaled_device):
+        g = Graph.from_adjacency([[1], [0], [3], [2], []])
+        backend = CSRBackend(CSRGraph.from_graph(g), scaled_device)
+        result = connected_components(backend)
+        sizes = np.sort(result.component_sizes())
+        assert sizes.tolist() == [1, 2, 2]
+
+    def test_costs_charged(self, small_graph, scaled_device):
+        sym = small_graph.symmetrized()
+        backend = EFGBackend(efg_encode(sym), scaled_device)
+        result = connected_components(backend)
+        assert result.sim_seconds > 0
+        assert result.edges_traversed > 0
+
+
+class TestLabelPropagation:
+    def test_matches_scipy(self, small_graph, scaled_device):
+        from repro.core.efg import efg_encode
+        from repro.traversal.backends import EFGBackend
+        from repro.traversal.components import connected_components_lp
+
+        sym = small_graph.symmetrized()
+        backend = EFGBackend(efg_encode(sym), scaled_device)
+        result = connected_components_lp(backend)
+        ncc, labels = _scipy_components(sym)
+        assert result.num_components == ncc
+        for c in np.unique(labels):
+            members = np.flatnonzero(labels == c)
+            assert len(np.unique(result.labels[members])) == 1
+
+    def test_agrees_with_bfs_variant(self, small_graph, scaled_device):
+        from repro.core.efg import efg_encode
+        from repro.traversal.backends import EFGBackend
+        from repro.traversal.components import connected_components_lp
+
+        sym = small_graph.symmetrized()
+        backend = EFGBackend(efg_encode(sym), scaled_device)
+        bfs_cc = connected_components(backend)
+        lp_cc = connected_components_lp(backend)
+        assert bfs_cc.num_components == lp_cc.num_components
+        assert np.array_equal(
+            np.sort(bfs_cc.component_sizes()), np.sort(lp_cc.component_sizes())
+        )
+
+    def test_labels_dense(self, scaled_device):
+        from repro.formats.csr import CSRGraph
+        from repro.traversal.backends import CSRBackend
+        from repro.traversal.components import connected_components_lp
+
+        g = Graph.from_adjacency([[1], [0], [3], [2], []])
+        backend = CSRBackend(CSRGraph.from_graph(g), scaled_device)
+        result = connected_components_lp(backend)
+        assert result.num_components == 3
+        assert set(result.labels.tolist()) == {0, 1, 2}
+
+    def test_iteration_cap(self, scaled_device):
+        from repro.formats.csr import CSRGraph
+        from repro.traversal.backends import CSRBackend
+        from repro.traversal.components import connected_components_lp
+
+        # A long path needs many LP iterations; the cap stops early
+        # without crashing (labels may be unconverged but valid ints).
+        n = 64
+        src = np.arange(n - 1)
+        g = Graph.from_edges(src, src + 1, num_nodes=n).symmetrized()
+        backend = CSRBackend(CSRGraph.from_graph(g), scaled_device)
+        result = connected_components_lp(backend, max_iterations=2)
+        assert result.labels.shape == (n,)

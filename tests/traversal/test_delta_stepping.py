@@ -1,0 +1,98 @@
+"""Tests for delta-stepping SSSP."""
+
+import numpy as np
+import pytest
+
+from repro.core.efg import efg_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.formats.weights import generate_edge_weights
+from repro.traversal.backends import CSRBackend, EFGBackend
+from repro.traversal.delta_stepping import (
+    delta_stepping_sssp,
+    suggest_delta,
+)
+from repro.traversal.sssp import sssp
+from repro.traversal.validate import reference_sssp_distances
+
+
+def _weighted_backend(graph, device, fmt="efg"):
+    wb = 4 * graph.num_edges
+    if fmt == "csr":
+        return CSRBackend(CSRGraph.from_graph(graph), device, weight_bytes=wb)
+    return EFGBackend(efg_encode(graph), device, weight_bytes=wb)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fmt", ["csr", "efg"])
+    def test_matches_dijkstra(self, small_graph, scaled_device, fmt):
+        w = generate_edge_weights(small_graph, seed=3)
+        backend = _weighted_backend(small_graph, scaled_device, fmt)
+        ref = reference_sssp_distances(small_graph, 0, w)
+        got = delta_stepping_sssp(backend, 0, w).distances
+        finite = np.isfinite(ref)
+        assert np.allclose(got[finite], ref[finite], atol=1e-5)
+        assert np.all(np.isinf(got[~finite]))
+
+    @pytest.mark.parametrize("delta", [0.01, 0.1, 0.5, 10.0])
+    def test_delta_invariance(self, small_graph, scaled_device, delta):
+        # Any positive delta must give the same distances.
+        w = generate_edge_weights(small_graph, seed=4)
+        backend = _weighted_backend(small_graph, scaled_device)
+        ref = delta_stepping_sssp(backend, 0, w, delta=1.0).distances
+        got = delta_stepping_sssp(backend, 0, w, delta=delta).distances
+        finite = np.isfinite(ref)
+        assert np.allclose(got[finite], ref[finite], atol=1e-5)
+
+    def test_agrees_with_frontier_relaxation(self, small_graph, scaled_device):
+        w = generate_edge_weights(small_graph, seed=5)
+        backend = _weighted_backend(small_graph, scaled_device)
+        bf = sssp(backend, 2, w).distances
+        ds = delta_stepping_sssp(backend, 2, w).distances
+        finite = np.isfinite(bf)
+        assert np.allclose(ds[finite], bf[finite], atol=1e-5)
+
+    def test_zero_weight_edges(self, scaled_device):
+        g = Graph.from_edges(np.array([0, 1]), np.array([1, 2]), num_nodes=3)
+        w = np.array([0.0, 0.5], dtype=np.float32)
+        backend = _weighted_backend(g, scaled_device, "csr")
+        got = delta_stepping_sssp(backend, 0, w).distances
+        assert got[1] == 0.0
+        assert got[2] == pytest.approx(0.5)
+
+    def test_validation(self, small_graph, scaled_device):
+        backend = _weighted_backend(small_graph, scaled_device)
+        w = generate_edge_weights(small_graph)
+        with pytest.raises(ValueError):
+            delta_stepping_sssp(backend, 0, w, delta=0.0)
+        with pytest.raises(ValueError):
+            delta_stepping_sssp(backend, 0, np.ones(2, dtype=np.float32))
+        with pytest.raises(IndexError):
+            delta_stepping_sssp(backend, 10**7, w)
+
+
+class TestEfficiency:
+    def test_fewer_relaxations_than_bellman_ford(self, rng, scaled_device):
+        n, m = 4000, 80000
+        g = Graph.from_edges(
+            rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+        )
+        w = generate_edge_weights(g, seed=6)
+        backend = _weighted_backend(g, scaled_device)
+        bf = sssp(backend, 0, w)
+        ds = delta_stepping_sssp(backend, 0, w)
+        assert ds.edges_relaxed < bf.edges_relaxed
+
+    def test_suggest_delta_positive(self, small_graph):
+        w = generate_edge_weights(small_graph)
+        d = suggest_delta(w, small_graph.degrees)
+        assert d > 0
+
+    def test_huge_delta_degenerates_to_bellman_ford(
+        self, small_graph, scaled_device
+    ):
+        # delta beyond the diameter: a single bucket, everything light.
+        w = generate_edge_weights(small_graph, seed=7)
+        backend = _weighted_backend(small_graph, scaled_device)
+        r = delta_stepping_sssp(backend, 0, w, delta=1e9)
+        assert r.buckets_processed == 1

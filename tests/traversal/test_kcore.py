@@ -1,0 +1,81 @@
+"""Tests for k-core decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.efg import efg_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.traversal.backends import CSRBackend, EFGBackend
+from repro.traversal.kcore import kcore_decomposition
+
+nx = pytest.importorskip("networkx")
+
+
+def _loopless_sym(rng, n, m):
+    s = rng.integers(0, n, m)
+    d = rng.integers(0, n, m)
+    keep = s != d
+    return Graph.from_edges(s[keep], d[keep], num_nodes=n).symmetrized()
+
+
+def _nx_cores(graph):
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_nodes))
+    src = np.repeat(np.arange(graph.num_nodes), graph.degrees)
+    G.add_edges_from(zip(src.tolist(), graph.elist.tolist()))
+    ref = nx.core_number(G)
+    return np.array([ref[i] for i in range(graph.num_nodes)])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fmt", ["csr", "efg"])
+    def test_matches_networkx(self, rng, scaled_device, fmt):
+        g = _loopless_sym(rng, 150, 1200)
+        backend = (
+            CSRBackend(CSRGraph.from_graph(g), scaled_device)
+            if fmt == "csr"
+            else EFGBackend(efg_encode(g), scaled_device)
+        )
+        r = kcore_decomposition(backend)
+        assert np.array_equal(r.core_numbers, _nx_cores(g))
+
+    def test_clique_core(self, scaled_device):
+        # A (k+1)-clique is exactly a k-core.
+        k = 5
+        clique = Graph.from_adjacency(
+            [[j for j in range(k + 1) if j != i] for i in range(k + 1)]
+        )
+        backend = CSRBackend(CSRGraph.from_graph(clique), scaled_device)
+        r = kcore_decomposition(backend)
+        assert r.max_core == k
+        assert np.all(r.core_numbers == k)
+
+    def test_path_is_1core(self, scaled_device):
+        n = 10
+        src = np.arange(n - 1)
+        g = Graph.from_edges(src, src + 1, num_nodes=n).symmetrized()
+        backend = CSRBackend(CSRGraph.from_graph(g), scaled_device)
+        r = kcore_decomposition(backend)
+        assert r.max_core == 1
+        assert np.all(r.core_numbers == 1)
+
+    def test_isolated_vertices_core_zero(self, scaled_device):
+        g = Graph.from_adjacency([[1], [0], [], []])
+        backend = CSRBackend(CSRGraph.from_graph(g), scaled_device)
+        r = kcore_decomposition(backend)
+        assert r.core_numbers.tolist() == [1, 1, 0, 0]
+
+    def test_members_helper(self, scaled_device):
+        g = Graph.from_adjacency([[1], [0], [], []])
+        backend = CSRBackend(CSRGraph.from_graph(g), scaled_device)
+        r = kcore_decomposition(backend)
+        assert r.k_core_members(1).tolist() == [0, 1]
+        assert r.k_core_members(0).shape[0] == 4
+
+    def test_costs_charged(self, rng, scaled_device):
+        g = _loopless_sym(rng, 100, 600)
+        backend = EFGBackend(efg_encode(g), scaled_device)
+        r = kcore_decomposition(backend)
+        assert r.sim_seconds > 0
+        assert r.peel_rounds > 0

@@ -1,0 +1,119 @@
+"""Tests for SSSP."""
+
+import numpy as np
+import pytest
+
+from repro.core.efg import efg_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.formats.weights import generate_edge_weights
+from repro.traversal.backends import CSRBackend, EFGBackend
+from repro.traversal.sssp import sssp
+from repro.traversal.validate import reference_sssp_distances
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fmt", ["csr", "efg"])
+    def test_distances_match_dijkstra(self, small_graph, scaled_device, fmt):
+        w = generate_edge_weights(small_graph, seed=2)
+        wb = 4 * small_graph.num_edges
+        backend = (
+            CSRBackend(CSRGraph.from_graph(small_graph), scaled_device, weight_bytes=wb)
+            if fmt == "csr"
+            else EFGBackend(efg_encode(small_graph), scaled_device, weight_bytes=wb)
+        )
+        ref = reference_sssp_distances(small_graph, 0, w)
+        got = sssp(backend, 0, w).distances
+        finite = np.isfinite(ref)
+        assert np.allclose(got[finite], ref[finite], atol=1e-5)
+        assert np.all(np.isinf(got[~finite]))
+
+    def test_weighted_chain(self, scaled_device):
+        g = Graph.from_edges(np.arange(4), np.arange(1, 5), num_nodes=5)
+        w = np.array([0.5, 0.25, 0.125, 0.0625], dtype=np.float32)
+        backend = CSRBackend(
+            CSRGraph.from_graph(g), scaled_device, weight_bytes=4 * 4
+        )
+        got = sssp(backend, 0, w).distances
+        assert got[4] == pytest.approx(0.9375)
+
+    def test_requires_weight_registration(self, small_graph, scaled_device):
+        backend = CSRBackend(CSRGraph.from_graph(small_graph), scaled_device)
+        w = generate_edge_weights(small_graph)
+        with pytest.raises(RuntimeError):
+            sssp(backend, 0, w)
+
+    def test_rejects_negative_weights(self, small_graph, scaled_device):
+        backend = CSRBackend(
+            CSRGraph.from_graph(small_graph), scaled_device,
+            weight_bytes=4 * small_graph.num_edges,
+        )
+        w = generate_edge_weights(small_graph)
+        w[0] = -1.0
+        with pytest.raises(ValueError):
+            sssp(backend, 0, w)
+
+    def test_rejects_wrong_length(self, small_graph, scaled_device):
+        backend = CSRBackend(
+            CSRGraph.from_graph(small_graph), scaled_device,
+            weight_bytes=4 * small_graph.num_edges,
+        )
+        with pytest.raises(ValueError):
+            sssp(backend, 0, np.ones(3, dtype=np.float32))
+
+    def test_source_distance_zero(self, small_graph, scaled_device):
+        backend = EFGBackend(
+            efg_encode(small_graph), scaled_device,
+            weight_bytes=4 * small_graph.num_edges,
+        )
+        w = generate_edge_weights(small_graph)
+        r = sssp(backend, 9, w)
+        assert r.distances[9] == 0.0
+        assert r.iterations > 0
+
+
+class TestRegions:
+    def test_weights_stream_when_too_big(self, rng):
+        # Region 3 of Fig. 10: structure fits, weights do not.
+        from repro.gpusim.device import TITAN_XP
+
+        n, m = 5000, 200000
+        g = Graph.from_edges(
+            rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+        )
+        efg = efg_encode(g)
+        cap = efg.nbytes + 40 * n  # room for structure + working, not weights
+        backend = EFGBackend(
+            efg, TITAN_XP.scaled_capacity(cap), weight_bytes=4 * g.num_edges
+        )
+        plan = backend.engine.memory.plan()
+        assert plan["efg_data"].residency.value == "device"
+        assert plan["weights"].residency.value == "host"
+        # SSSP still works; it just streams the weights.
+        w = generate_edge_weights(g)
+        r = sssp(backend, 0, w)
+        ref = reference_sssp_distances(g, 0, w)
+        finite = np.isfinite(ref)
+        assert np.allclose(r.distances[finite], ref[finite], atol=1e-5)
+
+    def test_streaming_weights_slower(self, rng):
+        from repro.gpusim.device import TITAN_XP
+
+        n, m = 5000, 200000
+        g = Graph.from_edges(
+            rng.integers(0, n, m), rng.integers(0, n, m), num_nodes=n
+        )
+        efg = efg_encode(g)
+        w = generate_edge_weights(g)
+        wb = 4 * g.num_edges
+        fits = EFGBackend(
+            efg, TITAN_XP.scaled_capacity(efg.nbytes + wb + 40 * n),
+            weight_bytes=wb,
+        )
+        streams = EFGBackend(
+            efg, TITAN_XP.scaled_capacity(efg.nbytes + 40 * n),
+            weight_bytes=wb,
+        )
+        t_fit = sssp(fits, 0, w).sim_seconds
+        t_stream = sssp(streams, 0, w).sim_seconds
+        assert t_stream > t_fit

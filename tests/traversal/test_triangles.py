@@ -1,0 +1,68 @@
+"""Tests for triangle counting."""
+
+import numpy as np
+import pytest
+
+from repro.core.efg import efg_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.traversal.backends import CSRBackend, EFGBackend
+from repro.traversal.triangles import triangle_count
+
+nx = pytest.importorskip("networkx")
+
+
+def _nx_triangles(graph):
+    G = nx.Graph()
+    G.add_nodes_from(range(graph.num_nodes))
+    src = np.repeat(np.arange(graph.num_nodes), graph.degrees)
+    G.add_edges_from(zip(src.tolist(), graph.elist.tolist()))
+    return sum(nx.triangles(G).values()) // 3
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fmt", ["csr", "efg"])
+    def test_matches_networkx(self, small_graph, scaled_device, fmt):
+        sym = small_graph.symmetrized()
+        backend = (
+            CSRBackend(CSRGraph.from_graph(sym), scaled_device)
+            if fmt == "csr"
+            else EFGBackend(efg_encode(sym), scaled_device)
+        )
+        assert triangle_count(backend).triangles == _nx_triangles(sym)
+
+    def test_known_shapes(self, scaled_device):
+        # A 4-clique has 4 triangles; a 4-cycle has none.
+        clique = Graph.from_adjacency(
+            [[j for j in range(4) if j != i] for i in range(4)]
+        )
+        backend = CSRBackend(CSRGraph.from_graph(clique), scaled_device)
+        assert triangle_count(backend).triangles == 4
+
+        cycle = Graph.from_adjacency([[1, 3], [0, 2], [1, 3], [0, 2]])
+        backend = CSRBackend(CSRGraph.from_graph(cycle), scaled_device)
+        assert triangle_count(backend).triangles == 0
+
+    def test_triangle_free_graph(self, scaled_device):
+        # Bipartite graphs have no triangles.
+        left, right = 6, 6
+        adjacency = [
+            list(range(left, left + right)) for _ in range(left)
+        ] + [list(range(left)) for _ in range(right)]
+        g = Graph.from_adjacency(adjacency)
+        backend = EFGBackend(efg_encode(g), scaled_device)
+        assert triangle_count(backend).triangles == 0
+
+    def test_chunking_invariant(self, small_graph, scaled_device):
+        sym = small_graph.symmetrized()
+        backend = EFGBackend(efg_encode(sym), scaled_device)
+        a = triangle_count(backend, wedge_chunk=13).triangles
+        b = triangle_count(backend, wedge_chunk=1 << 20).triangles
+        assert a == b
+
+    def test_costs_charged(self, small_graph, scaled_device):
+        sym = small_graph.symmetrized()
+        backend = EFGBackend(efg_encode(sym), scaled_device)
+        r = triangle_count(backend)
+        assert r.sim_seconds > 0
+        assert r.wedges_checked > 0

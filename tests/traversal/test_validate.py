@@ -1,0 +1,68 @@
+"""Tests for the golden reference implementations themselves."""
+
+import numpy as np
+import pytest
+
+from repro.formats.graph import Graph
+from repro.traversal.validate import (
+    reference_bfs_levels,
+    reference_pagerank,
+    reference_sssp_distances,
+)
+
+
+class TestReferenceBFS:
+    def test_chain(self, chain_graph):
+        levels = reference_bfs_levels(chain_graph, 0)
+        assert levels.tolist() == list(range(10))
+
+    def test_unreachable(self):
+        g = Graph.from_adjacency([[1], [], [1]])
+        levels = reference_bfs_levels(g, 0)
+        assert levels.tolist() == [0, 1, -1]
+
+    def test_direction_respected(self):
+        g = Graph.from_adjacency([[1], []])
+        assert reference_bfs_levels(g, 1).tolist() == [-1, 0]
+
+
+class TestReferenceSSSP:
+    def test_triangle_shortcut(self):
+        # 0->1 weight 1.0, 0->2 weight 0.1, 2->1 weight 0.1.
+        g = Graph.from_edges(np.array([0, 0, 2]), np.array([1, 2, 1]))
+        w = np.zeros(3, dtype=np.float32)
+        # Graph.from_edges sorts edges by (src, dst): (0,1), (0,2), (2,1).
+        w[0], w[1], w[2] = 1.0, 0.1, 0.1
+        d = reference_sssp_distances(g, 0, w)
+        assert d[1] == pytest.approx(0.2)
+
+    def test_unreachable_inf(self):
+        g = Graph.from_adjacency([[1], [], []])
+        d = reference_sssp_distances(g, 0, np.ones(1, dtype=np.float32))
+        assert np.isinf(d[2])
+
+
+class TestReferencePageRank:
+    def test_uniform_on_cycle(self):
+        n = 6
+        g = Graph.from_edges(np.arange(n), (np.arange(n) + 1) % n)
+        ranks = reference_pagerank(g)
+        assert np.allclose(ranks, 1 / n, atol=1e-6)
+
+    def test_sums_to_one_with_dangling(self):
+        g = Graph.from_adjacency([[1, 2], [], [0]])
+        ranks = reference_pagerank(g)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_matches_networkx_if_available(self, small_graph):
+        nx = pytest.importorskip("networkx")
+        G = nx.DiGraph()
+        G.add_nodes_from(range(small_graph.num_nodes))
+        src = np.repeat(
+            np.arange(small_graph.num_nodes), small_graph.degrees
+        )
+        G.add_edges_from(zip(src.tolist(), small_graph.elist.tolist()))
+        nx_pr = nx.pagerank(G, alpha=0.85, tol=1e-12, max_iter=500)
+        ours = reference_pagerank(small_graph)
+        nx_vec = np.array([nx_pr[i] for i in range(small_graph.num_nodes)])
+        assert np.allclose(ours, nx_vec, atol=1e-6)

@@ -1,0 +1,95 @@
+"""Tests for BFS parent trees and the Graph500-style validator."""
+
+import numpy as np
+import pytest
+
+from repro.core.efg import efg_encode
+from repro.formats.cgr import cgr_encode
+from repro.formats.csr import CSRGraph
+from repro.formats.graph import Graph
+from repro.traversal.backends import CGRBackend, CSRBackend, EFGBackend
+from repro.traversal.bfs import bfs
+from repro.traversal.validate_tree import BFSValidationError, validate_bfs_tree
+
+
+class TestParentsProduced:
+    @pytest.mark.parametrize("fmt", ["csr", "efg", "cgr"])
+    def test_every_backend_yields_valid_tree(
+        self, small_graph, scaled_device, rng, fmt
+    ):
+        backend = {
+            "csr": lambda: CSRBackend(CSRGraph.from_graph(small_graph), scaled_device),
+            "efg": lambda: EFGBackend(efg_encode(small_graph), scaled_device),
+            "cgr": lambda: CGRBackend(cgr_encode(small_graph), scaled_device),
+        }[fmt]()
+        for src in rng.integers(0, small_graph.num_nodes, size=4):
+            r = bfs(backend, int(src))
+            validate_bfs_tree(small_graph, int(src), r.levels, r.parents)
+
+    def test_partial_sort_also_valid(self, small_graph, scaled_device):
+        backend = EFGBackend(efg_encode(small_graph), scaled_device)
+        for flag in (True, False):
+            r = bfs(backend, 0, partial_sort=flag)
+            validate_bfs_tree(small_graph, 0, r.levels, r.parents)
+
+    def test_chain_parents(self, chain_graph, scaled_device):
+        backend = CSRBackend(CSRGraph.from_graph(chain_graph), scaled_device)
+        r = bfs(backend, 0)
+        assert r.parents.tolist() == [0] + list(range(9))
+
+
+class TestValidatorCatchesCorruption:
+    @pytest.fixture
+    def valid_run(self, small_graph, scaled_device):
+        backend = CSRBackend(CSRGraph.from_graph(small_graph), scaled_device)
+        r = bfs(backend, 0)
+        return small_graph, r
+
+    def test_accepts_valid(self, valid_run):
+        graph, r = valid_run
+        validate_bfs_tree(graph, 0, r.levels, r.parents)
+
+    def test_rejects_bad_root(self, valid_run):
+        graph, r = valid_run
+        parents = r.parents.copy()
+        parents[0] = -1
+        with pytest.raises(BFSValidationError):
+            validate_bfs_tree(graph, 0, r.levels, parents)
+
+    def test_rejects_reach_mismatch(self, valid_run):
+        graph, r = valid_run
+        parents = r.parents.copy()
+        reached = np.flatnonzero(r.levels > 0)
+        parents[reached[0]] = -1
+        with pytest.raises(BFSValidationError):
+            validate_bfs_tree(graph, 0, r.levels, parents)
+
+    def test_rejects_level_skip(self, valid_run):
+        graph, r = valid_run
+        levels = r.levels.copy()
+        deep = np.flatnonzero(levels >= 1)
+        levels[deep[-1]] += 5
+        with pytest.raises(BFSValidationError):
+            validate_bfs_tree(graph, 0, levels, r.parents)
+
+    def test_rejects_phantom_tree_edge(self, valid_run):
+        graph, r = valid_run
+        parents = r.parents.copy()
+        # Reparent some level-2 vertex to a non-neighbour at level 1.
+        lvl1 = np.flatnonzero(r.levels == 1)
+        lvl2 = np.flatnonzero(r.levels == 2)
+        if lvl2.size == 0:
+            pytest.skip("graph too shallow")
+        victim = int(lvl2[0])
+        for candidate in lvl1:
+            if victim not in graph.neighbours(int(candidate)):
+                parents[victim] = candidate
+                with pytest.raises(BFSValidationError):
+                    validate_bfs_tree(graph, 0, r.levels, parents)
+                return
+        pytest.skip("no non-neighbour available")
+
+    def test_rejects_shape_mismatch(self, valid_run):
+        graph, r = valid_run
+        with pytest.raises(BFSValidationError):
+            validate_bfs_tree(graph, 0, r.levels[:-1], r.parents)
