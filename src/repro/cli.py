@@ -9,6 +9,10 @@ Commands
     Compress to EFG and report ratio/encode time.
 ``bfs <graph.npz|edges.txt> [--format efg|csr|cgr] [--source N]``
     Run a simulated-GPU BFS and print runtime/GTEPS and the profile.
+    ``--cache-kb`` attaches a decoded-list cache of that budget.
+``msbfs <graph.npz|edges.txt> [--num-sources N] [--cache-kb KB]``
+    Bit-parallel multi-source BFS: up to 64 sources share each list
+    decode; prints amortized per-source time/GTEPS and cache hit rate.
 ``suite``
     List the scaled paper suite with sizes and memory regions.
 """
@@ -80,24 +84,35 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bfs(args: argparse.Namespace) -> int:
+def _make_backend(graph, fmt: str, device_scale: float, cache_kb: int):
     from repro.core.efg import efg_encode
+    from repro.core.listcache import DecodedListCache
     from repro.formats.cgr import cgr_encode
     from repro.formats.csr import CSRGraph
     from repro.gpusim.device import TITAN_XP
     from repro.traversal.backends import CGRBackend, CSRBackend, EFGBackend
+
+    device = TITAN_XP.scaled(device_scale)
+    if fmt == "efg":
+        backend = EFGBackend(efg_encode(graph), device)
+    elif fmt == "csr":
+        backend = CSRBackend(CSRGraph.from_graph(graph), device)
+    elif fmt == "cgr":
+        backend = CGRBackend(cgr_encode(graph), device)
+    else:
+        raise SystemExit(f"unknown format {fmt!r}")
+    if cache_kb < 0:
+        raise SystemExit(f"--cache-kb must be >= 0, got {cache_kb}")
+    if cache_kb:
+        backend.attach_cache(DecodedListCache(budget_bytes=cache_kb * 1024))
+    return backend
+
+
+def _cmd_bfs(args: argparse.Namespace) -> int:
     from repro.traversal.bfs import bfs
 
     graph = _load(args.graph)
-    device = TITAN_XP.scaled(args.device_scale)
-    if args.format == "efg":
-        backend = EFGBackend(efg_encode(graph), device)
-    elif args.format == "csr":
-        backend = CSRBackend(CSRGraph.from_graph(graph), device)
-    elif args.format == "cgr":
-        backend = CGRBackend(cgr_encode(graph), device)
-    else:
-        raise SystemExit(f"unknown format {args.format!r}")
+    backend = _make_backend(graph, args.format, args.device_scale, args.cache_kb)
     source = args.source
     if graph.degrees[source] == 0:
         source = int(np.argmax(graph.degrees))
@@ -109,6 +124,47 @@ def _cmd_bfs(args: argparse.Namespace) -> int:
         f"simulated, {result.gteps:.2f} GTEPS, {result.num_levels} levels "
         f"({fits})"
     )
+    if backend.cache is not None:
+        st = backend.cache.stats
+        print(
+            f"list cache: {st.hits}/{st.lookups} hits "
+            f"({100 * st.hit_rate:.1f}%), {st.bytes_saved:,.0f} "
+            f"compressed bytes saved"
+        )
+    print()
+    print(backend.engine.profile_report())
+    return 0
+
+
+def _cmd_msbfs(args: argparse.Namespace) -> int:
+    from repro.traversal.msbfs import MAX_SOURCES, msbfs
+
+    graph = _load(args.graph)
+    if not 1 <= args.num_sources <= MAX_SOURCES:
+        raise SystemExit(f"--num-sources must be in [1, {MAX_SOURCES}]")
+    backend = _make_backend(graph, args.format, args.device_scale, args.cache_kb)
+    candidates = np.flatnonzero(graph.degrees > 0)
+    if candidates.shape[0] == 0:
+        raise SystemExit("graph has no vertex with out-edges")
+    rng = np.random.default_rng(args.seed)
+    count = min(args.num_sources, candidates.shape[0])
+    sources = rng.choice(candidates, size=count, replace=False)
+    result = msbfs(backend, sources)
+    fits = "resident" if backend.graph_fits_in_memory() else "out-of-core"
+    print(
+        f"{args.format} MSBFS, {count} sources: "
+        f"{result.sim_seconds * 1e3:.3f} ms simulated "
+        f"({result.seconds_per_source * 1e3:.4f} ms/source), "
+        f"{result.gteps:.2f} amortized GTEPS, "
+        f"{result.lists_decoded:,} lists decoded ({fits})"
+    )
+    if result.cache_stats is not None:
+        st = result.cache_stats
+        print(
+            f"list cache: {st.hits}/{st.lookups} hits "
+            f"({100 * st.hit_rate:.1f}%), {st.bytes_saved:,.0f} "
+            f"compressed bytes saved"
+        )
     print()
     print(backend.engine.profile_report())
     return 0
@@ -160,7 +216,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--source", type=int, default=0)
     p.add_argument("--device-scale", type=float, default=2048,
                    help="shrink the Titan Xp by this factor (default 2048)")
+    p.add_argument("--cache-kb", type=int, default=0,
+                   help="decoded-list cache budget in KiB (0 = no cache)")
     p.set_defaults(func=_cmd_bfs)
+
+    p = sub.add_parser("msbfs", help="bit-parallel multi-source BFS")
+    p.add_argument("graph")
+    p.add_argument("--format", choices=("efg", "csr", "cgr"), default="efg")
+    p.add_argument("--num-sources", type=int, default=64,
+                   help="sources packed into the 64-bit masks (default 64)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for source sampling")
+    p.add_argument("--device-scale", type=float, default=2048,
+                   help="shrink the Titan Xp by this factor (default 2048)")
+    p.add_argument("--cache-kb", type=int, default=256,
+                   help="decoded-list cache budget in KiB (0 = no cache)")
+    p.set_defaults(func=_cmd_msbfs)
 
     p = sub.add_parser("suite", help="list the scaled paper suite")
     p.add_argument("--v100", action="store_true",

@@ -15,6 +15,7 @@
 
 from repro.core.efg import EFGraph, decode_lists, efg_encode
 from repro.core.frontier import Frontier
+from repro.core.listcache import CacheStats, DecodedListCache
 from repro.core.partition import BlockAssignment, partition_edges_to_blocks
 
 __all__ = [
@@ -22,6 +23,8 @@ __all__ = [
     "efg_encode",
     "decode_lists",
     "Frontier",
+    "CacheStats",
+    "DecodedListCache",
     "BlockAssignment",
     "partition_edges_to_blocks",
 ]

@@ -32,7 +32,7 @@ import numpy as np
 from repro.ef.bitstream import extract_fields
 from repro.ef.forward import DEFAULT_QUANTUM
 from repro.formats.graph import Graph
-from repro.primitives.bitops import POPCOUNT_TABLE, SELECT_IN_BYTE_TABLE
+from repro.primitives.bitops import POPCOUNT_TABLE_I64, SELECT_IN_BYTE_TABLE_I64
 from repro.primitives.scan import exclusive_scan
 from repro.primitives.search import binsearch_maxle
 
@@ -343,7 +343,7 @@ def decode_lists(
     window = efg.data[byte_idx]
 
     # popcount + block-wide exclusive scan (steps 2-3).
-    popc = POPCOUNT_TABLE[window].astype(np.int64)
+    popc = POPCOUNT_TABLE_I64[window]
     exsum, total_pop = exclusive_scan(popc)
     if total_pop != total_vals:
         raise AssertionError(
@@ -361,9 +361,7 @@ def decode_lists(
     global_rank = ex_deg[val_seg] + local_rank
     target_byte = binsearch_maxle(exsum, global_rank)
     in_byte_rank = global_rank - exsum[target_byte]
-    in_byte_pos = SELECT_IN_BYTE_TABLE[window[target_byte], in_byte_rank].astype(
-        np.int64
-    )
+    in_byte_pos = SELECT_IN_BYTE_TABLE_I64[window[target_byte], in_byte_rank]
 
     # Bits preceding the target byte *within its own list* (steps 6-8).
     up_start_ex, _ = exclusive_scan(up_len)

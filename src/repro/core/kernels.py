@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.efg import EFGraph
 from repro.core.partition import BlockAssignment, partition_edges_to_blocks
 from repro.ef.bitstream import extract_fields
-from repro.primitives.bitops import POPCOUNT_TABLE, SELECT_IN_BYTE_TABLE
+from repro.primitives.bitops import POPCOUNT_TABLE_I64, SELECT_IN_BYTE_TABLE_I64
 from repro.primitives.scan import exclusive_scan, segmented_exclusive_scan
 from repro.primitives.search import binsearch_maxle
 
@@ -70,7 +70,7 @@ def decompress_single_list(efg: EFGraph, v: int, dimx: int = 32) -> np.ndarray:
             np.uint8
         )
         # (2) popcount; (3) block-wide exclusive scan in shared memory.
-        popc = POPCOUNT_TABLE[s_bytes].astype(np.int64)
+        popc = POPCOUNT_TABLE_I64[s_bytes]
         s_exsum, total_vals = exclusive_scan(popc)
         # inner loop: DIMX values per iteration.
         val_iters = -(-total_vals // dimx)
@@ -83,7 +83,7 @@ def decompress_single_list(efg: EFGraph, v: int, dimx: int = 32) -> np.ndarray:
             target = s_bytes[tb_id]
             # (6) rank within the byte; (7) LUT select.
             s_id = vid - s_exsum[tb_id]
-            select_result = SELECT_IN_BYTE_TABLE[target, s_id].astype(np.int64)
+            select_result = SELECT_IN_BYTE_TABLE_I64[target, s_id]
             # (8) add bits preceding this tile's bytes.
             select_result += (i * dimx + tb_id) * 8
             global_val_id = prev_vals + vid
@@ -140,7 +140,7 @@ def decompress_partial_list(
     if lead:
         window[0] &= np.uint8((0xFF << lead) & 0xFF)
 
-    popc = POPCOUNT_TABLE[window].astype(np.int64)
+    popc = POPCOUNT_TABLE_I64[window]
     exsum, _total = exclusive_scan(popc)
     out = np.empty(b - a, dtype=np.int64)
     count = b - a
@@ -151,7 +151,7 @@ def decompress_partial_list(
         rel = want - base_rank
         tb = binsearch_maxle(exsum, rel)
         s_id = rel - exsum[tb]
-        pos = SELECT_IN_BYTE_TABLE[window[tb], s_id].astype(np.int64)
+        pos = SELECT_IN_BYTE_TABLE_I64[window[tb], s_id]
         select_result = (first_byte + tb) * 8 + pos
         upper_half = select_result - want
         out[ids] = (upper_half << l) | _lower_halves(efg, v, want)
@@ -231,7 +231,7 @@ def multi_list_block_table(
 
     byte_idx, byte_seg = csr_gather_indices(up_start, up_len)
     s_bytes = efg.data[byte_idx]
-    popc = POPCOUNT_TABLE[s_bytes].astype(np.int64)
+    popc = POPCOUNT_TABLE_I64[s_bytes]
     is_start = np.zeros(byte_seg.shape[0], dtype=bool)
     if byte_seg.shape[0]:
         is_start[0] = True

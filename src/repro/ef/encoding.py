@@ -20,7 +20,7 @@ from repro.ef.bitstream import pack_bits, unpack_bits
 from repro.ef.bounds import ef_num_lower_bits, ef_upper_bits
 from repro.ef.forward import DEFAULT_QUANTUM, ForwardPointers, build_forward_pointers
 from repro.ef.select import select1_bitarray, select1_scalar
-from repro.primitives.bitops import POPCOUNT_TABLE, SELECT_IN_BYTE_TABLE
+from repro.primitives.bitops import POPCOUNT_TABLE_I64, SELECT_IN_BYTE_TABLE_I64
 from repro.primitives.scan import exclusive_scan
 from repro.primitives.search import binsearch_maxle
 
@@ -184,16 +184,20 @@ def ef_decode_range(seq: EFSequence, a: int, b: int) -> np.ndarray:
     last_byte = min((stop_bit + 7) >> 3, seq.upper.shape[0])
     window = seq.upper[first_byte:last_byte]
 
-    # Mask bits before start_bit in the first byte so ranks line up.
-    window = window.copy()
+    # Bits before start_bit in the first byte must not count towards the
+    # ranks.  Only that one byte needs masking, so pass a patched first
+    # byte instead of copying the whole window (hot path: every partial
+    # decode of a hub list would otherwise copy up to a quantum of
+    # bytes just to mask three bits).
     lead = start_bit & 7
-    if lead:
-        window[0] &= np.uint8((0xFF << lead) & 0xFF)
+    first_value = np.uint8(int(window[0]) & ((0xFF << lead) & 0xFF)) if lead else None
 
     # Ranks of the wanted elements relative to the window.
     want = np.arange(a, b, dtype=np.int64)
     rel = want - base_rank
-    select_pos = _batched_select_window(window, rel) + first_byte * 8
+    select_pos = (
+        _batched_select_window(window, rel, first_value) + first_byte * 8
+    )
 
     upper_half = select_pos - want
     lower_half = unpack_bits(
@@ -202,13 +206,26 @@ def ef_decode_range(seq: EFSequence, a: int, b: int) -> np.ndarray:
     return (upper_half << np.int64(seq.num_lower_bits)) | lower_half
 
 
-def _batched_select_window(window: np.ndarray, ranks: np.ndarray) -> np.ndarray:
-    """popcount + exclusive scan + binsearch + select1_byte over a window."""
-    popc = POPCOUNT_TABLE[window].astype(np.int64)
+def _batched_select_window(
+    window: np.ndarray,
+    ranks: np.ndarray,
+    first_byte_value: np.uint8 | None = None,
+) -> np.ndarray:
+    """popcount + exclusive scan + binsearch + select1_byte over a window.
+
+    ``first_byte_value``, when given, stands in for ``window[0]`` — the
+    caller's way of masking leading bits without copying the window.
+    """
+    popc = POPCOUNT_TABLE_I64[window]
+    if first_byte_value is not None and window.shape[0]:
+        popc[0] = POPCOUNT_TABLE_I64[first_byte_value]
     exsum, total = exclusive_scan(popc)
     if ranks.size and ranks.max() >= total:
         raise IndexError("select rank beyond set bits in window")
     target_byte = binsearch_maxle(exsum, ranks)
+    target_value = window[target_byte]
+    if first_byte_value is not None:
+        target_value[target_byte == 0] = first_byte_value
     in_rank = ranks - exsum[target_byte]
-    in_pos = SELECT_IN_BYTE_TABLE[window[target_byte], in_rank].astype(np.int64)
+    in_pos = SELECT_IN_BYTE_TABLE_I64[target_value, in_rank]
     return target_byte * 8 + in_pos

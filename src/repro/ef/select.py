@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.primitives.bitops import POPCOUNT_TABLE, SELECT_IN_BYTE_TABLE
+from repro.primitives.bitops import (
+    POPCOUNT_TABLE,
+    POPCOUNT_TABLE_I64,
+    SELECT_IN_BYTE_TABLE,
+    SELECT_IN_BYTE_TABLE_I64,
+)
 from repro.primitives.scan import exclusive_scan
 from repro.primitives.search import binsearch_maxle
 
@@ -69,13 +74,13 @@ def select1_bitarray(data: np.ndarray, indices: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     if indices.min() < 0:
         raise ValueError("negative select index")
-    popc = POPCOUNT_TABLE[data].astype(np.int64)
+    popc = POPCOUNT_TABLE_I64[data]
     exsum, total = exclusive_scan(popc)
     if indices.max() >= total:
         raise IndexError("select index beyond number of set bits")
     target_byte = binsearch_maxle(exsum, indices)
     in_byte_rank = indices - exsum[target_byte]
-    in_byte_pos = SELECT_IN_BYTE_TABLE[data[target_byte], in_byte_rank].astype(np.int64)
+    in_byte_pos = SELECT_IN_BYTE_TABLE_I64[data[target_byte], in_byte_rank]
     return target_byte * 8 + in_byte_pos
 
 

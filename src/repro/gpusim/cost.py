@@ -104,17 +104,23 @@ class CostParams:
 
     ``simt_efficiency`` — sustained fraction of peak issue rate for
     irregular integer kernels.  ``warp_width`` — lanes that idle while
-    serialized code runs on one.
+    serialized code runs on one.  ``cached_bw_ratio`` — bandwidth of
+    on-chip cache/shared-memory reads relative to DRAM (L2 on Pascal
+    sustains roughly 3-5x DRAM bandwidth); cached reads recorded via
+    :meth:`KernelLaunch.cached_read` are charged at this multiple.
     """
 
     simt_efficiency: float = 0.15
     warp_width: int = 32
+    cached_bw_ratio: float = 4.0
 
     def __post_init__(self) -> None:
         if not 0 < self.simt_efficiency <= 1:
             raise ValueError("simt_efficiency must be in (0, 1]")
         if self.warp_width < 1:
             raise ValueError("warp_width must be >= 1")
+        if self.cached_bw_ratio < 1:
+            raise ValueError("cached_bw_ratio must be >= 1")
 
 
 @dataclass
@@ -130,6 +136,7 @@ class KernelCost:
     name: str
     device_bytes: float = 0.0
     host_bytes: float = 0.0
+    cached_bytes: float = 0.0
     instructions: float = 0.0
     floor_seconds: float = 0.0
     launches: int = 1
@@ -139,6 +146,7 @@ class KernelCost:
         """Fold another launch's cost into this one (for summaries)."""
         self.device_bytes += other.device_bytes
         self.host_bytes += other.host_bytes
+        self.cached_bytes += other.cached_bytes
         self.instructions += other.instructions
         self.floor_seconds += other.floor_seconds
         self.launches += other.launches
@@ -204,6 +212,25 @@ class CostModel:
             cost.host_bytes += nbytes
         cost.breakdown[array] = cost.breakdown.get(array, 0.0) + nbytes
 
+    def charge_cached(
+        self, cost: KernelCost, tag: str, count: int, elem_bytes: int
+    ) -> None:
+        """Charge reads served from on-chip cache (no DRAM traffic).
+
+        Used by the decoded-list cache: a hit streams the already-decoded
+        neighbour array out of L2/shared memory instead of re-reading and
+        re-decoding the compressed payload.  Charged at
+        ``cached_bw_ratio`` times DRAM bandwidth in
+        :meth:`kernel_seconds`; the breakdown entry is prefixed with
+        ``cache:`` so reports can separate it from DRAM traffic.
+        """
+        if count < 0 or elem_bytes < 0:
+            raise ValueError("count and elem_bytes must be non-negative")
+        nbytes = float(count * elem_bytes)
+        cost.cached_bytes += nbytes
+        key = f"cache:{tag}"
+        cost.breakdown[key] = cost.breakdown.get(key, 0.0) + nbytes
+
     def compute_seconds(self, instructions: float) -> float:
         """Instruction time at the effective (derated) issue rate."""
         throughput = self.device.instruction_throughput * self.params.simt_efficiency
@@ -213,8 +240,11 @@ class CostModel:
         """Simulated duration of one (merged) kernel launch record."""
         dram_time = cost.device_bytes / self.device.dram_bandwidth
         link_time = cost.host_bytes / self.device.link_bandwidth
+        cache_time = cost.cached_bytes / (
+            self.device.dram_bandwidth * self.params.cached_bw_ratio
+        )
         compute_time = self.compute_seconds(cost.instructions)
         overhead = cost.launches * self.device.launch_overhead_s
         return overhead + max(
-            dram_time, link_time, compute_time, cost.floor_seconds
+            dram_time, link_time, cache_time, compute_time, cost.floor_seconds
         )

@@ -31,6 +31,7 @@ class SimEngine:
     params: CostParams = field(default_factory=CostParams)
     _timeline: list[tuple[str, float]] = field(default_factory=list)
     _by_kernel: dict[str, KernelCost] = field(default_factory=dict)
+    _counters: dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def for_device(
@@ -63,6 +64,7 @@ class SimEngine:
             name=name,
             device_bytes=kernel.cost.device_bytes,
             host_bytes=kernel.cost.host_bytes,
+            cached_bytes=kernel.cost.cached_bytes,
             instructions=kernel.cost.instructions,
             floor_seconds=kernel.cost.floor_seconds,
             launches=kernel.cost.launches,
@@ -87,6 +89,24 @@ class SimEngine:
         """Clear timing state, keeping the memory plan (new traversal run)."""
         self._timeline.clear()
         self._by_kernel.clear()
+        self._counters.clear()
+
+    # -- named counters (cache hits, bytes saved, ...) -------------------
+
+    def record_counter(self, name: str, delta: float) -> None:
+        """Accumulate a named event counter on this run's timeline.
+
+        Used for quantities that are not traffic or time — decoded-list
+        cache hits/misses/evictions, bytes saved — so they show up next
+        to the kernels that produced them in :meth:`profile_report`.
+        Cleared by :meth:`reset_timeline` like the rest of the run state.
+        """
+        self._counters[name] = self._counters.get(name, 0.0) + float(delta)
+
+    @property
+    def counters(self) -> dict[str, float]:
+        """Named event counters accumulated during this run (a copy)."""
+        return dict(self._counters)
 
     def kernel_summary(self) -> dict[str, dict[str, float]]:
         """Aggregate traffic/instructions/time by kernel name."""
@@ -99,6 +119,7 @@ class SimEngine:
                 "launches": float(cost.launches),
                 "device_bytes": cost.device_bytes,
                 "host_bytes": cost.host_bytes,
+                "cached_bytes": cost.cached_bytes,
                 "instructions": cost.instructions,
                 "seconds": times.get(name, 0.0),
             }
@@ -116,4 +137,8 @@ class SimEngine:
                 f"{name:32s} {row['seconds'] * 1e3:10.3f} "
                 f"{100 * row['seconds'] / total:6.1f} {int(row['launches']):9d}"
             )
+        if self._counters:
+            lines.append(f"{'counter':32s} {'value':>14s}")
+            for name in sorted(self._counters):
+                lines.append(f"{name:32s} {self._counters[name]:14,.0f}")
         return "\n".join(lines)

@@ -63,12 +63,38 @@ class KernelLaunch:
         """
         self.model.charge_stream(self.cost, array, ids, elem_bytes)
 
+    def cached_read(self, tag: str, count: int, elem_bytes: int) -> None:
+        """Record reads served from on-chip cache (decoded-list hits).
+
+        No DRAM or PCIe traffic is generated; the bytes stream out of
+        L2/shared memory at ``cached_bw_ratio`` x DRAM bandwidth.
+        ``tag`` names the logical cached structure (it need not be a
+        registered array — cache residency is budgeted separately).
+        """
+        self.model.charge_cached(self.cost, tag, count, elem_bytes)
+
     # -- compute ---------------------------------------------------------
 
     def instructions(self, count: float) -> None:
         """Record ``count`` data-parallel instructions."""
         if count < 0:
             raise ValueError(f"negative instruction count: {count}")
+        self.cost.instructions += float(count)
+
+    def bitmask_ops(self, count: float, lanes: int = 64) -> None:
+        """Record ``count`` wide bitmask ALU operations.
+
+        One 64-bit OR/AND/shift updates the traversal state of ``lanes``
+        concurrent sources at once — the bit-parallel multi-source BFS
+        trick.  Each op costs a single data-parallel instruction no
+        matter how many sources it serves; ``lanes`` documents the
+        amortization (and guards against claiming more than 64 on the
+        u64 masks the traversals use).
+        """
+        if count < 0:
+            raise ValueError(f"negative bitmask op count: {count}")
+        if not 1 <= lanes <= 64:
+            raise ValueError(f"lanes must be in [1, 64], got {lanes}")
         self.cost.instructions += float(count)
 
     def serial_work(self, lane_instructions: float) -> None:

@@ -13,7 +13,9 @@ real hardware.
 
 from repro.primitives.bitops import (
     POPCOUNT_TABLE,
+    POPCOUNT_TABLE_I64,
     SELECT_IN_BYTE_TABLE,
+    SELECT_IN_BYTE_TABLE_I64,
     popcount_bytes,
     popcount_u64,
     select_in_byte,
@@ -35,7 +37,9 @@ from repro.primitives.sort import partial_radix_sort_key, radix_sort
 
 __all__ = [
     "POPCOUNT_TABLE",
+    "POPCOUNT_TABLE_I64",
     "SELECT_IN_BYTE_TABLE",
+    "SELECT_IN_BYTE_TABLE_I64",
     "popcount_bytes",
     "popcount_u64",
     "select_in_byte",

@@ -21,6 +21,8 @@ import numpy as np
 __all__ = [
     "POPCOUNT_TABLE",
     "SELECT_IN_BYTE_TABLE",
+    "POPCOUNT_TABLE_I64",
+    "SELECT_IN_BYTE_TABLE_I64",
     "popcount_bytes",
     "popcount_u64",
     "select_in_byte",
@@ -62,10 +64,20 @@ POPCOUNT_TABLE: np.ndarray = _build_popcount_table()
 #: 256x8 select LUT (the paper's 2 KiB constant-memory table).
 SELECT_IN_BYTE_TABLE: np.ndarray = _build_select_table()
 
+#: int64 view of :data:`POPCOUNT_TABLE` — LUT gathers used as indices
+#: (scan/binsearch inputs) need int64, and widening the 256-entry table
+#: once is far cheaper than a per-call ``.astype`` on every gather.
+POPCOUNT_TABLE_I64: np.ndarray = POPCOUNT_TABLE.astype(np.int64)
+
+#: int64 view of :data:`SELECT_IN_BYTE_TABLE` (same rationale).
+SELECT_IN_BYTE_TABLE_I64: np.ndarray = SELECT_IN_BYTE_TABLE.astype(np.int64)
+
 # Make the module-level tables immutable so a buggy kernel cannot corrupt
 # what models read-only constant memory.
 POPCOUNT_TABLE.setflags(write=False)
 SELECT_IN_BYTE_TABLE.setflags(write=False)
+POPCOUNT_TABLE_I64.setflags(write=False)
+SELECT_IN_BYTE_TABLE_I64.setflags(write=False)
 
 
 def popcount_bytes(data: np.ndarray) -> np.ndarray:
@@ -132,7 +144,7 @@ def select_in_bytes_vector(bytes_: np.ndarray, indices: np.ndarray) -> np.ndarra
         )
     if indices.size and (indices.min() < 0 or indices.max() > 7):
         raise ValueError("select indices must be within [0, 8)")
-    return SELECT_IN_BYTE_TABLE[bytes_, indices].astype(np.int64)
+    return SELECT_IN_BYTE_TABLE_I64[bytes_, indices]
 
 
 def bits_to_bytes(nbits: int) -> int:

@@ -25,6 +25,14 @@ All per-array traffic uses :meth:`KernelLaunch.read_stream`, so
 coalescing is measured from the actual ids touched — this is what makes
 reordering (Sec. VIII-D) and partial frontier sorting (Sec. VI-E)
 matter in the model.
+
+A :class:`~repro.core.listcache.DecodedListCache` can be attached to
+any backend (:meth:`GraphBackend.attach_cache`): frontier lists found
+in the cache skip the functional decode *and* its cost — the expansion
+is charged as on-chip cached reads of the decoded ids instead of
+compressed payload traffic plus decode instructions (EFG) or serial
+varint chains (CGR).  Hit/miss/eviction and bytes-saved counters are
+pushed to the engine so they appear in profile reports.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.efg import EFGraph, csr_gather_indices, decode_lists
+from repro.core.listcache import DECODED_ELEM_BYTES, DecodedListCache
 from repro.formats.cgr import CGRGraph
 from repro.formats.csr import CSRGraph
 from repro.formats.graph import Graph
@@ -43,6 +52,7 @@ from repro.gpusim.cost import CostParams
 from repro.gpusim.device import CPU_E5_2696V4_X2, DeviceSpec
 from repro.gpusim.engine import SimEngine
 from repro.gpusim.kernel import KernelLaunch
+from repro.primitives.scan import exclusive_scan
 
 __all__ = [
     "GraphBackend",
@@ -79,6 +89,13 @@ class GraphBackend(abc.ABC):
     engine: SimEngine
     format_name: str
 
+    #: Optional decoded-adjacency cache (see :meth:`attach_cache`).
+    cache: DecodedListCache | None = None
+
+    #: Functional list decodes performed so far (a cache hit serves the
+    #: list without decoding, so with a cache this counts misses only).
+    lists_decoded: int = 0
+
     # -- construction helpers -------------------------------------------
 
     def _finish_setup(self, weight_bytes: int = 0) -> None:
@@ -111,6 +128,19 @@ class GraphBackend(abc.ABC):
     def degrees(self) -> np.ndarray:
         """Out-degree per vertex."""
 
+    def attach_cache(self, cache: DecodedListCache) -> None:
+        """Serve future expansions through a decoded-list cache.
+
+        The cache's byte budget is registered as resident working
+        memory (priority -1, like the frontier/visited arrays): the
+        residency it models is on-chip, but budgeting it keeps the
+        planner honest about what else still fits.
+        """
+        self.cache = cache
+        self.engine.memory.register(
+            "work:listcache", cache.budget_bytes, priority=-1
+        )
+
     def expand(
         self, frontier: np.ndarray, kernel: KernelLaunch
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -120,12 +150,93 @@ class GraphBackend(abc.ABC):
         lists in frontier order; ``frontier_pos[i]`` is the index into
         ``frontier`` of the vertex that produced ``neighbours[i]``.
         Charges the traffic/instructions of this representation on
-        ``kernel``.
+        ``kernel``.  With a cache attached, hit lists are streamed from
+        on-chip memory and only the misses pay the real decode.
         """
         frontier = np.asarray(frontier, dtype=np.int64)
-        nbrs, seg = self._decode(frontier)
-        self.charge_expand(frontier, nbrs, kernel)
+        if self.cache is None:
+            nbrs, seg = self._decode(frontier)
+            self.lists_decoded += int(frontier.shape[0])
+            self.charge_expand(frontier, nbrs, kernel)
+            return nbrs, seg
+        return self._expand_with_cache(frontier, kernel)
+
+    def _expand_with_cache(
+        self, frontier: np.ndarray, kernel: KernelLaunch
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cache-aware expansion: decode misses, stream hits, merge."""
+        cache = self.cache
+        evictions_before = cache.stats.evictions
+        hit_mask = cache.probe(frontier)
+        hit_pos = np.flatnonzero(hit_mask)
+        miss_pos = np.flatnonzero(~hit_mask)
+        miss_vertices = frontier[miss_pos]
+
+        # Fetch the hit data *before* installing misses: under a tight
+        # budget the insertions below may evict the very entries probe()
+        # just reported resident (on a GPU the hit reads likewise happen
+        # before the replacement writes land).
+        hit_vertices = frontier[hit_pos]
+        hit_lists = cache.get_many(hit_vertices) if hit_pos.size else []
+
+        miss_nbrs = np.empty(0, dtype=np.int64)
+        if miss_vertices.size:
+            miss_nbrs, _ = self._decode(miss_vertices)
+            self.lists_decoded += int(miss_vertices.shape[0])
+            cache.stats.miss_edges += int(miss_nbrs.shape[0])
+            # Install the freshly decoded lists (split back per vertex).
+            bounds = np.cumsum(self.degrees[miss_vertices])[:-1]
+            cache.put_many(miss_vertices, np.split(miss_nbrs, bounds))
+            self.charge_expand(miss_vertices, miss_nbrs, kernel)
+
+        # Merge hits and misses back into frontier order.
+        deg = self.degrees[frontier]
+        ex_deg, total = exclusive_scan(deg)
+        nbrs = np.empty(int(total), dtype=np.int64)
+        seg = np.repeat(np.arange(frontier.shape[0], dtype=np.int64), deg)
+        if miss_pos.size:
+            target, _ = csr_gather_indices(ex_deg[miss_pos], deg[miss_pos])
+            nbrs[target] = miss_nbrs
+        if hit_pos.size:
+            target, _ = csr_gather_indices(ex_deg[hit_pos], deg[hit_pos])
+            nbrs[target] = np.concatenate(hit_lists)
+            self.charge_cached_expand(
+                hit_vertices, int(deg[hit_pos].sum()), kernel
+            )
+
+        engine = self.engine
+        engine.record_counter("listcache:hits", int(hit_pos.size))
+        engine.record_counter("listcache:misses", int(miss_pos.size))
+        engine.record_counter(
+            "listcache:evictions", cache.stats.evictions - evictions_before
+        )
         return nbrs, seg
+
+    def charge_cached_expand(
+        self, vertices: np.ndarray, num_edges: int, kernel: KernelLaunch
+    ) -> None:
+        """Charge an expansion served entirely from the decoded cache.
+
+        The decoded ids stream out of on-chip memory (4 B per edge at
+        cache bandwidth); the frontier bookkeeping instructions remain,
+        but the payload traffic, per-vertex metadata reads and the
+        format's decode instructions are all skipped — those savings
+        are credited to the cache stats and the engine counters.
+        """
+        kernel.cached_read(
+            f"{self.format_name}_decoded", num_edges, DECODED_ELEM_BYTES
+        )
+        kernel.instructions(BASE_INSTR_PER_EDGE * num_edges)
+        _, payload_bytes, _, meta_elem = self._payload_info(vertices)
+        saved_bytes = float(payload_bytes.sum()) + float(
+            meta_elem * vertices.shape[0]
+        )
+        saved_instr = self._decode_instr_per_edge() * num_edges
+        stats = self.cache.stats
+        stats.hit_edges += num_edges
+        stats.bytes_saved += saved_bytes
+        stats.instr_saved += saved_instr
+        self.engine.record_counter("listcache:bytes_saved", saved_bytes)
 
     @abc.abstractmethod
     def _decode(self, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -32,6 +32,11 @@ class BFSResult:
     source: int
     levels: np.ndarray
     parents: np.ndarray
+    #: Number of BFS levels, counting the source's level 0 — i.e.
+    #: ``levels.max() + 1``, which equals the number of expansion rounds
+    #: that claimed at least one vertex plus one.  (The loop's ``depth``
+    #: counter also counts the final round that claims nothing, so on
+    #: natural termination ``num_levels == depth``.)
     num_levels: int
     edges_traversed: int
     sim_seconds: float
@@ -127,7 +132,7 @@ def bfs(
         source=source,
         levels=levels,
         parents=parents,
-        num_levels=int(levels.max()),
+        num_levels=int(levels.max()) + 1,
         edges_traversed=edges_traversed,
         sim_seconds=engine.elapsed_seconds,
     )

@@ -37,6 +37,7 @@ class DirectionOptimizingResult:
 
     source: int
     levels: np.ndarray
+    #: Number of BFS levels counting the source's level 0 (levels.max()+1).
     num_levels: int
     edges_examined: int
     bottom_up_levels: int
@@ -130,7 +131,7 @@ def bfs_direction_optimizing(
     return DirectionOptimizingResult(
         source=source,
         levels=levels,
-        num_levels=int(levels.max()),
+        num_levels=int(levels.max()) + 1,
         edges_examined=edges_examined,
         bottom_up_levels=bottom_up_levels,
         sim_seconds=engine.elapsed_seconds,

@@ -88,6 +88,7 @@ class MultiGPUBFSResult:
 
     source: int
     levels: np.ndarray
+    #: Number of BFS levels counting the source's level 0 (levels.max()+1).
     num_levels: int
     edges_traversed: int
     exchanged_bytes: int
@@ -243,7 +244,7 @@ def multi_gpu_bfs(
     return MultiGPUBFSResult(
         source=source,
         levels=levels,
-        num_levels=int(levels.max()),
+        num_levels=int(levels.max()) + 1,
         edges_traversed=edges_traversed,
         exchanged_bytes=exchanged_bytes,
         sim_seconds=total_seconds,

@@ -1,0 +1,209 @@
+"""Bit-parallel multi-source BFS: one decode serves up to 64 traversals.
+
+Serving heavy query traffic means running *many* BFS instances, and the
+expensive part of every level is decoding the frontier's compressed
+lists (Sec. VI-B: ~70 instructions per edge for EFG).  When sources are
+batched, the per-source frontiers overlap heavily — especially around
+hubs — so running them independently re-decodes the same lists over and
+over.
+
+This module packs up to 64 concurrent sources into per-vertex ``uint64``
+bitmasks (the MS-BFS technique of Then et al., VLDB'14, here fused with
+the paper's decode pipeline):
+
+* ``visited[v]`` — bit ``s`` set iff source ``s`` has reached ``v``.
+* ``frontier[v]`` — bit ``s`` set iff ``v`` is on source ``s``'s current
+  frontier.
+
+Each level expands the *union* frontier (every vertex with any frontier
+bit) exactly once: the backend decodes each active list one time — with
+a :class:`~repro.core.listcache.DecodedListCache` attached, hot lists
+are not even decoded once per level but streamed from on-chip memory —
+and a single 64-wide OR per edge propagates all sources' reachability
+simultaneously.  Newly set bits become the next frontier, and the level
+index is recorded per (source, vertex) pair.
+
+The per-source levels are bit-identical to 64 independent
+:func:`repro.traversal.bfs.bfs` runs (asserted by the test suite): BFS
+levels are deterministic regardless of traversal interleaving.
+
+A convenient structural bonus: the union frontier is materialised with
+``np.flatnonzero`` over the bitmask array, so it is always sorted by
+vertex id — the locality the Sec. VI-E partial frontier sort buys for
+single-source BFS comes for free here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.listcache import CacheStats
+from repro.primitives.bitops import popcount_u64
+from repro.traversal.backends import GraphBackend
+
+__all__ = ["MSBFSResult", "msbfs", "MAX_SOURCES"]
+
+#: Lane capacity of one bitmask word (uint64).
+MAX_SOURCES = 64
+
+#: Per-edge mask-propagation instructions besides the OR itself
+#: (candidate-mask load, new-bit test, enqueue arithmetic).
+MASK_INSTR_PER_EDGE = 6.0
+
+
+@dataclass(frozen=True)
+class MSBFSResult:
+    """Outcome of one bit-parallel multi-source BFS batch.
+
+    ``levels[s, v]`` is the BFS level of vertex ``v`` from
+    ``sources[s]`` (-1 when unreached) — row ``s`` equals
+    ``bfs(backend, sources[s]).levels``.
+    """
+
+    sources: np.ndarray
+    levels: np.ndarray
+    #: Number of BFS levels of the *deepest* source (levels.max() + 1).
+    num_levels: int
+    #: Sum over sources of the edges its traversal would have examined
+    #: (the work the batch amortizes; GTEPS uses this numerator).
+    edges_traversed: int
+    #: Lists actually decoded by the batch (union-frontier visits that
+    #: missed the cache, or all of them without a cache).
+    lists_decoded: int
+    sim_seconds: float
+    cache_stats: CacheStats | None = None
+
+    @property
+    def num_sources(self) -> int:
+        """Number of packed sources (<= 64)."""
+        return int(self.sources.shape[0])
+
+    @property
+    def gteps(self) -> float:
+        """Billions of per-source traversed edges per simulated second."""
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.edges_traversed / self.sim_seconds / 1e9
+
+    @property
+    def seconds_per_source(self) -> float:
+        """Amortized simulated time of one traversal in the batch."""
+        return self.sim_seconds / max(1, self.num_sources)
+
+    def levels_for(self, source: int) -> np.ndarray:
+        """Level array of one source in the batch (by vertex id)."""
+        idx = np.flatnonzero(self.sources == source)
+        if idx.size == 0:
+            raise KeyError(f"source {source} not in this batch")
+        return self.levels[int(idx[0])]
+
+
+def msbfs(
+    backend: GraphBackend,
+    sources: np.ndarray,
+    max_levels: int | None = None,
+) -> MSBFSResult:
+    """Breadth-first search from up to 64 sources in one bit-parallel run.
+
+    Parameters
+    ----------
+    backend:
+        Graph representation bound to a simulated device.  Attach a
+        :class:`~repro.core.listcache.DecodedListCache` first to also
+        amortize decode work *across* levels and batches.
+    sources:
+        1-D array of distinct start vertices, at most :data:`MAX_SOURCES`.
+    max_levels:
+        Optional safety cap on the number of expansion rounds.
+    """
+    nv = backend.num_nodes
+    sources = np.asarray(sources, dtype=np.int64)
+    if sources.ndim != 1 or sources.shape[0] == 0:
+        raise ValueError("sources must be a non-empty 1-D array")
+    if sources.shape[0] > MAX_SOURCES:
+        raise ValueError(
+            f"{sources.shape[0]} sources exceed the {MAX_SOURCES}-bit mask"
+        )
+    if np.unique(sources).shape[0] != sources.shape[0]:
+        raise ValueError("sources must be distinct")
+    if sources.min() < 0 or sources.max() >= nv:
+        raise IndexError("source out of range")
+    num_sources = int(sources.shape[0])
+
+    engine = backend.engine
+    engine.reset_timeline()
+    if backend.cache is not None:
+        backend.cache.reset_stats()
+    lists_decoded_before = backend.lists_decoded
+
+    # Working state the GPU kernels would keep resident: one uint64
+    # visited mask, the current/next frontier masks, and the per-source
+    # level output written on first visit.
+    mem = engine.memory
+    mem.register("work:visited_mask", 8 * nv, priority=-1)
+    mem.register("work:frontier_mask", 16 * nv, priority=-1)
+    mem.register("work:mslevels", 4 * nv * num_sources, priority=-1)
+
+    levels = np.full((num_sources, nv), -1, dtype=np.int64)
+    visited = np.zeros(nv, dtype=np.uint64)
+    frontier_mask = np.zeros(nv, dtype=np.uint64)
+    lane_bits = np.uint64(1) << np.arange(num_sources, dtype=np.uint64)
+    # Seed: distinct sources may still collide in id only if duplicated,
+    # which is rejected above; OR-accumulate handles shared vertices.
+    np.bitwise_or.at(visited, sources, lane_bits)
+    frontier_mask[sources] = visited[sources]
+    levels[np.arange(num_sources), sources] = 0
+
+    depth = 0
+    edges_traversed = 0
+    cap = max_levels if max_levels is not None else nv
+    while depth < cap:
+        active = np.flatnonzero(frontier_mask)
+        if active.size == 0:
+            break
+
+        with engine.launch("msbfs_expand") as k:
+            nbrs, seg = backend.expand(active, k)
+            # Candidate visited-mask probe: one 8 B word per edge, the
+            # 64-source analogue of BFS's 1 B visited-flag probe.
+            k.read_stream("work:visited_mask", nbrs, 8)
+        # Every decoded edge carries the masks of all sources whose
+        # frontier contains its origin — each (source, edge) pair the
+        # sequential runs would traverse separately.
+        active_masks = frontier_mask[active]
+        src_per_edge = active_masks[seg]
+        edges_traversed += int(popcount_u64(src_per_edge).sum())
+
+        with engine.launch("msbfs_update") as k:
+            next_mask = np.zeros(nv, dtype=np.uint64)
+            np.bitwise_or.at(next_mask, nbrs, src_per_edge)
+            new_bits = next_mask & ~visited
+            visited |= new_bits
+            depth += 1
+            changed = np.flatnonzero(new_bits)
+            for s in range(num_sources):
+                reached = changed[
+                    (new_bits[changed] >> np.uint64(s)) & np.uint64(1) > 0
+                ]
+                levels[s, reached] = depth
+            frontier_mask = new_bits
+            # One 64-wide OR propagates all sources per edge; the update
+            # is an atomic RMW on the candidate's frontier word.
+            k.bitmask_ops(nbrs.shape[0])
+            k.instructions(MASK_INSTR_PER_EDGE * nbrs.shape[0])
+            k.atomic("work:frontier_mask", int(nbrs.shape[0]), 8)
+            # New frontier + level writes, one word per changed vertex.
+            k.write("work:frontier_mask", int(changed.shape[0]), 8)
+            k.write("work:mslevels", int(changed.shape[0]), 4)
+
+    return MSBFSResult(
+        sources=sources,
+        levels=levels,
+        num_levels=int(levels.max()) + 1,
+        edges_traversed=edges_traversed,
+        lists_decoded=backend.lists_decoded - lists_decoded_before,
+        sim_seconds=engine.elapsed_seconds,
+        cache_stats=backend.cache.stats if backend.cache is not None else None,
+    )

@@ -146,3 +146,51 @@ class TestBlobLayout:
         lower_end = 4 * n_fwd + seq.lower.shape[0]
         assert np.array_equal(blob[4 * n_fwd : lower_end], seq.lower)
         assert np.array_equal(blob[lower_end:], seq.upper)
+
+
+class TestDecodeAtAnchorBranches:
+    """ef_decode_at has three select paths depending on floor_anchor:
+    the index IS an anchor, no pointer precedes it, or a mid-quantum
+    scan from the closest preceding anchor.  Exercise each explicitly
+    with a small quantum."""
+
+    def _seq(self, rng, n=20, quantum=4):
+        vals = np.sort(rng.integers(0, 10**5, size=n))
+        return ef_encode(vals, quantum=quantum), vals
+
+    def test_index_is_anchor(self, rng):
+        # i = j*quantum - 1 is anchored exactly: select comes straight
+        # from the forward pointer, no upper-bits scan at all.
+        seq, vals = self._seq(rng)
+        for i in (3, 7, 11, 15, 19):
+            assert seq.forward.floor_anchor(i)[0] == i
+            assert ef_decode_at(seq, i) == vals[i]
+
+    def test_no_preceding_anchor(self, rng):
+        # Indices before the first pointer scan from bit 0.
+        seq, vals = self._seq(rng)
+        for i in (0, 1, 2):
+            assert seq.forward.floor_anchor(i) == (-1, -1)
+            assert ef_decode_at(seq, i) == vals[i]
+
+    def test_mid_quantum(self, rng):
+        # Between anchors: bounded scan from the preceding stop bit.
+        seq, vals = self._seq(rng)
+        for i in (4, 5, 6, 12, 18):
+            elem, bit = seq.forward.floor_anchor(i)
+            assert 0 <= elem < i and bit >= 0
+            assert ef_decode_at(seq, i) == vals[i]
+
+    def test_out_of_range(self, rng):
+        seq, _ = self._seq(rng)
+        with pytest.raises(IndexError):
+            ef_decode_at(seq, 20)
+        with pytest.raises(IndexError):
+            ef_decode_at(seq, -1)
+
+    def test_all_indices_all_quanta(self, rng):
+        vals = np.sort(rng.integers(0, 10**6, size=33))
+        for quantum in (2, 4, 8, 64):
+            seq = ef_encode(vals, quantum=quantum)
+            for i in range(33):
+                assert ef_decode_at(seq, i) == vals[i], (quantum, i)

@@ -129,3 +129,35 @@ class TestCostParams:
             CostParams(simt_efficiency=1.5)
         with pytest.raises(ValueError):
             CostParams(warp_width=0)
+
+
+class TestCachedReads:
+    def test_charge_cached_accumulates(self, model):
+        cost = KernelCost("hit")
+        model.charge_cached(cost, "efg_decoded", 100, 4)
+        assert cost.cached_bytes == 400
+        assert cost.breakdown["cache:efg_decoded"] == 400
+        assert cost.device_bytes == 0
+        assert cost.host_bytes == 0
+
+    def test_cache_time_scales_by_ratio(self):
+        mm = MemoryManager(capacity_bytes=10**9)
+        model = CostModel(device=TITAN_XP, memory=mm)
+        big = 10**12  # large enough to dominate every floor
+        dram = KernelCost("dram", device_bytes=big)
+        cached = KernelCost("hit", cached_bytes=big)
+        ratio = model.params.cached_bw_ratio
+        overhead = TITAN_XP.launch_overhead_s
+        assert model.kernel_seconds(dram) - overhead == pytest.approx(
+            ratio * (model.kernel_seconds(cached) - overhead), rel=1e-6
+        )
+
+    def test_ratio_validated(self):
+        with pytest.raises(ValueError):
+            CostParams(cached_bw_ratio=0.5)
+
+    def test_merge_carries_cached_bytes(self):
+        a = KernelCost("a", cached_bytes=100)
+        b = KernelCost("b", cached_bytes=50)
+        a.merge(b)
+        assert a.cached_bytes == 150

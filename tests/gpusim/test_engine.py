@@ -80,3 +80,60 @@ class TestKernelLaunchAPI:
         with pytest.raises(ValueError):
             with engine.launch("k") as k:
                 k.instructions(-1)
+
+
+class TestCachedAndBitmaskHooks:
+    def test_cached_read_in_summary(self, engine):
+        with engine.launch("hit") as k:
+            k.cached_read("efg_decoded", 1000, 4)
+        row = engine.kernel_summary()["hit"]
+        assert row["cached_bytes"] == 4000
+        assert engine.elapsed_seconds > 0
+
+    def test_cached_read_faster_than_dram(self, engine):
+        with engine.launch("hit") as k:
+            k.cached_read("lists", 10**9, 4)
+        cached = engine.elapsed_seconds
+        engine.reset_timeline()
+        with engine.launch("miss") as k:
+            k.read("arr", 10**9, 4)
+        assert cached < engine.elapsed_seconds
+
+    def test_bitmask_ops_charge_instructions(self, engine):
+        with engine.launch("ms") as k:
+            k.bitmask_ops(10**9)
+        assert engine.elapsed_seconds > TITAN_XP.launch_overhead_s
+
+    def test_bitmask_ops_validation(self, engine):
+        with engine.launch("ms") as k:
+            with pytest.raises(ValueError):
+                k.bitmask_ops(-1)
+            with pytest.raises(ValueError):
+                k.bitmask_ops(1, lanes=65)
+            with pytest.raises(ValueError):
+                k.bitmask_ops(1, lanes=0)
+
+
+class TestCounters:
+    def test_record_and_read(self, engine):
+        engine.record_counter("listcache:hits", 3)
+        engine.record_counter("listcache:hits", 2)
+        assert engine.counters["listcache:hits"] == 5
+
+    def test_counters_property_is_a_copy(self, engine):
+        engine.record_counter("x", 1)
+        engine.counters["x"] = 99
+        assert engine.counters["x"] == 1
+
+    def test_reset_clears_counters(self, engine):
+        engine.record_counter("x", 1)
+        engine.reset_timeline()
+        assert engine.counters == {}
+
+    def test_profile_report_lists_counters(self, engine):
+        with engine.launch("k") as k:
+            k.read("arr", 10, 4)
+        engine.record_counter("listcache:hits", 7)
+        report = engine.profile_report()
+        assert "listcache:hits" in report
+        assert "7" in report

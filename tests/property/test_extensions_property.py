@@ -110,3 +110,51 @@ class TestUVMProperty:
         assert uvm.migrated_pages >= min(distinct_pages, 1)
         assert uvm.migrated_pages >= distinct_pages - 0  # cold cache
         assert uvm.evicted_pages == max(0, uvm.migrated_pages - cache_pages)
+
+
+class TestMSBFSProperty:
+    @given(graph=graphs(), data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_levels_match_independent_bfs(self, graph, data):
+        from repro.core.efg import efg_encode
+        from repro.core.listcache import DecodedListCache
+        from repro.traversal.backends import EFGBackend
+        from repro.traversal.bfs import bfs
+        from repro.traversal.msbfs import msbfs
+
+        num_sources = data.draw(st.integers(1, min(64, graph.num_nodes)))
+        seed = data.draw(st.integers(0, 2**31))
+        cache_bytes = data.draw(st.sampled_from([0, 256, 1 << 16]))
+        rng = np.random.default_rng(seed)
+        sources = rng.choice(graph.num_nodes, size=num_sources, replace=False)
+
+        backend = EFGBackend(efg_encode(graph), DEVICE)
+        if cache_bytes:
+            backend.attach_cache(DecodedListCache(budget_bytes=cache_bytes))
+        ms = msbfs(backend, sources)
+
+        ref_backend = EFGBackend(efg_encode(graph), DEVICE)
+        for row, s in enumerate(sources):
+            ref = bfs(ref_backend, int(s))
+            assert np.array_equal(ms.levels[row], ref.levels), (s, cache_bytes)
+
+    @given(graph=graphs(), budget=st.sampled_from([64, 1024, 1 << 15]),
+           policy=st.sampled_from(["lru", "degree"]))
+    @settings(max_examples=25, deadline=None)
+    def test_cache_never_changes_bfs_result(self, graph, budget, policy):
+        from repro.core.efg import efg_encode
+        from repro.core.listcache import DecodedListCache
+        from repro.traversal.backends import EFGBackend
+        from repro.traversal.bfs import bfs
+
+        plain = EFGBackend(efg_encode(graph), DEVICE)
+        cached = EFGBackend(efg_encode(graph), DEVICE)
+        cached.attach_cache(
+            DecodedListCache(budget_bytes=budget, policy=policy)
+        )
+        for source in range(0, graph.num_nodes, max(1, graph.num_nodes // 5)):
+            ref = bfs(plain, source)
+            got = bfs(cached, source)
+            assert np.array_equal(got.levels, ref.levels)
+            assert got.edges_traversed == ref.edges_traversed
+        assert cached.cache.used_bytes <= budget

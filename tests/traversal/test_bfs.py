@@ -38,7 +38,8 @@ class TestCorrectness:
         backend = CSRBackend(CSRGraph.from_graph(chain_graph), scaled_device)
         r = bfs(backend, 0)
         assert r.levels.tolist() == list(range(10))
-        assert r.num_levels == 9
+        # Ten levels (0..9): num_levels counts levels, not the deepest index.
+        assert r.num_levels == 10
         assert r.edges_traversed == 9
 
     def test_unreachable_marked(self, scaled_device):
@@ -75,8 +76,21 @@ class TestCorrectness:
     def test_max_levels_cap(self, chain_graph, scaled_device):
         backend = CSRBackend(CSRGraph.from_graph(chain_graph), scaled_device)
         r = bfs(backend, 0, max_levels=3)
-        assert r.num_levels == 3
+        assert r.num_levels == 4  # levels 0, 1, 2, 3 were assigned
         assert r.levels[9] == -1
+
+    def test_num_levels_counts_distinct_levels(self, small_graph, scaled_device):
+        backend = CSRBackend(CSRGraph.from_graph(small_graph), scaled_device)
+        r = bfs(backend, 0)
+        reached = r.levels[r.levels >= 0]
+        assert r.num_levels == len(np.unique(reached))
+        assert r.num_levels == int(r.levels.max()) + 1
+        # Single-vertex traversal: the source alone is one level.
+        from repro.formats.graph import Graph
+
+        lone = Graph.from_adjacency([[], []])
+        lone_backend = CSRBackend(CSRGraph.from_graph(lone), scaled_device)
+        assert bfs(lone_backend, 0).num_levels == 1
 
 
 class TestMetrics:
