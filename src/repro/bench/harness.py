@@ -19,6 +19,8 @@ from repro.formats.csr import CSRGraph
 from repro.formats.graph import Graph
 from repro.formats.ligra_plus import LigraPlusGraph, ligra_encode
 from repro.gpusim.device import CPU_E5_2696V4_X2, DeviceSpec, TITAN_XP, V100
+from repro.obs.metrics import run_metrics
+from repro.obs.roofline import roofline_report
 from repro.traversal.backends import (
     CGRBackend,
     CSRBackend,
@@ -33,11 +35,14 @@ __all__ = [
     "SCALED_V100",
     "SCALED_CPU",
     "EncodedGraph",
+    "PROFILE_ALGOS",
+    "ProfiledRun",
     "encoded_suite_graph",
     "encode_all",
     "make_backend",
     "pick_sources",
     "run_bfs_average",
+    "run_profiled",
 ]
 
 #: Titan Xp with memory and launch overhead scaled to the suite.
@@ -129,6 +134,94 @@ def pick_sources(graph: Graph, count: int, seed: int = 42) -> np.ndarray:
         raise ValueError("graph has no vertex with out-degree > 0")
     count = min(count, candidates.size)
     return rng.choice(candidates, size=count, replace=False)
+
+
+#: Algorithms :func:`run_profiled` can drive (CLI ``repro profile``).
+PROFILE_ALGOS = ("bfs", "dobfs", "msbfs", "sssp", "delta", "pagerank")
+
+
+@dataclass(frozen=True)
+class ProfiledRun:
+    """One instrumented run: algorithm result + telemetry artefacts."""
+
+    algo: str
+    result: object
+    #: Stable-schema metrics dump (:func:`repro.obs.metrics.run_metrics`).
+    metrics: dict
+    #: Human-readable roofline/utilization report.
+    report: str
+
+
+def run_profiled(
+    algo: str,
+    backend: GraphBackend,
+    source: int = 0,
+    sources: np.ndarray | None = None,
+    weights: np.ndarray | None = None,
+    meta: dict | None = None,
+    **kwargs,
+) -> ProfiledRun:
+    """Run one algorithm under full telemetry and collect the artefacts.
+
+    The single entry point behind ``repro profile`` and the CI perf
+    gate: dispatches to the traversal driver, folds the decoded-list
+    cache's end-of-run stats into the metrics registry, and serialises
+    the run to the stable metrics schema plus a roofline report.
+    ``kwargs`` pass through to the driver (e.g. ``partial_sort``,
+    ``damping``).
+    """
+    if algo == "bfs":
+        result = bfs(backend, source, **kwargs)
+    elif algo == "dobfs":
+        from repro.traversal.direction_optimizing import (
+            bfs_direction_optimizing,
+        )
+
+        result = bfs_direction_optimizing(backend, source=source, **kwargs)
+    elif algo == "msbfs":
+        from repro.traversal.msbfs import msbfs
+
+        if sources is None:
+            raise ValueError("msbfs needs a sources array")
+        result = msbfs(backend, sources, **kwargs)
+    elif algo == "sssp":
+        from repro.traversal.sssp import sssp
+
+        if weights is None:
+            raise ValueError("sssp needs edge weights")
+        result = sssp(backend, source, weights, **kwargs)
+    elif algo == "delta":
+        from repro.traversal.delta_stepping import delta_stepping_sssp
+
+        if weights is None:
+            raise ValueError("delta-stepping needs edge weights")
+        result = delta_stepping_sssp(backend, source, weights, **kwargs)
+    elif algo == "pagerank":
+        from repro.traversal.pagerank import pagerank
+
+        result = pagerank(backend, **kwargs)
+    else:
+        raise ValueError(f"unknown algorithm {algo!r}; pick from {PROFILE_ALGOS}")
+
+    engine = backend.engine
+    if backend.cache is not None:
+        backend.cache.stats.publish(engine.metrics)
+    gteps = getattr(result, "gteps", None)
+    if gteps is not None:
+        engine.metrics.set_gauge("run.gteps", gteps)
+    run_meta = {
+        "algo": algo,
+        "format": backend.format_name,
+        "num_nodes": int(backend.num_nodes),
+        "num_edges": int(backend.num_edges),
+        **(meta or {}),
+    }
+    return ProfiledRun(
+        algo=algo,
+        result=result,
+        metrics=run_metrics(engine, meta=run_meta),
+        report=roofline_report(engine),
+    )
 
 
 def run_bfs_average(

@@ -13,6 +13,15 @@ Commands
 ``msbfs <graph.npz|edges.txt> [--num-sources N] [--cache-kb KB]``
     Bit-parallel multi-source BFS: up to 64 sources share each list
     decode; prints amortized per-source time/GTEPS and cache hit rate.
+``profile <algo> [graph] [--trace out.json] [--metrics m.json]``
+    Run one algorithm under full telemetry: prints the roofline report
+    (per-kernel and per-level bound labels), optionally writes a
+    Perfetto trace with nested spans + counter tracks and a
+    stable-schema metrics JSON.  Without a graph a deterministic RMAT
+    graph is generated, so two invocations are byte-identical.
+``compare <a.json> <b.json> [--threshold PCT]``
+    Diff two metrics dumps per kernel and per cost term; exits
+    non-zero when any key moved more than the threshold (CI perf gate).
 ``suite``
     List the scaled paper suite with sizes and memory regions.
 """
@@ -84,7 +93,9 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_backend(graph, fmt: str, device_scale: float, cache_kb: int):
+def _make_backend(
+    graph, fmt: str, device_scale: float, cache_kb: int, weight_bytes: int = 0
+):
     from repro.core.efg import efg_encode
     from repro.core.listcache import DecodedListCache
     from repro.formats.cgr import cgr_encode
@@ -94,11 +105,13 @@ def _make_backend(graph, fmt: str, device_scale: float, cache_kb: int):
 
     device = TITAN_XP.scaled(device_scale)
     if fmt == "efg":
-        backend = EFGBackend(efg_encode(graph), device)
+        backend = EFGBackend(efg_encode(graph), device, weight_bytes=weight_bytes)
     elif fmt == "csr":
-        backend = CSRBackend(CSRGraph.from_graph(graph), device)
+        backend = CSRBackend(
+            CSRGraph.from_graph(graph), device, weight_bytes=weight_bytes
+        )
     elif fmt == "cgr":
-        backend = CGRBackend(cgr_encode(graph), device)
+        backend = CGRBackend(cgr_encode(graph), device, weight_bytes=weight_bytes)
     else:
         raise SystemExit(f"unknown format {fmt!r}")
     if cache_kb < 0:
@@ -170,6 +183,93 @@ def _cmd_msbfs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.bench.harness import run_profiled
+    from repro.obs.export import write_perfetto_trace
+    from repro.obs.metrics import dump_metrics
+    from repro.traversal.msbfs import MAX_SOURCES
+
+    if args.graph is not None:
+        graph = _load(args.graph)
+        graph_name = args.graph
+    else:
+        from repro.datasets.rmat import rmat_graph
+
+        graph = rmat_graph(
+            scale=args.rmat_scale, edge_factor=args.edge_factor, seed=args.seed
+        )
+        graph_name = f"rmat(scale={args.rmat_scale},ef={args.edge_factor},seed={args.seed})"
+
+    needs_weights = args.algo in ("sssp", "delta")
+    weight_bytes = 4 * graph.num_edges if needs_weights else 0
+    backend = _make_backend(
+        graph, args.format, args.device_scale, args.cache_kb, weight_bytes
+    )
+    rng = np.random.default_rng(args.seed)
+    weights = (
+        rng.uniform(0.1, 1.0, size=graph.num_edges).astype(np.float32)
+        if needs_weights
+        else None
+    )
+    source = args.source
+    if args.algo != "pagerank" and graph.degrees[source] == 0:
+        source = int(np.argmax(graph.degrees))
+        print(f"source {args.source} has no out-edges; using {source}")
+    sources = None
+    if args.algo == "msbfs":
+        if not 1 <= args.num_sources <= MAX_SOURCES:
+            raise SystemExit(f"--num-sources must be in [1, {MAX_SOURCES}]")
+        candidates = np.flatnonzero(graph.degrees > 0)
+        count = min(args.num_sources, candidates.shape[0])
+        sources = rng.choice(candidates, size=count, replace=False)
+
+    run = run_profiled(
+        args.algo,
+        backend,
+        source=source,
+        sources=sources,
+        weights=weights,
+        meta={"graph": graph_name, "seed": str(args.seed)},
+    )
+    result = run.result
+    print(
+        f"{args.format} {args.algo}: "
+        f"{result.sim_seconds * 1e3:.3f} ms simulated"
+        + (f", {result.gteps:.2f} GTEPS" if hasattr(result, "gteps") else "")
+    )
+    print()
+    print(run.report)
+    if args.trace:
+        write_perfetto_trace(backend.engine, args.trace)
+        print(f"\nwrote Perfetto trace to {args.trace}")
+    if args.metrics:
+        dump_metrics(run.metrics, args.metrics)
+        print(f"wrote metrics to {args.metrics}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.obs.compare import (
+        compare_metrics,
+        format_comparison,
+        load_metrics,
+    )
+
+    if args.threshold < 0:
+        raise SystemExit(f"--threshold must be >= 0, got {args.threshold}")
+    a = load_metrics(args.metrics_a)
+    b = load_metrics(args.metrics_b)
+    cmp = compare_metrics(a, b, threshold=args.threshold / 100.0)
+    print(format_comparison(cmp))
+    if not cmp.ok:
+        print(
+            f"\nFAIL: {len(cmp.regressions)} key(s) moved more than "
+            f"{args.threshold:.2f}%"
+        )
+        return 1
+    return 0
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     from repro.datasets.suite import build_suite_graph, suite_entries
     from repro.formats.csr import CSRGraph
@@ -232,6 +332,46 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cache-kb", type=int, default=256,
                    help="decoded-list cache budget in KiB (0 = no cache)")
     p.set_defaults(func=_cmd_msbfs)
+
+    p = sub.add_parser(
+        "profile", help="run one algorithm under full telemetry"
+    )
+    p.add_argument(
+        "algo",
+        choices=("bfs", "dobfs", "msbfs", "sssp", "delta", "pagerank"),
+    )
+    p.add_argument(
+        "graph", nargs="?", default=None,
+        help="graph file; omit to generate a deterministic RMAT graph",
+    )
+    p.add_argument("--format", choices=("efg", "csr", "cgr"), default="efg")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--num-sources", type=int, default=64,
+                   help="sources for msbfs (default 64)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="seed for generated graphs, weights and sources")
+    p.add_argument("--rmat-scale", type=int, default=10,
+                   help="log2 |V| of the generated RMAT graph (default 10)")
+    p.add_argument("--edge-factor", type=int, default=8,
+                   help="edges per vertex of the generated graph (default 8)")
+    p.add_argument("--device-scale", type=float, default=2048,
+                   help="shrink the Titan Xp by this factor (default 2048)")
+    p.add_argument("--cache-kb", type=int, default=0,
+                   help="decoded-list cache budget in KiB (0 = no cache)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Perfetto trace (nested spans + counters)")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write the stable-schema metrics JSON")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "compare", help="diff two metrics dumps; exit 1 past threshold"
+    )
+    p.add_argument("metrics_a")
+    p.add_argument("metrics_b")
+    p.add_argument("--threshold", type=float, default=2.0,
+                   help="max tolerated relative change in percent (default 2)")
+    p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("suite", help="list the scaled paper suite")
     p.add_argument("--v100", action="store_true",

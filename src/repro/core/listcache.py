@@ -80,6 +80,18 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    def publish(self, metrics, prefix: str = "listcache") -> None:
+        """Export the final counters into a metrics registry as gauges.
+
+        Gauges, not counters: these are end-of-run totals, and the
+        per-expand increments already flow through the engine's
+        ``listcache:*`` counters during the run.  ``metrics`` is a
+        :class:`repro.obs.metrics.MetricsRegistry` (duck-typed to keep
+        this module dependency-free).
+        """
+        for key, value in self.as_dict().items():
+            metrics.set_gauge(f"{prefix}.{key}", value)
+
 
 class DecodedListCache:
     """Byte-budgeted cache of decoded neighbour arrays, keyed by vertex.

@@ -2,10 +2,20 @@
 
 One :class:`SimEngine` drives one analytics run.  Traversal code opens
 kernels with :meth:`launch`; on close, the kernel's simulated duration
-is appended to the timeline.  ``elapsed_seconds`` is the sum over
-launches (level-synchronous algorithms serialize their kernels), and
-``kernel_summary`` aggregates by kernel name for profiling-style
-reports — mirroring how one reads an ``nvprof`` trace.
+is appended to the timeline.  ``elapsed_seconds`` is a running total
+maintained per launch (level-synchronous algorithms serialize their
+kernels), and ``kernel_summary`` aggregates by kernel name for
+profiling-style reports — mirroring how one reads an ``nvprof`` trace.
+
+The engine is also the root of the telemetry layer (:mod:`repro.obs`):
+every engine carries a :class:`~repro.obs.spans.Tracer` building the
+``run -> algorithm -> level -> kernel`` span hierarchy (:meth:`launch`
+opens kernel spans itself; drivers open the outer layers via
+:meth:`span`) and a :class:`~repro.obs.metrics.MetricsRegistry` of
+counters/gauges/histograms.  :meth:`sample` records named time series
+(frontier size, cache hit rate) that the Perfetto exporter turns into
+counter tracks.  All of it keys off the simulated clock, so identical
+runs produce identical telemetry.
 """
 
 from __future__ import annotations
@@ -18,8 +28,27 @@ from repro.gpusim.cost import CostModel, CostParams, KernelCost
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.memory import MemoryManager
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, Tracer
 
-__all__ = ["SimEngine"]
+__all__ = ["LaunchRecord", "SimEngine"]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One completed kernel launch on the timeline.
+
+    ``start_s`` is the simulated time the launch began.  Today kernels
+    are strictly sequential, so starts happen to be cumulative — but
+    exporters must use the recorded value, never re-accumulate
+    durations, so future overlap/async execution cannot silently
+    corrupt traces.
+    """
+
+    name: str
+    start_s: float
+    seconds: float
+    cost: KernelCost
 
 
 @dataclass
@@ -29,9 +58,11 @@ class SimEngine:
     device: DeviceSpec
     memory: MemoryManager
     params: CostParams = field(default_factory=CostParams)
-    _timeline: list[tuple[str, float]] = field(default_factory=list)
-    _by_kernel: dict[str, KernelCost] = field(default_factory=dict)
-    _counters: dict[str, float] = field(default_factory=dict)
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    _records: list[LaunchRecord] = field(default_factory=list)
+    _elapsed: float = 0.0
+    _series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
 
     @classmethod
     def for_device(
@@ -53,77 +84,152 @@ class SimEngine:
 
     @contextmanager
     def launch(self, name: str) -> Iterator[KernelLaunch]:
-        """Open a kernel launch; its cost lands on the timeline at exit."""
+        """Open a kernel launch; its cost lands on the timeline at exit.
+
+        Also opens a ``kernel`` span under whatever span the caller has
+        open, annotated at close with the launch's cost breakdown — the
+        leaf level of the run's span hierarchy.
+        """
+        start = self._elapsed
+        span = self.tracer.open(name, "kernel", start)
         kernel = KernelLaunch(name=name, model=self.model)
-        yield kernel
+        try:
+            yield kernel
+        except BaseException:
+            self.tracer.close(self._elapsed)
+            raise
         seconds = self.model.kernel_seconds(kernel.cost)
-        self._timeline.append((name, seconds))
-        # Aggregate a *copy* so the caller's live cost record stays
-        # untouched by later launches of the same kernel.
+        # Snapshot the cost so the caller's live record stays untouched
+        # by later mutation; the record is the single source of truth
+        # for summaries and exporters.
+        cost = kernel.cost
         snapshot = KernelCost(
             name=name,
-            device_bytes=kernel.cost.device_bytes,
-            host_bytes=kernel.cost.host_bytes,
-            cached_bytes=kernel.cost.cached_bytes,
-            instructions=kernel.cost.instructions,
-            floor_seconds=kernel.cost.floor_seconds,
-            launches=kernel.cost.launches,
-            breakdown=dict(kernel.cost.breakdown),
+            device_bytes=cost.device_bytes,
+            host_bytes=cost.host_bytes,
+            cached_bytes=cost.cached_bytes,
+            instructions=cost.instructions,
+            floor_seconds=cost.floor_seconds,
+            launches=cost.launches,
+            breakdown=dict(cost.breakdown),
         )
-        if name in self._by_kernel:
-            self._by_kernel[name].merge(snapshot)
-        else:
-            self._by_kernel[name] = snapshot
+        self._records.append(LaunchRecord(name, start, seconds, snapshot))
+        self._elapsed += seconds
+        span.annotate(
+            seconds=seconds,
+            device_bytes=snapshot.device_bytes,
+            host_bytes=snapshot.host_bytes,
+            cached_bytes=snapshot.cached_bytes,
+            instructions=snapshot.instructions,
+            breakdown=dict(snapshot.breakdown),
+        )
+        self.tracer.close(self._elapsed)
+
+    @contextmanager
+    def span(self, name: str, kind: str = "phase", **attrs) -> Iterator[Span]:
+        """Open a named span over simulated time (algorithm, level, ...).
+
+        Yields the :class:`~repro.obs.spans.Span` so the caller can
+        :meth:`~repro.obs.spans.Span.annotate` it with whatever it
+        learns mid-level (edges expanded, direction decision, ...).
+        """
+        span = self.tracer.open(name, kind, self._elapsed, attrs)
+        try:
+            yield span
+        finally:
+            self.tracer.close(self._elapsed)
 
     @property
     def elapsed_seconds(self) -> float:
-        """Total simulated time across all launches so far."""
-        return sum(t for _, t in self._timeline)
+        """Total simulated time across all launches so far (O(1))."""
+        return self._elapsed
 
     @property
     def num_launches(self) -> int:
         """Number of kernel launches recorded."""
-        return len(self._timeline)
+        return len(self._records)
+
+    @property
+    def records(self) -> list[LaunchRecord]:
+        """The launch timeline, in completion order (read-only use)."""
+        return self._records
+
+    @property
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        """Named ``(sim_time, value)`` series recorded via :meth:`sample`."""
+        return self._series
 
     def reset_timeline(self) -> None:
-        """Clear timing state, keeping the memory plan (new traversal run)."""
-        self._timeline.clear()
-        self._by_kernel.clear()
-        self._counters.clear()
+        """Clear timing state, keeping the memory plan (new traversal run).
 
-    # -- named counters (cache hits, bytes saved, ...) -------------------
+        Telemetry — spans, metrics, series — belongs to one run and is
+        reset along with the timeline.
+        """
+        self._records.clear()
+        self._elapsed = 0.0
+        self._series.clear()
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    # -- named counters and series (cache hits, frontier sizes, ...) -----
 
     def record_counter(self, name: str, delta: float) -> None:
         """Accumulate a named event counter on this run's timeline.
 
-        Used for quantities that are not traffic or time — decoded-list
-        cache hits/misses/evictions, bytes saved — so they show up next
+        Compatibility shim over ``metrics.inc``: existing call sites
+        (decoded-list cache hits/misses/evictions, bytes saved) keep
+        working and their counters land in the metrics registry, next
         to the kernels that produced them in :meth:`profile_report`.
         Cleared by :meth:`reset_timeline` like the rest of the run state.
         """
-        self._counters[name] = self._counters.get(name, 0.0) + float(delta)
+        self.metrics.inc(name, delta)
 
     @property
     def counters(self) -> dict[str, float]:
         """Named event counters accumulated during this run (a copy)."""
-        return dict(self._counters)
+        return dict(self.metrics.counters)
+
+    def sample(self, name: str, value: float) -> None:
+        """Record one point of a named time series at the current time.
+
+        Series become Perfetto counter tracks (frontier size over the
+        run, cache hit rate, ...); the timestamp is the simulated clock.
+        """
+        self._series.setdefault(name, []).append(
+            (self._elapsed, float(value))
+        )
 
     def kernel_summary(self) -> dict[str, dict[str, float]]:
         """Aggregate traffic/instructions/time by kernel name."""
         out: dict[str, dict[str, float]] = {}
-        times: dict[str, float] = {}
-        for name, seconds in self._timeline:
-            times[name] = times.get(name, 0.0) + seconds
-        for name, cost in self._by_kernel.items():
-            out[name] = {
-                "launches": float(cost.launches),
-                "device_bytes": cost.device_bytes,
-                "host_bytes": cost.host_bytes,
-                "cached_bytes": cost.cached_bytes,
-                "instructions": cost.instructions,
-                "seconds": times.get(name, 0.0),
-            }
+        for rec in self._records:
+            row = out.setdefault(
+                rec.name,
+                {
+                    "launches": 0.0,
+                    "device_bytes": 0.0,
+                    "host_bytes": 0.0,
+                    "cached_bytes": 0.0,
+                    "instructions": 0.0,
+                    "floor_seconds": 0.0,
+                    "seconds": 0.0,
+                },
+            )
+            row["launches"] += rec.cost.launches
+            row["device_bytes"] += rec.cost.device_bytes
+            row["host_bytes"] += rec.cost.host_bytes
+            row["cached_bytes"] += rec.cost.cached_bytes
+            row["instructions"] += rec.cost.instructions
+            row["floor_seconds"] += rec.cost.floor_seconds
+            row["seconds"] += rec.seconds
         return out
+
+    @staticmethod
+    def _fit_name(name: str, width: int = 32) -> str:
+        """Fixed-width name cell; long names get a trailing ellipsis."""
+        if len(name) <= width:
+            return f"{name:{width}s}"
+        return name[: width - 1] + "…"
 
     def profile_report(self) -> str:
         """nvprof-style text table of where simulated time went."""
@@ -134,11 +240,12 @@ class SimEngine:
             summary.items(), key=lambda kv: -kv[1]["seconds"]
         ):
             lines.append(
-                f"{name:32s} {row['seconds'] * 1e3:10.3f} "
+                f"{self._fit_name(name)} {row['seconds'] * 1e3:10.3f} "
                 f"{100 * row['seconds'] / total:6.1f} {int(row['launches']):9d}"
             )
-        if self._counters:
-            lines.append(f"{'counter':32s} {'value':>14s}")
-            for name in sorted(self._counters):
-                lines.append(f"{name:32s} {self._counters[name]:14,.0f}")
+        counters = self.metrics.counters
+        if counters:
+            lines.append(f"{'counter':32s} {'value':>18s}")
+            for name in sorted(counters):
+                lines.append(f"{self._fit_name(name)} {counters[name]:18,.0f}")
         return "\n".join(lines)

@@ -4,6 +4,12 @@
 module serialises a :class:`~repro.gpusim.engine.SimEngine` timeline to
 it, so a simulated traversal can be inspected kernel-by-kernel the way
 one would inspect an ``nsys`` capture of the real implementation.
+
+:func:`write_chrome_trace` keeps the original flat per-kernel layout.
+For the full picture — nested ``run -> algorithm -> level -> kernel``
+spans plus counter tracks (frontier size, cumulative bytes, cache hit
+rate) — use :func:`repro.obs.export.write_perfetto_trace`, which
+composes :func:`timeline_events` with the span and counter exporters.
 """
 
 from __future__ import annotations
@@ -18,30 +24,30 @@ __all__ = ["timeline_events", "write_chrome_trace"]
 def timeline_events(engine: SimEngine, pid: int = 0) -> list[dict]:
     """Complete-event ('X') records for every kernel launch, in order.
 
-    Timestamps are simulated microseconds; kernels of the same name
-    share a Perfetto track via their thread id.
+    Timestamps are simulated microseconds taken from each launch's
+    *recorded* start time (never re-accumulated from durations, so
+    traces stay correct if launches ever overlap); kernels of the same
+    name share a Perfetto track via their thread id.
     """
     events: list[dict] = []
     tids: dict[str, int] = {}
-    cursor = 0.0
-    for name, seconds in engine._timeline:  # noqa: SLF001 - own module family
-        tid = tids.setdefault(name, len(tids))
+    for record in engine.records:
+        tid = tids.setdefault(record.name, len(tids))
         events.append(
             {
-                "name": name,
+                "name": record.name,
                 "ph": "X",
-                "ts": cursor * 1e6,
-                "dur": seconds * 1e6,
+                "ts": record.start_s * 1e6,
+                "dur": record.seconds * 1e6,
                 "pid": pid,
                 "tid": tid,
             }
         )
-        cursor += seconds
     return events
 
 
 def write_chrome_trace(engine: SimEngine, path: str, pid: int = 0) -> None:
-    """Write the timeline as a chrome://tracing JSON file."""
+    """Write the kernel timeline as a chrome://tracing JSON file."""
     payload = {
         "traceEvents": timeline_events(engine, pid=pid),
         "displayTimeUnit": "ms",

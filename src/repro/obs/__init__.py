@@ -1,0 +1,30 @@
+"""Observability: spans, metrics, roofline analysis, run comparison.
+
+The telemetry layer of the simulator.  :mod:`repro.obs.spans` and
+:mod:`repro.obs.metrics` are dependency-free building blocks consumed
+by :class:`~repro.gpusim.engine.SimEngine` (every engine carries a
+tracer and a metrics registry); the analysis and export layers sit on
+top:
+
+* :mod:`repro.obs.roofline` — per-kernel / per-level achieved-vs-peak
+  bandwidth and the memory/pcie/compute/latency bound labels;
+* :mod:`repro.obs.export` — Perfetto traces with nested spans and
+  counter tracks;
+* :mod:`repro.obs.compare` — diff two metrics dumps, gate regressions.
+
+Only the building blocks are re-exported here: the heavier layers
+import the engine and are loaded as submodules on demand, keeping the
+``engine -> obs`` import edge acyclic.
+"""
+
+from repro.obs.metrics import METRICS_SCHEMA, Histogram, MetricsRegistry
+from repro.obs.spans import Span, Tracer, aggregate_kernel_costs
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "aggregate_kernel_costs",
+]

@@ -1,0 +1,132 @@
+"""Perfetto/chrome-trace export: nested spans and counter tracks.
+
+Extends the flat kernel timeline of :mod:`repro.gpusim.trace` with the
+two things a flat trace cannot show:
+
+* the **span hierarchy** (run -> algorithm -> level -> kernel) as
+  nested complete events on a dedicated track, so one can click a slow
+  level and see exactly which launches and how many bytes it contains;
+* **counter tracks** sampled over simulated time — frontier size,
+  cumulative bytes moved, decoded-list-cache hit rate — the continuous
+  signals behind the paper's per-level plots.
+
+Everything is keyed to the simulated clock (microsecond ``ts`` like an
+``nsys`` export), so traces from identical runs are identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.gpusim.engine import SimEngine
+
+__all__ = [
+    "KERNEL_PID",
+    "SPAN_PID",
+    "span_events",
+    "counter_events",
+    "write_perfetto_trace",
+]
+
+#: Process id of the flat per-kernel timeline (one track per kernel name).
+KERNEL_PID = 0
+
+#: Process id of the nested span hierarchy (single track, events nest
+#: by time containment, exactly how Perfetto renders call stacks).
+SPAN_PID = 1
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays and other oddballs to JSON types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if hasattr(value, "tolist"):  # numpy array
+        return value.tolist()
+    return str(value)
+
+
+def span_events(engine: "SimEngine") -> list[dict]:
+    """Nested complete events for the whole span tree.
+
+    Spans still open at export time (the root "run" span) are closed at
+    the engine's current simulated time.  All spans share one track;
+    Perfetto nests same-track events by interval containment, which the
+    hierarchical timestamps guarantee.
+    """
+    root = engine.tracer.root
+    if root is None:
+        return []
+    now = engine.elapsed_seconds
+    events: list[dict] = []
+    for depth, span in root.walk():
+        end = span.end_s if span.end_s is not None else now
+        args = {k: _jsonable(v) for k, v in sorted(span.attrs.items())}
+        args["kind"] = span.kind
+        args["depth"] = depth
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": (end - span.start_s) * 1e6,
+                "pid": SPAN_PID,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return events
+
+
+def counter_events(engine: "SimEngine") -> list[dict]:
+    """Counter-track events: explicit samples plus derived byte totals.
+
+    * every series recorded via :meth:`SimEngine.sample` (frontier
+      size, cache hit rate, ...) becomes its own counter track;
+    * ``cumulative_bytes`` is derived from the launch records — total
+      device+host bytes moved, sampled at each launch completion — so
+      any run with at least one launch gets at least one counter track.
+    """
+    events: list[dict] = []
+
+    def emit(name: str, t_s: float, value: float) -> None:
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": t_s * 1e6,
+                "pid": KERNEL_PID,
+                "tid": 0,
+                "args": {"value": _jsonable(value)},
+            }
+        )
+
+    for name, series in sorted(engine.series.items()):
+        for t_s, value in series:
+            emit(name, t_s, value)
+    cumulative = 0.0
+    for record in engine.records:
+        cumulative += record.cost.device_bytes + record.cost.host_bytes
+        emit("cumulative_bytes", record.start_s + record.seconds, cumulative)
+    return events
+
+
+def write_perfetto_trace(engine: "SimEngine", path: str) -> None:
+    """Write the full trace: kernel tracks + span hierarchy + counters."""
+    from repro.gpusim.trace import timeline_events
+
+    payload = {
+        "traceEvents": (
+            timeline_events(engine, pid=KERNEL_PID)
+            + span_events(engine)
+            + counter_events(engine)
+        ),
+        "displayTimeUnit": "ms",
+        "metadata": {"device": engine.device.name, "exporter": "repro.obs"},
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh)

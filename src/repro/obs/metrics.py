@@ -1,0 +1,189 @@
+"""Metrics registry and the stable run-metrics JSON schema.
+
+The engine's ad-hoc ``record_counter`` strings grew organically; this
+module replaces them with a typed registry — counters (monotonic
+accumulators), gauges (last-value), and histograms (power-of-two
+buckets, the right shape for frontier sizes) — while
+:meth:`~repro.gpusim.engine.SimEngine.record_counter` survives as a
+compatibility shim that forwards into the registry.
+
+:func:`run_metrics` serialises one finished run into a versioned,
+deterministically ordered dict: totals, per-kernel rows, the registry
+contents, and the roofline analysis.  Two identical runs produce
+byte-identical dumps (no wall-clock anywhere), which is what lets
+``repro compare`` gate perf regressions in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.gpusim.engine import SimEngine
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "Histogram",
+    "MetricsRegistry",
+    "bytes_per_edge",
+    "run_metrics",
+    "dump_metrics",
+]
+
+#: Version tag of the metrics JSON layout.  Bump on breaking changes;
+#: ``repro compare`` refuses to diff dumps with different schemas.
+METRICS_SCHEMA = "repro.metrics/1"
+
+
+class Histogram:
+    """Power-of-two bucketed histogram (plus count/sum/min/max).
+
+    A value lands in the bucket whose upper bound is the smallest power
+    of two >= value (bucket "0" holds exact zeros).  Geometric buckets
+    suit the heavy-tailed distributions we record — frontier sizes span
+    six orders of magnitude within one BFS.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._buckets: dict[int, int] = {}  # exponent -> count; -1 = zeros
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0, got {value}")
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        exp = -1 if value == 0 else max(0, math.ceil(math.log2(value)))
+        self._buckets[exp] = self._buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """Stable JSON form; bucket keys are the upper bounds."""
+        buckets = {
+            ("0" if exp < 0 else str(2**exp)): n
+            for exp, n in sorted(self._buckets.items())
+        }
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": 0.0 if self.min is None else self.min,
+            "max": 0.0 if self.max is None else self.max,
+            "mean": self.mean,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, delta: float = 1.0) -> None:
+        """Add ``delta`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0.0) + float(delta)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use)."""
+        if name not in self.histograms:
+            self.histograms[name] = Histogram()
+        self.histograms[name].observe(value)
+
+    def to_dict(self) -> dict:
+        """Deterministically ordered JSON form of the registry."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+
+def run_metrics(engine: "SimEngine", meta: dict | None = None) -> dict:
+    """Serialise one finished run to the stable metrics schema.
+
+    ``meta`` entries (algorithm name, graph, format, ...) land under
+    ``"meta"`` and are reported but never diffed by ``repro compare``.
+    Everything else — totals, per-kernel rows, registry contents,
+    roofline — is numeric and comparable.
+    """
+    from repro.obs.roofline import kernel_rooflines
+
+    summary = engine.kernel_summary()
+    totals = {
+        "elapsed_seconds": engine.elapsed_seconds,
+        "launches": float(engine.num_launches),
+        "device_bytes": sum(r["device_bytes"] for r in summary.values()),
+        "host_bytes": sum(r["host_bytes"] for r in summary.values()),
+        "cached_bytes": sum(r["cached_bytes"] for r in summary.values()),
+        "instructions": sum(r["instructions"] for r in summary.values()),
+    }
+    roofline = {
+        r.name: {
+            "achieved_dram_gbs": r.achieved_dram_bw / 1e9,
+            "achieved_link_gbs": r.achieved_link_bw / 1e9,
+            "dram_frac_of_peak": r.dram_frac,
+            "link_frac_of_peak": r.link_frac,
+            "compute_frac_of_peak": r.compute_frac,
+            "bound": r.bound,
+        }
+        for r in kernel_rooflines(engine)
+    }
+    payload = {
+        "schema": METRICS_SCHEMA,
+        "meta": dict(sorted((meta or {}).items())),
+        "device": {
+            "name": engine.device.name,
+            "dram_bandwidth": engine.device.dram_bandwidth,
+            "link_bandwidth": engine.device.link_bandwidth,
+            "memory_bytes": float(engine.device.memory_bytes),
+        },
+        "totals": totals,
+        "kernels": {name: dict(sorted(row.items()))
+                    for name, row in sorted(summary.items())},
+        **engine.metrics.to_dict(),
+        "roofline": roofline,
+    }
+    return payload
+
+
+def bytes_per_edge(engine: "SimEngine", edges: int) -> float:
+    """Off-chip bytes moved per traversed edge — the paper's core ratio.
+
+    EFG's whole bet is lowering this number below CSR's; recording it
+    as a gauge per run makes the compression win directly diffable.
+    """
+    summary = engine.kernel_summary()
+    total = sum(r["device_bytes"] + r["host_bytes"] for r in summary.values())
+    return total / edges if edges else 0.0
+
+
+def dump_metrics(payload: dict, path: str) -> None:
+    """Write a metrics dict as canonical JSON (sorted keys, 2-space).
+
+    Canonical form is what makes the determinism guarantee testable:
+    identical runs yield byte-identical files.
+    """
+    with open(path, "w") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=2)
+        fh.write("\n")

@@ -1,0 +1,284 @@
+"""Roofline / utilization analysis of a finished run.
+
+The paper's performance argument is bandwidth arithmetic: each kernel
+moved so many bytes over DRAM or PCIe, so its runtime is bounded by the
+larger of the two transfer times — unless the decode instruction count
+(EFG's ~70 instr/edge) or a serial chain (CGR's varint parsing) binds
+first.  The simulator computes exactly those terms; this module turns
+them back into the paper's story: per kernel (and per traversal level)
+it reports achieved vs. peak DRAM bandwidth, PCIe bandwidth, and
+instruction throughput, and labels the binding term —
+
+* ``memory``  — DRAM traffic dominates (the in-memory regime),
+* ``pcie``    — host-link traffic dominates (the out-of-core regime),
+* ``compute`` — decode instructions dominate (EFG's trade),
+* ``cache``   — on-chip cached reads dominate (decoded-list-cache hits),
+* ``latency`` — a serial dependent chain is the critical path (CGR hubs),
+* ``overhead``— fixed launch cost dominates (tiny frontiers).
+
+The per-kernel ``seconds`` are the timeline's own numbers, so they sum
+to ``engine.elapsed_seconds`` exactly (modulo float association).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs.spans import Span, aggregate_kernel_costs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.gpusim.engine import SimEngine
+
+__all__ = [
+    "KernelRoofline",
+    "LevelRoofline",
+    "kernel_rooflines",
+    "level_rooflines",
+    "roofline_report",
+]
+
+
+@dataclass(frozen=True)
+class KernelRoofline:
+    """Utilization summary of one kernel name across its launches."""
+
+    name: str
+    seconds: float
+    launches: int
+    device_bytes: float
+    host_bytes: float
+    cached_bytes: float
+    instructions: float
+    dram_time: float
+    link_time: float
+    cache_time: float
+    compute_time: float
+    overhead_time: float
+    floor_seconds: float
+    bound: str
+
+    @property
+    def achieved_dram_bw(self) -> float:
+        """DRAM bytes per second actually sustained (0 if no time)."""
+        return self.device_bytes / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def achieved_link_bw(self) -> float:
+        """PCIe bytes per second actually sustained."""
+        return self.host_bytes / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def achieved_instr_rate(self) -> float:
+        """Instructions per second actually sustained."""
+        return self.instructions / self.seconds if self.seconds > 0 else 0.0
+
+    # Fractions of peak are filled in by the analysis (they need the
+    # device spec); stored flat so dataclass stays frozen and simple.
+    dram_frac: float = 0.0
+    link_frac: float = 0.0
+    compute_frac: float = 0.0
+
+
+@dataclass(frozen=True)
+class LevelRoofline:
+    """Utilization summary of one level/iteration span."""
+
+    name: str
+    algorithm: str
+    seconds: float
+    launches: int
+    device_bytes: float
+    host_bytes: float
+    cached_bytes: float
+    instructions: float
+    bound: str
+    attrs: dict
+
+
+def _bound_label(
+    dram_time: float,
+    link_time: float,
+    cache_time: float,
+    compute_time: float,
+    floor_seconds: float,
+    overhead_time: float,
+) -> str:
+    """Name the binding term of ``overhead + max(...)``."""
+    terms = {
+        "memory": dram_time,
+        "pcie": link_time,
+        "cache": cache_time,
+        "compute": compute_time,
+        "latency": floor_seconds,
+    }
+    # Deterministic tie-break: the fixed ordering above.
+    bound, peak = max(terms.items(), key=lambda kv: kv[1])
+    if overhead_time > peak:
+        return "overhead"
+    return bound
+
+
+def _analyze(
+    engine: "SimEngine",
+    seconds: float,
+    launches: float,
+    device_bytes: float,
+    host_bytes: float,
+    cached_bytes: float,
+    instructions: float,
+    floor_seconds: float,
+) -> tuple[str, float, float, float, float, float, float]:
+    """Time components + bound label for one aggregated cost row."""
+    dev = engine.device
+    params = engine.params
+    dram_time = device_bytes / dev.dram_bandwidth
+    link_time = host_bytes / dev.link_bandwidth
+    cache_time = cached_bytes / (dev.dram_bandwidth * params.cached_bw_ratio)
+    effective_issue = dev.instruction_throughput * params.simt_efficiency
+    compute_time = instructions / effective_issue
+    overhead_time = launches * dev.launch_overhead_s
+    bound = _bound_label(
+        dram_time, link_time, cache_time, compute_time, floor_seconds,
+        overhead_time,
+    )
+    return (
+        bound, dram_time, link_time, cache_time, compute_time, overhead_time,
+        effective_issue,
+    )
+
+
+def kernel_rooflines(engine: "SimEngine") -> list[KernelRoofline]:
+    """Per-kernel utilization rows, sorted by descending time."""
+    dev = engine.device
+    out: list[KernelRoofline] = []
+    for name, row in engine.kernel_summary().items():
+        (bound, dram_t, link_t, cache_t, compute_t, overhead_t,
+         effective_issue) = _analyze(
+            engine,
+            row["seconds"],
+            row["launches"],
+            row["device_bytes"],
+            row["host_bytes"],
+            row["cached_bytes"],
+            row["instructions"],
+            row.get("floor_seconds", 0.0),
+        )
+        seconds = row["seconds"]
+        out.append(
+            KernelRoofline(
+                name=name,
+                seconds=seconds,
+                launches=int(row["launches"]),
+                device_bytes=row["device_bytes"],
+                host_bytes=row["host_bytes"],
+                cached_bytes=row["cached_bytes"],
+                instructions=row["instructions"],
+                dram_time=dram_t,
+                link_time=link_t,
+                cache_time=cache_t,
+                compute_time=compute_t,
+                overhead_time=overhead_t,
+                floor_seconds=row.get("floor_seconds", 0.0),
+                bound=bound,
+                dram_frac=(
+                    row["device_bytes"] / seconds / dev.dram_bandwidth
+                    if seconds > 0 else 0.0
+                ),
+                link_frac=(
+                    row["host_bytes"] / seconds / dev.link_bandwidth
+                    if seconds > 0 else 0.0
+                ),
+                compute_frac=(
+                    row["instructions"] / seconds / effective_issue
+                    if seconds > 0 else 0.0
+                ),
+            )
+        )
+    out.sort(key=lambda r: (-r.seconds, r.name))
+    return out
+
+
+def level_rooflines(engine: "SimEngine") -> list[LevelRoofline]:
+    """Per-level utilization rows from the span tree, in run order."""
+    root = engine.tracer.root
+    if root is None:
+        return []
+    out: list[LevelRoofline] = []
+    for algo in root.children:
+        for level in algo.find("level"):
+            totals = aggregate_kernel_costs(level)
+            bound = _analyze(
+                engine,
+                totals["seconds"],
+                totals["launches"],
+                totals["device_bytes"],
+                totals["host_bytes"],
+                totals["cached_bytes"],
+                totals["instructions"],
+                0.0,
+            )[0]
+            out.append(
+                LevelRoofline(
+                    name=level.name,
+                    algorithm=algo.name,
+                    seconds=totals["seconds"],
+                    launches=int(totals["launches"]),
+                    device_bytes=totals["device_bytes"],
+                    host_bytes=totals["host_bytes"],
+                    cached_bytes=totals["cached_bytes"],
+                    instructions=totals["instructions"],
+                    bound=bound,
+                    attrs=dict(level.attrs),
+                )
+            )
+    return out
+
+
+def _fmt_name(name: str, width: int) -> str:
+    if len(name) <= width:
+        return f"{name:{width}s}"
+    return name[: width - 1] + "…"
+
+
+def roofline_report(engine: "SimEngine", max_levels: int = 40) -> str:
+    """Text report: per-kernel roofline, then per-level breakdown."""
+    dev = engine.device
+    rows = kernel_rooflines(engine)
+    total = engine.elapsed_seconds or 1.0
+    lines = [
+        f"device: {dev.name}  peak DRAM {dev.dram_bandwidth / 1e9:.1f} GB/s, "
+        f"link {dev.link_bandwidth / 1e9:.1f} GB/s, "
+        f"issue {dev.instruction_throughput * engine.params.simt_efficiency / 1e9:.1f} Ginstr/s (derated)",
+        f"{'kernel':24s} {'time(ms)':>9s} {'%':>5s} {'bound':>8s} "
+        f"{'DRAM GB/s':>10s} {'%pk':>5s} {'PCIe GB/s':>10s} {'%pk':>5s} "
+        f"{'Ginstr/s':>9s} {'%pk':>5s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{_fmt_name(r.name, 24)} {r.seconds * 1e3:9.3f} "
+            f"{100 * r.seconds / total:5.1f} {r.bound:>8s} "
+            f"{r.achieved_dram_bw / 1e9:10.2f} {100 * r.dram_frac:5.1f} "
+            f"{r.achieved_link_bw / 1e9:10.2f} {100 * r.link_frac:5.1f} "
+            f"{r.achieved_instr_rate / 1e9:9.2f} {100 * r.compute_frac:5.1f}"
+        )
+    levels = level_rooflines(engine)
+    if levels:
+        lines.append("")
+        lines.append(
+            f"{'level':24s} {'time(ms)':>9s} {'bound':>8s} {'launches':>8s} "
+            f"{'MB moved':>9s} {'frontier':>9s} {'edges':>10s}"
+        )
+        shown = levels[:max_levels]
+        for lv in shown:
+            moved = (lv.device_bytes + lv.host_bytes) / 1e6
+            frontier = lv.attrs.get("frontier_size", "")
+            edges = lv.attrs.get("edges_expanded", "")
+            lines.append(
+                f"{_fmt_name(f'{lv.algorithm}/{lv.name}', 24)} "
+                f"{lv.seconds * 1e3:9.3f} {lv.bound:>8s} {lv.launches:8d} "
+                f"{moved:9.3f} {frontier!s:>9s} {edges!s:>10s}"
+            )
+        if len(levels) > len(shown):
+            lines.append(f"... {len(levels) - len(shown)} more levels")
+    return "\n".join(lines)

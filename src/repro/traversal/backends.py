@@ -210,6 +210,9 @@ class GraphBackend(abc.ABC):
         engine.record_counter(
             "listcache:evictions", cache.stats.evictions - evictions_before
         )
+        # Running hit rate as a time series — becomes a Perfetto counter
+        # track, showing the cache warming up over the traversal.
+        engine.sample("listcache:hit_rate", cache.stats.hit_rate)
         return nbrs, seg
 
     def charge_cached_expand(

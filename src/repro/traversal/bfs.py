@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.frontier import Frontier
+from repro.obs.metrics import bytes_per_edge
 from repro.primitives.compact import atomic_or_claim
 from repro.traversal.backends import GraphBackend
 
@@ -93,40 +94,59 @@ def bfs(
     depth = 0
     edges_traversed = 0
     cap = max_levels if max_levels is not None else nv
+    engine.tracer.open(
+        "bfs", "algorithm", engine.elapsed_seconds,
+        {"source": int(source), "partial_sort": partial_sort},
+    )
     while not frontier.is_empty and depth < cap:
-        if partial_sort and len(frontier) > 1:
-            with engine.launch("frontier_sort") as k:
-                frontier = frontier.partially_sorted(sort_fraction)
-                # CUB radix sort: ~4 passes over the kept digit range;
-                # each pass reads + scatters the keys.
-                kept_bits = max(1, int(round(np.log2(max(nv, 2)) * sort_fraction)))
-                passes = -(-kept_bits // 8)
-                k.read("work:frontier", 2 * passes * len(frontier), 4)
-                k.instructions(8.0 * passes * len(frontier))
+        engine.metrics.observe("bfs.frontier_size", len(frontier))
+        engine.sample("frontier_size", len(frontier))
+        with engine.span(
+            f"level:{depth}", "level", level=depth, frontier_size=len(frontier)
+        ) as sp:
+            if partial_sort and len(frontier) > 1:
+                with engine.launch("frontier_sort") as k:
+                    frontier = frontier.partially_sorted(sort_fraction)
+                    # CUB radix sort: ~4 passes over the kept digit range;
+                    # each pass reads + scatters the keys.
+                    kept_bits = max(
+                        1, int(round(np.log2(max(nv, 2)) * sort_fraction))
+                    )
+                    passes = -(-kept_bits // 8)
+                    k.read("work:frontier", 2 * passes * len(frontier), 4)
+                    k.instructions(8.0 * passes * len(frontier))
 
-        with engine.launch("bfs_expand") as k:
-            nbrs, seg = backend.expand(frontier.vertices, k)
-            # Visited-flag probe per candidate edge (Alg. 1 line 3);
-            # locality measured from the real neighbour id stream.
-            k.read_stream("work:visited", nbrs, 1)
-        edges_traversed += int(nbrs.shape[0])
+            with engine.launch("bfs_expand") as k:
+                nbrs, seg = backend.expand(frontier.vertices, k)
+                # Visited-flag probe per candidate edge (Alg. 1 line 3);
+                # locality measured from the real neighbour id stream.
+                k.read_stream("work:visited", nbrs, 1)
+            edges_traversed += int(nbrs.shape[0])
 
-        with engine.launch("bfs_filter") as k:
-            unvisited = ~visited[nbrs]
-            candidates = nbrs[unvisited]
-            cand_parents = frontier.vertices[seg[unvisited]]
-            won = atomic_or_claim(visited, candidates)
-            next_vertices = candidates[won]
-            parents[next_vertices] = cand_parents[won]
-            # Atomic claim per not-yet-visited candidate (line 4) and a
-            # compacted frontier write (line 6).
-            k.read_stream("work:visited", candidates, 1)
-            k.instructions(2.0 * candidates.shape[0])
-            k.write("work:frontier", int(next_vertices.shape[0]), 4)
+            with engine.launch("bfs_filter") as k:
+                unvisited = ~visited[nbrs]
+                candidates = nbrs[unvisited]
+                cand_parents = frontier.vertices[seg[unvisited]]
+                won = atomic_or_claim(visited, candidates)
+                next_vertices = candidates[won]
+                parents[next_vertices] = cand_parents[won]
+                # Atomic claim per not-yet-visited candidate (line 4) and a
+                # compacted frontier write (line 6).
+                k.read_stream("work:visited", candidates, 1)
+                k.instructions(2.0 * candidates.shape[0])
+                k.write("work:frontier", int(next_vertices.shape[0]), 4)
 
-        depth += 1
-        levels[next_vertices] = depth
-        frontier = Frontier(next_vertices, nv)
+            depth += 1
+            levels[next_vertices] = depth
+            frontier = Frontier(next_vertices, nv)
+            sp.annotate(
+                edges_expanded=int(nbrs.shape[0]),
+                claimed=int(next_vertices.shape[0]),
+            )
+    engine.metrics.set_gauge(
+        "bfs.bytes_per_edge", bytes_per_edge(engine, edges_traversed)
+    )
+    engine.tracer.close(engine.elapsed_seconds)
 
     return BFSResult(
         source=source,

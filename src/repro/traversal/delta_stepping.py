@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import bytes_per_edge
 from repro.traversal.backends import GraphBackend
 
 __all__ = ["DeltaSteppingResult", "delta_stepping_sssp", "suggest_delta"]
@@ -141,6 +142,10 @@ def delta_stepping_sssp(
             k.instructions(2.0 * targets.shape[0])
         return np.flatnonzero(improved)
 
+    engine.tracer.open(
+        "delta_stepping", "algorithm", engine.elapsed_seconds,
+        {"source": int(source), "delta": float(delta)},
+    )
     current = 0
     while buckets_processed < cap:
         in_bucket = np.flatnonzero(bucket_of(dist) == current)
@@ -152,19 +157,35 @@ def delta_stepping_sssp(
                 break
             current = int(ahead.min())
             continue
-        settled: list[np.ndarray] = []
-        frontier = in_bucket
-        # Light-edge fixpoint within the bucket.
-        while frontier.size:
-            settled.append(frontier)
-            light_phases += 1
-            improved = relax(frontier, light_only=True)
-            frontier = improved[bucket_of(dist[improved]) == current]
-        # Heavy edges once for everything settled in this bucket.
-        all_settled = np.unique(np.concatenate(settled))
-        relax(all_settled, light_only=False)
-        buckets_processed += 1
-        current += 1
+        engine.metrics.observe("delta_stepping.bucket_size", in_bucket.size)
+        engine.sample("frontier_size", in_bucket.size)
+        with engine.span(
+            f"bucket:{current}", "level",
+            level=current, frontier_size=int(in_bucket.size),
+        ) as sp:
+            phases_before = light_phases
+            edges_before = edges_relaxed
+            settled: list[np.ndarray] = []
+            frontier = in_bucket
+            # Light-edge fixpoint within the bucket.
+            while frontier.size:
+                settled.append(frontier)
+                light_phases += 1
+                improved = relax(frontier, light_only=True)
+                frontier = improved[bucket_of(dist[improved]) == current]
+            # Heavy edges once for everything settled in this bucket.
+            all_settled = np.unique(np.concatenate(settled))
+            relax(all_settled, light_only=False)
+            buckets_processed += 1
+            current += 1
+            sp.annotate(
+                light_phases=light_phases - phases_before,
+                edges_expanded=edges_relaxed - edges_before,
+            )
+    engine.metrics.set_gauge(
+        "delta_stepping.bytes_per_edge", bytes_per_edge(engine, edges_relaxed)
+    )
+    engine.tracer.close(engine.elapsed_seconds)
 
     return DeltaSteppingResult(
         source=source,

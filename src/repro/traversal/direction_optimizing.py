@@ -92,6 +92,10 @@ def bfs_direction_optimizing(
     edges_examined = 0
     bottom_up_levels = 0
 
+    engine.tracer.open(
+        "direction_optimizing", "algorithm", engine.elapsed_seconds,
+        {"source": int(source), "alpha": alpha, "beta": beta},
+    )
     while frontier.size:
         frontier_edges = int(out_deg[frontier].sum())
         go_bottom_up = (
@@ -99,34 +103,46 @@ def bfs_direction_optimizing(
             and frontier_edges > unexplored_edges / alpha
             and frontier.size > nv / beta
         )
-        if go_bottom_up:
-            bottom_up_levels += 1
-            in_frontier[:] = False
-            in_frontier[frontier] = True
-            candidates = np.flatnonzero(~visited)
-            with engine.launch("bfs_bottom_up") as k:
-                scanned, found = _bottom_up_step(
-                    in_backend, candidates, in_frontier, k
-                )
-            edges_examined += scanned
-            next_vertices = found
-            visited[next_vertices] = True
-        else:
-            with engine.launch("bfs_top_down") as k:
-                nbrs, _ = out_backend.expand(frontier, k)
-                k.read_stream("work:visited", nbrs, 1)
-            edges_examined += int(nbrs.shape[0])
-            with engine.launch("bfs_filter") as k:
-                fresh = nbrs[~visited[nbrs]]
-                won = atomic_or_claim(visited, fresh)
-                next_vertices = fresh[won]
-                k.instructions(2.0 * fresh.shape[0])
-                k.write("work:frontier", int(next_vertices.shape[0]), 4)
+        direction = "bottom_up" if go_bottom_up else "top_down"
+        engine.metrics.observe("dobfs.frontier_size", frontier.size)
+        engine.metrics.inc(f"dobfs.levels_{direction}")
+        engine.sample("frontier_size", frontier.size)
+        with engine.span(
+            f"level:{depth}", "level",
+            level=depth, frontier_size=int(frontier.size), direction=direction,
+        ) as sp:
+            if go_bottom_up:
+                bottom_up_levels += 1
+                in_frontier[:] = False
+                in_frontier[frontier] = True
+                candidates = np.flatnonzero(~visited)
+                with engine.launch("bfs_bottom_up") as k:
+                    scanned, found = _bottom_up_step(
+                        in_backend, candidates, in_frontier, k
+                    )
+                edges_examined += scanned
+                sp.annotate(edges_expanded=scanned)
+                next_vertices = found
+                visited[next_vertices] = True
+            else:
+                with engine.launch("bfs_top_down") as k:
+                    nbrs, _ = out_backend.expand(frontier, k)
+                    k.read_stream("work:visited", nbrs, 1)
+                edges_examined += int(nbrs.shape[0])
+                sp.annotate(edges_expanded=int(nbrs.shape[0]))
+                with engine.launch("bfs_filter") as k:
+                    fresh = nbrs[~visited[nbrs]]
+                    won = atomic_or_claim(visited, fresh)
+                    next_vertices = fresh[won]
+                    k.instructions(2.0 * fresh.shape[0])
+                    k.write("work:frontier", int(next_vertices.shape[0]), 4)
 
-        unexplored_edges -= int(out_deg[next_vertices].sum())
-        depth += 1
-        levels[next_vertices] = depth
-        frontier = next_vertices
+            unexplored_edges -= int(out_deg[next_vertices].sum())
+            depth += 1
+            levels[next_vertices] = depth
+            frontier = next_vertices
+            sp.annotate(claimed=int(next_vertices.shape[0]))
+    engine.tracer.close(engine.elapsed_seconds)
 
     return DirectionOptimizingResult(
         source=source,

@@ -53,6 +53,51 @@ class TestLaunch:
         assert "time(ms)" in report
 
 
+class TestLaunchRecords:
+    def test_records_carry_start_timestamps(self, engine):
+        with engine.launch("a") as k:
+            k.read("arr", 100, 4)
+        with engine.launch("b") as k:
+            k.read("arr", 100, 4)
+        a, b = engine.records
+        assert a.start_s == 0.0
+        assert b.start_s == pytest.approx(a.seconds)
+        assert b.start_s + b.seconds == pytest.approx(engine.elapsed_seconds)
+
+    def test_elapsed_matches_record_sum(self, engine):
+        for i in range(5):
+            with engine.launch(f"k{i}") as k:
+                k.read("arr", 10 * (i + 1), 4)
+        assert engine.elapsed_seconds == pytest.approx(
+            sum(r.seconds for r in engine.records), abs=1e-15
+        )
+
+    def test_record_cost_is_a_snapshot(self, engine):
+        with engine.launch("k") as k:
+            k.read("arr", 100, 4)
+        (record,) = engine.records
+        assert record.cost.device_bytes == 400
+
+    def test_long_name_truncated_in_profile_report(self, engine):
+        name = "a_kernel_name_far_longer_than_the_column_width"
+        with engine.launch(name) as k:
+            k.read("arr", 10, 4)
+        report = engine.profile_report()
+        assert name not in report
+        assert name[:31] + "…" in report
+
+    def test_sample_series(self, engine):
+        engine.sample("frontier_size", 1)
+        with engine.launch("k") as k:
+            k.read("arr", 10, 4)
+        engine.sample("frontier_size", 9)
+        series = engine.series["frontier_size"]
+        assert series[0] == (0.0, 1.0)
+        assert series[1] == (engine.elapsed_seconds, 9.0)
+        engine.reset_timeline()
+        assert engine.series == {}
+
+
 class TestKernelLaunchAPI:
     def test_atomic_charges_random(self, engine):
         with engine.launch("k") as k:

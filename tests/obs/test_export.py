@@ -1,0 +1,128 @@
+"""Perfetto JSON schema round-trip tests for the trace exporter."""
+
+import json
+
+import pytest
+
+from repro.formats.csr import CSRGraph
+from repro.obs.export import (
+    KERNEL_PID,
+    SPAN_PID,
+    counter_events,
+    span_events,
+    write_perfetto_trace,
+)
+from repro.traversal.backends import CSRBackend
+from repro.traversal.bfs import bfs
+
+
+@pytest.fixture
+def traced_run(small_graph, scaled_device, tmp_path):
+    backend = CSRBackend(CSRGraph.from_graph(small_graph), scaled_device)
+    bfs(backend, 0)
+    path = tmp_path / "trace.json"
+    write_perfetto_trace(backend.engine, str(path))
+    return backend.engine, json.loads(path.read_text())
+
+
+class TestTraceSchema:
+    def test_top_level_layout(self, traced_run):
+        _, payload = traced_run
+        assert "traceEvents" in payload
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["metadata"]["exporter"] == "repro.obs"
+
+    def test_every_complete_event_well_formed(self, traced_run):
+        _, payload = traced_run
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+                assert key in e, f"missing {key}: {e}"
+            assert e["ts"] >= 0
+            assert e["dur"] >= 0
+
+    def test_every_counter_event_well_formed(self, traced_run):
+        _, payload = traced_run
+        counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert counters  # >= 1 counter track is an acceptance criterion
+        for e in counters:
+            for key in ("name", "ph", "ts", "pid", "tid"):
+                assert key in e
+            assert isinstance(e["args"]["value"], (int, float))
+        names = {e["name"] for e in counters}
+        assert "frontier_size" in names
+        assert "cumulative_bytes" in names
+
+    def test_only_x_and_c_phases(self, traced_run):
+        _, payload = traced_run
+        assert {e["ph"] for e in payload["traceEvents"]} == {"X", "C"}
+
+    def test_kernel_and_span_tracks_separated(self, traced_run):
+        _, payload = traced_run
+        pids = {e["pid"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert pids == {KERNEL_PID, SPAN_PID}
+
+
+class TestSpanEvents:
+    def test_span_kinds_cover_hierarchy(self, traced_run):
+        engine, _ = traced_run
+        kinds = {e["args"]["kind"] for e in span_events(engine)}
+        assert {"run", "algorithm", "level", "kernel"} <= kinds
+
+    def test_children_contained_in_parents(self, traced_run):
+        engine, _ = traced_run
+        events = span_events(engine)
+        by_depth: dict[int, list] = {}
+        for e in events:
+            by_depth.setdefault(e["args"]["depth"], []).append(e)
+        for depth, children in by_depth.items():
+            if depth == 0:
+                continue
+            parents = by_depth[depth - 1]
+            for c in children:
+                assert any(
+                    p["ts"] <= c["ts"] + 1e-9
+                    and c["ts"] + c["dur"] <= p["ts"] + p["dur"] + 1e-9
+                    for p in parents
+                ), f"span {c['name']} not contained in any parent"
+
+    def test_open_root_closed_at_elapsed(self, traced_run):
+        engine, _ = traced_run
+        (root,) = [e for e in span_events(engine) if e["args"]["kind"] == "run"]
+        assert root["dur"] == pytest.approx(engine.elapsed_seconds * 1e6)
+
+    def test_empty_engine_no_events(self, scaled_device):
+        from repro.gpusim.engine import SimEngine
+
+        engine = SimEngine.for_device(scaled_device)
+        assert span_events(engine) == []
+        assert counter_events(engine) == []
+
+    def test_attrs_json_clean(self, traced_run):
+        engine, _ = traced_run
+        for e in span_events(engine):
+            json.dumps(e)  # numpy leftovers would raise
+
+
+class TestCounterEvents:
+    def test_cumulative_bytes_monotonic(self, traced_run):
+        engine, _ = traced_run
+        values = [
+            e["args"]["value"]
+            for e in counter_events(engine)
+            if e["name"] == "cumulative_bytes"
+        ]
+        assert values == sorted(values)
+        assert len(values) == engine.num_launches
+
+    def test_frontier_track_matches_levels(self, traced_run):
+        engine, _ = traced_run
+        frontier = [
+            e for e in counter_events(engine) if e["name"] == "frontier_size"
+        ]
+        levels = [
+            e for e in span_events(engine) if e["args"]["kind"] == "level"
+        ]
+        assert len(frontier) == len(levels)
+        assert frontier[0]["args"]["value"] == 1  # source-only frontier

@@ -1,0 +1,133 @@
+"""Tests for the metrics registry and the stable run-metrics schema."""
+
+import json
+
+import pytest
+
+from repro.gpusim.device import TITAN_XP
+from repro.gpusim.engine import SimEngine
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    bytes_per_edge,
+    dump_metrics,
+    run_metrics,
+)
+from repro.traversal.backends import CSRBackend
+from repro.traversal.bfs import bfs
+from repro.formats.csr import CSRGraph
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        h = Histogram()
+        for v in (0, 1, 2, 3, 4, 5, 1000):
+            h.observe(v)
+        d = h.to_dict()
+        assert d["buckets"] == {
+            "0": 1, "1": 1, "2": 1, "4": 2, "8": 1, "1024": 1,
+        }
+        assert d["count"] == 7
+        assert d["min"] == 0.0
+        assert d["max"] == 1000.0
+        assert d["mean"] == pytest.approx(1015 / 7)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().observe(-1)
+
+    def test_empty_to_dict(self):
+        d = Histogram().to_dict()
+        assert d["count"] == 0
+        assert d["min"] == 0.0 and d["max"] == 0.0
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.inc("x", 4)
+        assert reg.counters["x"] == 5.0
+
+    def test_gauge_keeps_last(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.0)
+        reg.set_gauge("g", 7.0)
+        assert reg.gauges["g"] == 7.0
+
+    def test_to_dict_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        reg.observe("h", 3)
+        d = reg.to_dict()
+        assert list(d["counters"]) == ["a", "b"]
+        assert d["histograms"]["h"]["count"] == 1
+
+
+@pytest.fixture
+def bfs_run(small_graph, scaled_device):
+    backend = CSRBackend(CSRGraph.from_graph(small_graph), scaled_device)
+    result = bfs(backend, 0)
+    return backend.engine, result
+
+
+class TestRunMetrics:
+    def test_schema_and_sections(self, bfs_run):
+        engine, _ = bfs_run
+        payload = run_metrics(engine, meta={"algo": "bfs"})
+        assert payload["schema"] == METRICS_SCHEMA
+        for section in ("meta", "device", "totals", "kernels",
+                        "counters", "gauges", "histograms", "roofline"):
+            assert section in payload
+        assert payload["meta"]["algo"] == "bfs"
+        assert payload["totals"]["elapsed_seconds"] == engine.elapsed_seconds
+        assert payload["totals"]["launches"] > 0
+
+    def test_json_serialisable(self, bfs_run):
+        engine, _ = bfs_run
+        json.dumps(run_metrics(engine))  # must not raise
+
+    def test_golden_keys_per_kernel(self, bfs_run):
+        engine, _ = bfs_run
+        payload = run_metrics(engine)
+        for row in payload["kernels"].values():
+            for key in ("seconds", "launches", "device_bytes", "host_bytes",
+                        "cached_bytes", "instructions"):
+                assert key in row
+        for row in payload["roofline"].values():
+            assert row["bound"] in (
+                "memory", "pcie", "cache", "compute", "latency", "overhead",
+            )
+
+    def test_bytes_per_edge(self, bfs_run):
+        engine, result = bfs_run
+        bpe = bytes_per_edge(engine, result.edges_traversed)
+        assert bpe > 0
+        assert engine.metrics.gauges["bfs.bytes_per_edge"] == bpe
+        assert bytes_per_edge(engine, 0) == 0.0
+
+    def test_determinism_byte_identical(self, small_graph, scaled_device,
+                                        tmp_path):
+        """Two identical runs must serialise to byte-identical files."""
+        paths = []
+        for i in range(2):
+            backend = CSRBackend(
+                CSRGraph.from_graph(small_graph), scaled_device
+            )
+            bfs(backend, 0)
+            path = tmp_path / f"m{i}.json"
+            dump_metrics(
+                run_metrics(backend.engine, meta={"algo": "bfs"}), str(path)
+            )
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_dump_is_canonical(self, bfs_run, tmp_path):
+        engine, _ = bfs_run
+        path = tmp_path / "m.json"
+        dump_metrics(run_metrics(engine), str(path))
+        text = path.read_text()
+        payload = json.loads(text)
+        assert text == json.dumps(payload, sort_keys=True, indent=2) + "\n"

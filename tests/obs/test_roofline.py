@@ -1,0 +1,110 @@
+"""Tests for the roofline/utilization analysis."""
+
+import pytest
+
+from repro.formats.csr import CSRGraph
+from repro.gpusim.device import TITAN_XP
+from repro.gpusim.engine import SimEngine
+from repro.obs.roofline import (
+    kernel_rooflines,
+    level_rooflines,
+    roofline_report,
+)
+from repro.traversal.backends import CSRBackend
+from repro.traversal.bfs import bfs
+
+
+@pytest.fixture
+def engine():
+    eng = SimEngine.for_device(TITAN_XP)
+    eng.memory.register("arr", 10**9)
+    return eng
+
+
+class TestBoundLabels:
+    def test_memory_bound(self, engine):
+        with engine.launch("k") as k:
+            k.read("arr", 10**8, 4)  # 400 MB of DRAM traffic
+        (r,) = kernel_rooflines(engine)
+        assert r.bound == "memory"
+        assert r.dram_frac == pytest.approx(
+            r.dram_time / r.seconds, rel=1e-9
+        )
+        assert r.dram_frac < 1.0  # achieved can't beat peak
+
+    def test_compute_bound(self, engine):
+        with engine.launch("k") as k:
+            k.instructions(10**10)
+        (r,) = kernel_rooflines(engine)
+        assert r.bound == "compute"
+        # Slightly below 1.0: launch overhead adds to the runtime.
+        assert 0.99 < r.compute_frac < 1.0
+
+    def test_pcie_bound(self, engine):
+        # An array bigger than device memory stays host-resident and is
+        # streamed over the link (the out-of-core regime).
+        engine.memory.register("big", 2 * engine.device.memory_bytes)
+        with engine.launch("k") as k:
+            k.read("big", 10**7, 4)
+        (r,) = kernel_rooflines(engine)
+        assert r.bound == "pcie"
+        assert r.host_bytes > 0
+        assert r.achieved_link_bw > r.achieved_dram_bw
+
+    def test_overhead_bound(self, engine):
+        with engine.launch("k") as k:
+            k.read("arr", 1, 4)  # tiny: launch overhead dominates
+        (r,) = kernel_rooflines(engine)
+        assert r.bound == "overhead"
+
+
+class TestSecondsAccounting:
+    def test_kernel_seconds_sum_to_elapsed(self, small_graph, scaled_device):
+        backend = CSRBackend(CSRGraph.from_graph(small_graph), scaled_device)
+        bfs(backend, 0)
+        engine = backend.engine
+        total = sum(r.seconds for r in kernel_rooflines(engine))
+        assert total == pytest.approx(engine.elapsed_seconds, abs=1e-9)
+
+    def test_sorted_by_descending_time(self, engine):
+        with engine.launch("small") as k:
+            k.read("arr", 10, 4)
+        with engine.launch("big") as k:
+            k.read("arr", 10**7, 4)
+        rows = kernel_rooflines(engine)
+        assert [r.name for r in rows] == ["big", "small"]
+
+
+class TestLevels:
+    def test_level_rows_from_bfs(self, small_graph, scaled_device):
+        backend = CSRBackend(CSRGraph.from_graph(small_graph), scaled_device)
+        result = bfs(backend, 0)
+        levels = level_rooflines(backend.engine)
+        assert len(levels) == result.num_levels
+        assert all(lv.algorithm == "bfs" for lv in levels)
+        assert levels[0].attrs["frontier_size"] == 1
+        assert all("edges_expanded" in lv.attrs for lv in levels)
+        level_total = sum(lv.seconds for lv in levels)
+        assert level_total <= backend.engine.elapsed_seconds + 1e-12
+
+    def test_no_tracer_no_levels(self, engine):
+        assert level_rooflines(engine) == []
+
+
+class TestReport:
+    def test_report_mentions_kernels_and_levels(self, small_graph,
+                                                scaled_device):
+        backend = CSRBackend(CSRGraph.from_graph(small_graph), scaled_device)
+        bfs(backend, 0)
+        report = roofline_report(backend.engine)
+        assert "bfs_expand" in report
+        assert "bfs/level:0" in report
+        assert "peak DRAM" in report
+
+    def test_long_names_truncated(self, engine):
+        name = "kernel_with_an_extremely_long_descriptive_name"
+        with engine.launch(name) as k:
+            k.read("arr", 100, 4)
+        report = roofline_report(engine)
+        assert name not in report
+        assert name[:23] + "…" in report

@@ -1,0 +1,123 @@
+"""Tests for the span tracer and its engine integration."""
+
+import pytest
+
+from repro.gpusim.device import TITAN_XP
+from repro.gpusim.engine import SimEngine
+from repro.obs.spans import Span, Tracer, aggregate_kernel_costs
+
+
+@pytest.fixture
+def engine():
+    eng = SimEngine.for_device(TITAN_XP)
+    eng.memory.register("arr", 1000)
+    return eng
+
+
+class TestTracer:
+    def test_auto_root(self):
+        tr = Tracer()
+        tr.open("bfs", "algorithm", 0.0)
+        assert tr.root is not None
+        assert tr.root.kind == "run"
+        assert tr.root.children[0].name == "bfs"
+
+    def test_nesting_follows_stack(self):
+        tr = Tracer()
+        tr.open("algo", "algorithm", 0.0)
+        tr.open("level:0", "level", 0.0)
+        tr.open("k", "kernel", 0.0)
+        tr.close(1.0)
+        tr.close(1.0)
+        tr.close(2.0)
+        algo = tr.root.children[0]
+        assert algo.children[0].name == "level:0"
+        assert algo.children[0].children[0].kind == "kernel"
+
+    def test_close_without_open_raises(self):
+        with pytest.raises(RuntimeError):
+            Tracer().close(0.0)
+
+    def test_sibling_spans(self):
+        tr = Tracer()
+        tr.open("a", "algorithm", 0.0)
+        tr.close(1.0)
+        tr.open("b", "algorithm", 1.0)
+        tr.close(2.0)
+        assert [s.name for s in tr.root.children] == ["a", "b"]
+
+    def test_to_dict_round_trips_attrs(self):
+        tr = Tracer()
+        span = tr.open("a", "algorithm", 0.0, {"x": 1})
+        span.annotate(y=2)
+        tr.close(1.0)
+        d = tr.to_dict()
+        assert d["children"][0]["attrs"] == {"x": 1, "y": 2}
+
+
+class TestEngineSpans:
+    def test_launch_creates_kernel_span_with_cost(self, engine):
+        with engine.launch("k") as k:
+            k.read("arr", 100, 4)
+        kernels = engine.tracer.root.find("kernel")
+        assert len(kernels) == 1
+        assert kernels[0].attrs["device_bytes"] == 400.0
+        assert kernels[0].attrs["seconds"] == pytest.approx(
+            engine.elapsed_seconds
+        )
+
+    def test_hierarchy_run_algo_level_kernel(self, engine):
+        with engine.span("bfs", "algorithm"):
+            with engine.span("level:0", "level", level=0):
+                with engine.launch("expand") as k:
+                    k.read("arr", 10, 4)
+        root = engine.tracer.root
+        assert root.kind == "run"
+        algo = root.children[0]
+        level = algo.children[0]
+        kernel = level.children[0]
+        assert (algo.kind, level.kind, kernel.kind) == (
+            "algorithm", "level", "kernel",
+        )
+
+    def test_children_contained_in_parent_interval(self, engine):
+        with engine.span("algo", "algorithm"):
+            with engine.span("level:0", "level"):
+                with engine.launch("a") as k:
+                    k.instructions(1e6)
+                with engine.launch("b") as k:
+                    k.instructions(1e6)
+        now = engine.elapsed_seconds
+        for _, span in engine.tracer.root.walk():
+            end = span.end_s if span.end_s is not None else now
+            for child in span.children:
+                assert child.start_s >= span.start_s
+                assert child.end_s <= end
+
+    def test_span_closed_on_exception(self, engine):
+        with pytest.raises(ValueError):
+            with engine.launch("k") as k:
+                k.instructions(-1)
+        assert engine.tracer.current is None
+
+    def test_reset_timeline_resets_tracer(self, engine):
+        with engine.launch("k"):
+            pass
+        engine.reset_timeline()
+        assert engine.tracer.root is None
+
+
+class TestAggregate:
+    def test_aggregates_kernel_attrs(self, engine):
+        with engine.span("level:0", "level") as sp:
+            with engine.launch("a") as k:
+                k.read("arr", 100, 4)
+            with engine.launch("b") as k:
+                k.read("arr", 50, 4)
+        totals = aggregate_kernel_costs(sp)
+        assert totals["device_bytes"] == 600.0
+        assert totals["launches"] == 2.0
+        assert totals["seconds"] == pytest.approx(engine.elapsed_seconds)
+
+    def test_empty_span(self):
+        assert aggregate_kernel_costs(Span("x"))["launches"] == 0.0

@@ -78,6 +78,68 @@ class TestBFS:
         assert "has no out-edges" in capsys.readouterr().out
 
 
+class TestProfile:
+    def test_bfs_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "out.json"
+        metrics = tmp_path / "m.json"
+        assert main([
+            "profile", "bfs", "--rmat-scale", "7",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "GTEPS" in out
+        assert "bound" in out  # roofline report printed
+        assert trace.exists() and metrics.exists()
+        import json
+
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e["ph"] == "C" for e in events)
+        payload = json.loads(metrics.read_text())
+        assert payload["schema"] == "repro.metrics/1"
+        assert payload["meta"]["algo"] == "bfs"
+
+    def test_profile_graph_file(self, graph_file, capsys):
+        assert main(["profile", "bfs", graph_file, "--format", "efg"]) == 0
+        assert "GTEPS" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algo", ["dobfs", "msbfs", "sssp", "delta",
+                                      "pagerank"])
+    def test_other_algorithms(self, algo, capsys):
+        assert main(["profile", algo, "--rmat-scale", "6"]) == 0
+        assert "bound" in capsys.readouterr().out
+
+
+class TestCompare:
+    def _dump(self, tmp_path, name, scale="7"):
+        path = tmp_path / name
+        assert main([
+            "profile", "bfs", "--rmat-scale", scale, "--metrics", str(path),
+        ]) == 0
+        return str(path)
+
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        a = self._dump(tmp_path, "a.json")
+        b = self._dump(tmp_path, "b.json")
+        assert main(["compare", a, b]) == 0
+        assert "metrically identical" in capsys.readouterr().out
+
+    def test_different_runs_exit_nonzero(self, tmp_path, capsys):
+        a = self._dump(tmp_path, "a.json", scale="6")
+        b = self._dump(tmp_path, "b.json", scale="7")
+        assert main(["compare", a, b, "--threshold", "2"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_loose_threshold_tolerates_noise(self, tmp_path, capsys):
+        a = self._dump(tmp_path, "a.json")
+        path = tmp_path / "b.json"
+        import json
+
+        payload = json.loads((tmp_path / "a.json").read_text())
+        payload["totals"]["elapsed_seconds"] *= 1.001
+        path.write_text(json.dumps(payload))
+        assert main(["compare", a, str(path), "--threshold", "5"]) == 0
+
+
 class TestSuite:
     def test_lists_suite(self, capsys):
         assert main(["suite"]) == 0
