@@ -75,9 +75,68 @@ def test_multigpu_vs_compression(benchmark, results_dir):
         # ...and single-GPU EFG recovers a large share of the 2-GPU win
         # without the second device.
         assert r["efg_1gpu_ms"] < 4.0 * r["csr_2gpu_ms"], r["name"]
-    # The social graph's scattered neighbours make the all-to-all
-    # exchange the bottleneck — on it, 1-GPU EFG beats 2-GPU CSR
-    # outright (compression needs no interconnect).
+    # The social graph's scattered neighbours generate the heaviest
+    # all-to-all exchange of the suite (even after the sender dedupes
+    # repeat discoveries, which is what keeps 2-GPU competitive with
+    # 1-GPU EFG here — compression still needs no interconnect at all).
     frnd = next(r for r in records if r["name"] == "com-frndster")
-    assert frnd["efg_1gpu_ms"] < frnd["csr_2gpu_ms"]
-    assert frnd["exchanged_mb_2gpu"] > 1.0
+    assert frnd["exchanged_mb_2gpu"] == max(
+        r["exchanged_mb_2gpu"] for r in records
+    )
+    assert frnd["exchanged_mb_2gpu"] > 0.3
+    assert frnd["efg_1gpu_ms"] < 2.0 * frnd["csr_2gpu_ms"]
+
+
+WIRES = ("raw64", "raw", "bitmap", "varint", "auto")
+
+
+def _run_codecs():
+    records = []
+    for name in GRAPHS:
+        enc = encoded_suite_graph(name)
+        src = int(np.argmax(enc.graph.degrees))
+        row = {"name": name}
+        baseline = None
+        for wire in WIRES:
+            r = multi_gpu_bfs(
+                enc.graph, src, 4, SCALED_TITAN_XP, fmt="csr",
+                wire=wire, contention=0.5,
+            )
+            if baseline is None:
+                baseline = r
+            else:
+                assert np.array_equal(r.levels, baseline.levels)
+            row[f"{wire}_mb"] = r.exchanged_bytes / 1e6
+            row[f"{wire}_ms"] = r.runtime_ms
+        records.append(row)
+    return records
+
+
+def test_wire_codec_traffic(benchmark, results_dir):
+    """Compressing the exchanged frontier, not just the stored graph.
+
+    The same density argument the paper makes for adjacency compression
+    applies to the frontier on the wire: dense levels pack into bitmaps,
+    sparse ones into delta-varints, and auto picks per message.
+    """
+    records = run_once(benchmark, _run_codecs)
+    print()
+    print(
+        format_table(
+            ["graph"] + [f"{w} MB" for w in WIRES],
+            [[r["name"]] + [r[f"{w}_mb"] for w in WIRES] for r in records],
+            title="4-GPU BFS exchange traffic by wire codec",
+        )
+    )
+    save_records(results_dir, "multigpu_wire", records)
+
+    for r in records:
+        # Narrowing to int32 halves the historical raw64 traffic; the
+        # compressed codecs must then beat even that, and auto must be
+        # the best of the fixed choices (headers make exact min unequal
+        # only when codec picks differ per message).
+        assert r["raw_mb"] < r["raw64_mb"], r["name"]
+        assert min(r["bitmap_mb"], r["varint_mb"]) < r["raw_mb"], r["name"]
+        assert r["auto_mb"] <= min(
+            r["raw_mb"], r["bitmap_mb"], r["varint_mb"]
+        ), r["name"]

@@ -19,6 +19,11 @@ Commands
     Perfetto trace with nested spans + counter tracks and a
     stable-schema metrics JSON.  Without a graph a deterministic RMAT
     graph is generated, so two invocations are byte-identical.
+``dist <algo> [graph] [--gpus N] [--fmt csr|efg] [--wire CODEC]
+[--schedule flat|butterfly]``
+    Sharded traversal (bfs/sssp/pagerank) over N simulated GPUs with a
+    compressed frontier exchange; prints the per-level exchange
+    breakdown and optionally writes a stable-schema metrics JSON.
 ``compare <a.json> <b.json> [--threshold PCT]``
     Diff two metrics dumps per kernel and per cost term; exits
     non-zero when any key moved more than the threshold (CI perf gate).
@@ -248,6 +253,85 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from repro.dist import (
+        ShardedCluster,
+        distributed_bfs,
+        distributed_pagerank,
+        distributed_sssp,
+    )
+    from repro.dist.report import dist_report, dist_run_metrics
+    from repro.dist.topology import LinkTopology
+    from repro.gpusim.device import TITAN_XP
+    from repro.obs.metrics import dump_metrics
+
+    if args.graph is not None:
+        graph = _load(args.graph)
+        graph_name = args.graph
+    else:
+        from repro.datasets.rmat import rmat_graph
+
+        graph = rmat_graph(
+            scale=args.rmat_scale, edge_factor=args.edge_factor, seed=args.seed
+        )
+        graph_name = (
+            f"rmat(scale={args.rmat_scale},ef={args.edge_factor},"
+            f"seed={args.seed})"
+        )
+    if args.gpus < 1:
+        raise SystemExit(f"--gpus must be >= 1, got {args.gpus}")
+    device = TITAN_XP.scaled(args.device_scale)
+    topology = LinkTopology(
+        num_gpus=args.gpus,
+        link_bandwidth=args.link_gbs * 1e9,
+        contention=args.contention,
+        message_latency_s=device.launch_overhead_s,
+    )
+    needs_weights = args.algo == "sssp"
+    cluster = ShardedCluster.build(
+        graph, args.gpus, device,
+        fmt=args.fmt, wire=args.wire, schedule=args.schedule,
+        topology=topology, with_weights=needs_weights,
+    )
+    source = args.source
+    if args.algo != "pagerank" and graph.degrees[source] == 0:
+        source = int(np.argmax(graph.degrees))
+        print(f"source {args.source} has no out-edges; using {source}")
+    if args.algo == "bfs":
+        result = distributed_bfs(cluster, source)
+        summary = f"{result.num_levels} levels"
+    elif args.algo == "sssp":
+        rng = np.random.default_rng(args.seed)
+        weights = rng.uniform(0.1, 1.0, size=graph.num_edges).astype(
+            np.float32
+        )
+        result = distributed_sssp(cluster, source, weights)
+        summary = f"{result.iterations} iterations"
+    else:
+        result = distributed_pagerank(cluster)
+        summary = (
+            f"{result.iterations} iterations"
+            f"{' (converged)' if result.converged else ''}"
+        )
+    print(
+        f"{args.fmt} dist-{args.algo} on {args.gpus} GPUs "
+        f"(wire={args.wire}, schedule={args.schedule}): "
+        f"{result.runtime_ms:.3f} ms simulated, {result.gteps:.2f} GTEPS, "
+        f"{summary}, {result.exchanged_bytes:,} wire bytes"
+    )
+    print()
+    print(dist_report(cluster))
+    if args.metrics:
+        payload = dist_run_metrics(
+            cluster,
+            meta={"algo": args.algo, "graph": graph_name,
+                  "seed": str(args.seed)},
+        )
+        dump_metrics(payload, args.metrics)
+        print(f"\nwrote metrics to {args.metrics}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.obs.compare import (
         compare_metrics,
@@ -363,6 +447,42 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--metrics", metavar="PATH",
                    help="write the stable-schema metrics JSON")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "dist", help="sharded traversal over multiple simulated GPUs"
+    )
+    p.add_argument("algo", choices=("bfs", "sssp", "pagerank"))
+    p.add_argument(
+        "graph", nargs="?", default=None,
+        help="graph file; omit to generate a deterministic RMAT graph",
+    )
+    p.add_argument("--gpus", type=int, default=4,
+                   help="number of simulated devices (default 4)")
+    p.add_argument("--fmt", choices=("csr", "efg"), default="csr",
+                   help="shard storage format (default csr)")
+    p.add_argument("--wire",
+                   choices=("raw", "raw64", "bitmap", "varint", "auto"),
+                   default="auto",
+                   help="frontier wire codec (default auto)")
+    p.add_argument("--schedule", choices=("flat", "butterfly"),
+                   default="flat",
+                   help="exchange schedule (default flat)")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--seed", type=int, default=1,
+                   help="seed for generated graphs and weights")
+    p.add_argument("--rmat-scale", type=int, default=10,
+                   help="log2 |V| of the generated RMAT graph (default 10)")
+    p.add_argument("--edge-factor", type=int, default=8,
+                   help="edges per vertex of the generated graph (default 8)")
+    p.add_argument("--device-scale", type=float, default=2048,
+                   help="shrink the Titan Xp by this factor (default 2048)")
+    p.add_argument("--link-gbs", type=float, default=10.0,
+                   help="per-link bandwidth in GB/s (default 10)")
+    p.add_argument("--contention", type=float, default=0.5,
+                   help="shared-fabric contention in [0,1] (default 0.5)")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write the stable-schema metrics JSON")
+    p.set_defaults(func=_cmd_dist)
 
     p = sub.add_parser(
         "compare", help="diff two metrics dumps; exit 1 past threshold"

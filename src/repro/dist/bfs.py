@@ -1,0 +1,211 @@
+"""Distributed level-synchronous BFS over a sharded cluster.
+
+The classic 1-D partitioned BFS the multi-GPU systems in the paper's
+introduction run: every level, each GPU partially sorts and expands its
+shard of the frontier (the same Sec. VI-E sort the single-GPU drivers
+use), packs the discovered neighbours into per-owner buckets, exchanges
+them through the wire codec, and the owners claim unvisited vertices to
+form the next frontier.  Per-level simulated time is the
+bulk-synchronous ``max`` over GPUs of local work plus the exchange.
+
+Levels are bit-identical to single-GPU :func:`repro.traversal.bfs.bfs`
+for every codec and schedule: codecs round-trip exactly and claims are
+order-independent, so only the *costs* differ — which is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dist.cluster import ShardedCluster
+from repro.dist.wire import FRONTIER_ID_BYTES
+from repro.primitives.compact import atomic_or_claim
+from repro.primitives.sort import partial_sort_frontier
+
+__all__ = ["DistBFSResult", "distributed_bfs"]
+
+
+@dataclass(frozen=True)
+class DistBFSResult:
+    """Outcome of one distributed BFS run."""
+
+    source: int
+    levels: np.ndarray
+    #: Number of BFS levels counting the source's level 0 (levels.max()+1).
+    num_levels: int
+    edges_traversed: int
+    #: Bytes that crossed inter-GPU links (encoded ids + headers).
+    exchanged_bytes: int
+    #: Share of :attr:`sim_seconds` spent in the exchange.
+    exchange_seconds: float
+    sim_seconds: float
+    num_gpus: int
+    wire: str
+    schedule: str
+    messages: int
+    cluster: ShardedCluster = field(repr=False)
+
+    @property
+    def runtime_ms(self) -> float:
+        """Simulated runtime in milliseconds."""
+        return self.sim_seconds * 1e3
+
+    @property
+    def gteps(self) -> float:
+        """Billions of traversed edges per simulated second."""
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.edges_traversed / self.sim_seconds / 1e9
+
+
+def distributed_bfs(
+    cluster: ShardedCluster,
+    source: int,
+    partial_sort: bool = True,
+    sort_fraction: float = 0.65,
+) -> DistBFSResult:
+    """BFS from ``source`` across the cluster's shards.
+
+    Parameters
+    ----------
+    cluster:
+        A built :class:`~repro.dist.cluster.ShardedCluster`.
+    source:
+        Start vertex (global id).
+    partial_sort:
+        Apply the Sec. VI-E partial radix sort to each local frontier
+        shard before expansion (65% of the id bits by default).
+    sort_fraction:
+        Fraction of high id bits the partial sort keys on.
+    """
+    nv = cluster.num_nodes
+    if not 0 <= source < nv:
+        raise IndexError(f"source {source} out of range")
+    cluster.reset()
+    partition = cluster.partition
+    num_gpus = cluster.num_gpus
+
+    levels = np.full(nv, -1, dtype=np.int64)
+    visited = np.zeros(nv, dtype=bool)
+    levels[source] = 0
+    visited[source] = True
+    source_owner = int(partition.owner(np.array([source]))[0])
+    frontiers: list[np.ndarray] = [
+        np.array([source], dtype=np.int64) if g == source_owner else
+        np.empty(0, dtype=np.int64)
+        for g in range(num_gpus)
+    ]
+
+    depth = 0
+    edges_traversed = 0
+    exchanged_bytes = 0
+    exchange_seconds = 0.0
+    messages = 0
+    cluster.open_algorithm(
+        "dist_bfs", source=int(source), partial_sort=partial_sort
+    )
+    while any(f.size for f in frontiers):
+        frontier_total = int(sum(f.size for f in frontiers))
+        cluster.metrics.observe("dist.frontier_size", frontier_total)
+        with cluster.level(
+            f"level:{depth}", level=depth, frontier_size=frontier_total
+        ) as sp:
+            outgoing: list[list[np.ndarray]] = []
+            expand_seconds = 0.0
+            level_edges = 0
+            for g in range(num_gpus):
+                backend = cluster.backends[g]
+                engine = backend.engine
+                before = engine.elapsed_seconds
+                frontier = frontiers[g]
+                buckets = [
+                    np.empty(0, dtype=np.int64) for _ in range(num_gpus)
+                ]
+                if frontier.size:
+                    if partial_sort and frontier.size > 1:
+                        with engine.launch("dist_sort") as k:
+                            frontier = partial_sort_frontier(
+                                frontier, nv, sort_fraction
+                            )
+                            kept_bits = max(
+                                1,
+                                int(round(
+                                    np.log2(max(nv, 2)) * sort_fraction
+                                )),
+                            )
+                            passes = -(-kept_bits // 8)
+                            k.read(
+                                "work:frontier",
+                                2 * passes * frontier.shape[0],
+                                FRONTIER_ID_BYTES,
+                            )
+                            k.instructions(8.0 * passes * frontier.shape[0])
+                    with engine.launch("dist_expand") as k:
+                        nbrs, _ = backend.expand(frontier, k)
+                        k.read_stream("work:visited", nbrs, 1)
+                    level_edges += int(nbrs.shape[0])
+                    buckets, _ = cluster.pack(g, nbrs)
+                outgoing.append(buckets)
+                expand_seconds = max(
+                    expand_seconds, engine.elapsed_seconds - before
+                )
+            edges_traversed += level_edges
+
+            incoming, _, ex = cluster.exchange_buckets(outgoing)
+            exchanged_bytes += ex.wire_bytes
+            exchange_seconds += ex.seconds
+            messages += ex.messages
+
+            claim_seconds = 0.0
+            next_frontiers: list[np.ndarray] = []
+            depth += 1
+            for g in range(num_gpus):
+                engine = cluster.backends[g].engine
+                before = engine.elapsed_seconds
+                candidates = incoming[g]
+                with engine.launch("dist_claim") as k:
+                    cluster.charge_unpack(k, g, ex)
+                    fresh = candidates[~visited[candidates]]
+                    won = atomic_or_claim(visited, fresh)
+                    mine = fresh[won]
+                    k.read_stream("work:visited", candidates, 1)
+                    k.instructions(2.0 * candidates.shape[0])
+                    k.write(
+                        "work:frontier", int(mine.shape[0]), FRONTIER_ID_BYTES
+                    )
+                levels[mine] = depth
+                next_frontiers.append(mine)
+                claim_seconds = max(
+                    claim_seconds, engine.elapsed_seconds - before
+                )
+            frontiers = next_frontiers
+            cluster.advance(expand_seconds + ex.seconds + claim_seconds)
+            sp.annotate(
+                edges_expanded=level_edges,
+                claimed=int(sum(f.shape[0] for f in next_frontiers)),
+                expand_seconds=expand_seconds,
+                exchange_seconds=ex.seconds,
+                claim_seconds=claim_seconds,
+                wire_bytes=ex.wire_bytes,
+                messages=ex.messages,
+                bound=cluster.level_bound(expand_seconds, ex, claim_seconds),
+            )
+    cluster.finish_run(edges_traversed, "dist_bfs")
+    cluster.close_algorithm()
+
+    return DistBFSResult(
+        source=source,
+        levels=levels,
+        num_levels=int(levels.max()) + 1,
+        edges_traversed=edges_traversed,
+        exchanged_bytes=exchanged_bytes,
+        exchange_seconds=exchange_seconds,
+        sim_seconds=cluster.clock,
+        num_gpus=num_gpus,
+        wire=cluster.codec.name,
+        schedule=cluster.schedule,
+        messages=messages,
+        cluster=cluster,
+    )

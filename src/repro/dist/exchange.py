@@ -1,0 +1,316 @@
+"""The frontier exchange: route bucketed ids to their owner GPUs.
+
+One bulk-synchronous exchange takes each GPU's per-owner buckets of
+discovered vertices (sorted, deduplicated — the pack kernel's job) and
+delivers to every GPU the union of what the others found in its range.
+Two schedules:
+
+* ``flat`` — the textbook single-step all-to-all: every GPU posts one
+  message per peer; per-link time is the busiest link's serialization
+  (see :class:`repro.dist.topology.LinkTopology`).
+* ``butterfly`` — the log-step hypercube schedule of ButterFly BFS
+  (PAPERS.md): in round ``k`` each GPU exchanges one message with the
+  partner whose id differs in bit ``k``, forwarding everything whose
+  final owner lives on the partner's side of that bit.  Messages per
+  GPU drop from P-1 to log2 P (the latency win) while forwarded items
+  are re-aggregated and deduplicated at every hop (the bandwidth win on
+  dense frontiers, paid for by items travelling up to log2 P links).
+
+Optionally each id carries a fixed-width value (SSSP distances,
+PageRank partial sums).  Values ride uncompressed — the id stream is
+what the codecs compress, mirroring the paper's "weights are not
+compressed" stance — and duplicates met along the way are folded with
+the caller's combiner (min for distances, sum for rank mass), which is
+exactly the aggregation that makes the butterfly competitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dist.partition import VertexPartition
+from repro.dist.topology import LinkTopology
+from repro.dist.wire import MESSAGE_HEADER_BYTES, AutoCodec, WireCodec
+
+__all__ = ["SCHEDULES", "ExchangeStats", "exchange"]
+
+#: Exchange schedules the drivers accept.
+SCHEDULES = ("flat", "butterfly")
+
+
+@dataclass
+class ExchangeStats:
+    """Accounting for one exchange (one level's all-to-all)."""
+
+    #: Total bytes that crossed inter-GPU links (payload + headers).
+    wire_bytes: int = 0
+    #: Encoded id bytes only.
+    id_bytes: int = 0
+    #: Uncompressed value bytes only.
+    value_bytes: int = 0
+    #: Fixed message-envelope bytes only.
+    header_bytes: int = 0
+    #: Messages posted across all GPUs and rounds.
+    messages: int = 0
+    #: Ids handed to codecs on the send side (dedup already applied).
+    sent_ids: int = 0
+    #: Ids decoded on the receive side (== sent for a correct codec).
+    received_ids: int = 0
+    #: Simulated link time of the whole exchange.
+    seconds: float = 0.0
+    #: Serialization share of :attr:`seconds` (bytes over links).
+    transfer_seconds: float = 0.0
+    #: Fixed per-message share of :attr:`seconds`.
+    latency_seconds: float = 0.0
+    #: Schedule rounds (1 for flat, log2 P for butterfly).
+    rounds: int = 0
+    #: Messages per concrete codec actually used (auto resolves here).
+    codec_messages: dict[str, int] = field(default_factory=dict)
+    #: Per-GPU wire ids encoded / decoded (pack/unpack kernel inputs).
+    sent_ids_per_gpu: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    received_ids_per_gpu: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    def add_message(
+        self, codec_name: str, id_nbytes: int, value_nbytes: int
+    ) -> int:
+        """Record one posted message; returns its total wire bytes."""
+        total = id_nbytes + value_nbytes + MESSAGE_HEADER_BYTES
+        self.wire_bytes += total
+        self.id_bytes += id_nbytes
+        self.value_bytes += value_nbytes
+        self.header_bytes += MESSAGE_HEADER_BYTES
+        self.messages += 1
+        self.codec_messages[codec_name] = (
+            self.codec_messages.get(codec_name, 0) + 1
+        )
+        return total
+
+
+def _combine(
+    ids_a: np.ndarray,
+    vals_a: np.ndarray | None,
+    ids_b: np.ndarray,
+    vals_b: np.ndarray | None,
+    combine: str | None,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Merge two sorted-unique id sets, folding duplicate values."""
+    if ids_a.size == 0:
+        return ids_b, vals_b
+    if ids_b.size == 0:
+        return ids_a, vals_a
+    ids = np.concatenate([ids_a, ids_b])
+    if vals_a is None:
+        return np.unique(ids), None
+    vals = np.concatenate([vals_a, vals_b])
+    uniq, inverse = np.unique(ids, return_inverse=True)
+    if combine == "min":
+        folded = np.full(uniq.shape[0], np.inf, dtype=vals.dtype)
+        np.minimum.at(folded, inverse, vals)
+    elif combine == "sum":
+        folded = np.zeros(uniq.shape[0], dtype=vals.dtype)
+        np.add.at(folded, inverse, vals)
+    else:
+        raise ValueError(f"unknown combiner {combine!r}")
+    return uniq, folded
+
+
+def _encode_message(
+    codec: WireCodec,
+    ids: np.ndarray,
+    lo: int,
+    hi: int,
+    num_values: int,
+    value_width: int,
+    stats: ExchangeStats,
+) -> tuple[np.ndarray, int]:
+    """Round-trip one message through the codec; returns (ids, bytes)."""
+    concrete = codec.choose(ids, lo, hi) if isinstance(codec, AutoCodec) else codec
+    payload = concrete.encode(ids, lo, hi)
+    decoded = concrete.decode(payload, lo, hi)
+    total = stats.add_message(
+        concrete.name, int(payload.shape[0]), value_width * num_values
+    )
+    stats.sent_ids += int(ids.shape[0])
+    stats.received_ids += int(decoded.shape[0])
+    return decoded, total
+
+
+def exchange(
+    outgoing: list[list[np.ndarray]],
+    partition: VertexPartition,
+    topology: LinkTopology,
+    codec: WireCodec,
+    schedule: str = "flat",
+    values: list[list[np.ndarray]] | None = None,
+    combine: str | None = None,
+    value_width: int = 4,
+) -> tuple[list[np.ndarray], list[np.ndarray] | None, ExchangeStats]:
+    """Deliver every bucket to its owner; returns per-GPU incoming sets.
+
+    ``outgoing[g][h]`` holds the sorted unique ids GPU ``g`` discovered
+    for owner ``h`` (``outgoing[g][g]`` never touches a link).  With
+    ``values``, each id carries one ``value_width``-byte value and
+    duplicates are folded with ``combine`` (``"min"`` or ``"sum"``).
+    ``incoming[h]`` is the sorted unique union delivered to ``h``.
+    """
+    num_gpus = partition.num_gpus
+    if len(outgoing) != num_gpus:
+        raise ValueError(
+            f"expected {num_gpus} outgoing bucket rows, got {len(outgoing)}"
+        )
+    if values is not None and combine is None:
+        raise ValueError("value exchange needs a combiner ('min' or 'sum')")
+    if schedule not in SCHEDULES:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; pick from {SCHEDULES}"
+        )
+    stats = ExchangeStats(
+        sent_ids_per_gpu=np.zeros(num_gpus, dtype=np.int64),
+        received_ids_per_gpu=np.zeros(num_gpus, dtype=np.int64),
+    )
+    if schedule == "flat" or num_gpus == 1:
+        incoming, in_vals = _exchange_flat(
+            outgoing, partition, topology, codec, values, combine,
+            value_width, stats,
+        )
+    else:
+        if num_gpus & (num_gpus - 1):
+            raise ValueError(
+                f"butterfly schedule needs a power-of-two GPU count, "
+                f"got {num_gpus}"
+            )
+        incoming, in_vals = _exchange_butterfly(
+            outgoing, partition, topology, codec, values, combine,
+            value_width, stats,
+        )
+    return incoming, in_vals, stats
+
+
+def _exchange_flat(
+    outgoing, partition, topology, codec, values, combine, value_width, stats
+):
+    num_gpus = partition.num_gpus
+    egress = np.zeros(num_gpus, dtype=np.float64)
+    ingress = np.zeros(num_gpus, dtype=np.float64)
+    posted = np.zeros(num_gpus, dtype=np.int64)
+    incoming: list[np.ndarray] = []
+    in_vals: list[np.ndarray] | None = [] if values is not None else None
+    for h in range(num_gpus):
+        lo, hi = partition.bounds(h)
+        ids_acc = outgoing[h][h]
+        vals_acc = values[h][h] if values is not None else None
+        for g in range(num_gpus):
+            if g == h or outgoing[g][h].size == 0:
+                continue
+            ids = outgoing[g][h]
+            decoded, nbytes = _encode_message(
+                codec, ids, lo, hi, int(ids.shape[0]),
+                value_width if values is not None else 0, stats,
+            )
+            egress[g] += nbytes
+            ingress[h] += nbytes
+            posted[g] += 1
+            stats.sent_ids_per_gpu[g] += ids.shape[0]
+            stats.received_ids_per_gpu[h] += decoded.shape[0]
+            ids_acc, vals_acc = _combine(
+                ids_acc,
+                vals_acc,
+                decoded,
+                values[g][h] if values is not None else None,
+                combine,
+            )
+        incoming.append(np.asarray(ids_acc, dtype=np.int64))
+        if in_vals is not None:
+            if vals_acc is None:
+                vals_acc = np.empty(0, dtype=np.float64)
+            in_vals.append(vals_acc)
+    stats.rounds = 1
+    transfer, latency = topology.step_breakdown(
+        egress, ingress, int(posted.max()) if num_gpus > 1 else 0
+    )
+    stats.transfer_seconds = transfer
+    stats.latency_seconds = latency
+    stats.seconds = transfer + latency
+    return incoming, in_vals
+
+
+def _exchange_butterfly(
+    outgoing, partition, topology, codec, values, combine, value_width, stats
+):
+    num_gpus = partition.num_gpus
+    # Live per-GPU state: sorted-unique ids still in flight (own bucket
+    # included) and their values; owners recomputed from the partition.
+    ids_state: list[np.ndarray] = []
+    vals_state: list[np.ndarray | None] = []
+    for g in range(num_gpus):
+        acc = np.empty(0, dtype=np.int64)
+        vacc = np.empty(0, dtype=np.float64) if values is not None else None
+        for h in range(num_gpus):
+            acc, vacc = _combine(
+                acc, vacc, outgoing[g][h],
+                values[g][h] if values is not None else None, combine,
+            )
+        ids_state.append(acc)
+        vals_state.append(vacc)
+
+    rounds = num_gpus.bit_length() - 1
+    total_seconds = 0.0
+    for k in range(rounds):
+        bit = 1 << k
+        egress = np.zeros(num_gpus, dtype=np.float64)
+        ingress = np.zeros(num_gpus, dtype=np.float64)
+        sends: list[tuple[np.ndarray, np.ndarray | None]] = []
+        keeps: list[tuple[np.ndarray, np.ndarray | None]] = []
+        for g in range(num_gpus):
+            partner = g ^ bit
+            owners = partition.owner(ids_state[g])
+            away = (owners & bit).astype(bool) != bool(g & bit)
+            send_ids = ids_state[g][away]
+            send_vals = (
+                vals_state[g][away] if vals_state[g] is not None else None
+            )
+            keeps.append((ids_state[g][~away],
+                          vals_state[g][~away]
+                          if vals_state[g] is not None else None))
+            sends.append((send_ids, send_vals))
+            if send_ids.size:
+                # The message spans every owner range on the partner's
+                # side of bit k; bitmap cost covers that whole span.
+                lo = int(partition.boundaries[int(owners[away].min())])
+                hi = int(partition.boundaries[int(owners[away].max()) + 1])
+                decoded, nbytes = _encode_message(
+                    codec, send_ids, lo, hi, int(send_ids.shape[0]),
+                    value_width if values is not None else 0, stats,
+                )
+                sends[-1] = (decoded, send_vals)
+                egress[g] += nbytes
+                ingress[partner] += nbytes
+                stats.sent_ids_per_gpu[g] += send_ids.shape[0]
+                stats.received_ids_per_gpu[partner] += decoded.shape[0]
+        for g in range(num_gpus):
+            partner = g ^ bit
+            ids_state[g], vals_state[g] = _combine(
+                keeps[g][0], keeps[g][1], sends[partner][0], sends[partner][1],
+                combine,
+            )
+        transfer, latency = topology.step_breakdown(
+            egress, ingress, 1 if egress.any() else 0
+        )
+        stats.transfer_seconds += transfer
+        stats.latency_seconds += latency
+        total_seconds += transfer + latency
+    stats.rounds = rounds
+    stats.seconds = total_seconds
+    in_vals = None
+    if values is not None:
+        in_vals = [
+            v if v is not None else np.empty(0, dtype=np.float64)
+            for v in vals_state
+        ]
+    return ids_state, in_vals

@@ -1,0 +1,138 @@
+"""Metrics dumps and text reports for distributed runs.
+
+:func:`dist_run_metrics` serialises one cluster run into the same
+versioned schema single-GPU :func:`repro.obs.metrics.run_metrics` uses
+— aggregated per-kernel rows (summed over GPUs), the cluster registry
+(wire-byte counters, codec tallies), and per-level exchange breakdowns
+pulled from the span tree.  Identical runs produce byte-identical
+dumps, so ``repro compare`` gates distributed workloads exactly like
+single-GPU ones.
+
+:func:`dist_report` renders the per-level story as a table: frontier
+size, wire bytes, the expand/exchange/claim split, and which term bound
+each level.
+"""
+
+from __future__ import annotations
+
+from repro.dist.cluster import ShardedCluster
+from repro.obs.metrics import METRICS_SCHEMA
+
+__all__ = ["dist_run_metrics", "dist_report"]
+
+#: Kernel-summary fields summed across the per-GPU engines.
+_KERNEL_FIELDS = (
+    "launches",
+    "device_bytes",
+    "host_bytes",
+    "cached_bytes",
+    "instructions",
+    "floor_seconds",
+    "seconds",
+)
+
+#: Level-span attributes exported per level (all numeric, diffable).
+_LEVEL_FIELDS = (
+    "frontier_size",
+    "edges_expanded",
+    "wire_bytes",
+    "messages",
+    "expand_seconds",
+    "exchange_seconds",
+    "claim_seconds",
+)
+
+
+def _level_spans(cluster: ShardedCluster) -> list:
+    if cluster.tracer.root is None:
+        return []
+    return cluster.tracer.root.find("level")
+
+
+def dist_run_metrics(cluster: ShardedCluster, meta: dict | None = None) -> dict:
+    """Serialise one finished cluster run to the stable metrics schema."""
+    kernels: dict[str, dict[str, float]] = {}
+    totals = {
+        "elapsed_seconds": cluster.clock,
+        "launches": 0.0,
+        "device_bytes": 0.0,
+        "host_bytes": 0.0,
+        "cached_bytes": 0.0,
+        "instructions": 0.0,
+    }
+    for backend in cluster.backends:
+        for name, row in backend.engine.kernel_summary().items():
+            agg = kernels.setdefault(
+                name, {field: 0.0 for field in _KERNEL_FIELDS}
+            )
+            for field in _KERNEL_FIELDS:
+                agg[field] += row[field]
+    for row in kernels.values():
+        for field in totals:
+            if field != "elapsed_seconds":
+                totals[field] += row[field]
+    levels = {}
+    for span in _level_spans(cluster):
+        levels[span.name] = {
+            field: float(span.attrs.get(field, 0.0))
+            for field in _LEVEL_FIELDS
+        }
+    device = cluster.backends[0].engine.device
+    base_meta = {
+        "num_gpus": cluster.num_gpus,
+        "fmt": cluster.fmt,
+        "wire": cluster.codec.name,
+        "schedule": cluster.schedule,
+        "link_bandwidth": cluster.topology.link_bandwidth,
+        "contention": cluster.topology.contention,
+    }
+    return {
+        "schema": METRICS_SCHEMA,
+        "meta": dict(sorted({**base_meta, **(meta or {})}.items())),
+        "device": {
+            "name": device.name,
+            "dram_bandwidth": device.dram_bandwidth,
+            "link_bandwidth": device.link_bandwidth,
+            "memory_bytes": float(device.memory_bytes),
+        },
+        "totals": totals,
+        "kernels": {
+            name: dict(sorted(row.items()))
+            for name, row in sorted(kernels.items())
+        },
+        **cluster.metrics.to_dict(),
+        "levels": levels,
+    }
+
+
+def dist_report(cluster: ShardedCluster) -> str:
+    """Per-level table of one finished cluster run."""
+    spans = _level_spans(cluster)
+    header = (
+        f"{'level':14s} {'frontier':>9s} {'edges':>9s} {'wire B':>9s} "
+        f"{'expand us':>10s} {'exch us':>9s} {'claim us':>9s} {'bound':>8s}"
+    )
+    lines = [
+        f"distributed run: {cluster.num_gpus} GPUs, fmt={cluster.fmt}, "
+        f"wire={cluster.codec.name}, schedule={cluster.schedule}",
+        header,
+    ]
+    for span in spans:
+        a = span.attrs
+        lines.append(
+            f"{span.name:14s} "
+            f"{int(a.get('frontier_size', 0)):9d} "
+            f"{int(a.get('edges_expanded', 0)):9d} "
+            f"{int(a.get('wire_bytes', 0)):9d} "
+            f"{1e6 * float(a.get('expand_seconds', 0.0)):10.2f} "
+            f"{1e6 * float(a.get('exchange_seconds', 0.0)):9.2f} "
+            f"{1e6 * float(a.get('claim_seconds', 0.0)):9.2f} "
+            f"{str(a.get('bound', '-')):>8s}"
+        )
+    wire = cluster.metrics.counters.get("dist.wire_bytes", 0.0)
+    msgs = cluster.metrics.counters.get("dist.messages", 0.0)
+    lines.append(
+        f"total: {cluster.clock * 1e3:.4f} ms simulated, "
+        f"{int(wire)} wire bytes in {int(msgs)} messages"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,236 @@
+"""Distributed SSSP: frontier relaxation with a min-combining exchange.
+
+Bellman-Ford over the 1-D partition: each iteration every GPU relaxes
+the edges of its owned frontier shard (uncompressed float32 weights, as
+in the single-GPU driver — weights are not compressed), producing
+``(vertex, candidate distance)`` pairs for arbitrary owners.  The
+exchange ships the id stream through the wire codec while each id
+carries one 4-byte distance, and duplicates met anywhere along the way
+— in the pack kernel, between senders, at butterfly hops — fold with
+``min``.  Owners keep the candidates that beat their stored distance;
+those vertices form the next frontier.
+
+Because min-folding is exact (no floating-point reassociation), the
+resulting distances are bit-identical to single-GPU
+:func:`repro.traversal.sssp.sssp` for every codec and schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dist.cluster import ShardedCluster
+from repro.dist.wire import FRONTIER_ID_BYTES
+from repro.primitives.sort import partial_sort_frontier
+
+__all__ = ["DistSSSPResult", "distributed_sssp"]
+
+#: Wire width of one candidate distance (float32, like the weights).
+DISTANCE_VALUE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class DistSSSPResult:
+    """Outcome of one distributed SSSP run."""
+
+    source: int
+    distances: np.ndarray
+    iterations: int
+    edges_relaxed: int
+    exchanged_bytes: int
+    exchange_seconds: float
+    sim_seconds: float
+    num_gpus: int
+    wire: str
+    schedule: str
+    messages: int
+    cluster: ShardedCluster = field(repr=False)
+
+    @property
+    def runtime_ms(self) -> float:
+        """Simulated runtime in milliseconds."""
+        return self.sim_seconds * 1e3
+
+    @property
+    def gteps(self) -> float:
+        """Billions of relaxed edges per simulated second."""
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.edges_relaxed / self.sim_seconds / 1e9
+
+
+def _shard_weight_slices(
+    cluster: ShardedCluster, weights: np.ndarray
+) -> list[np.ndarray]:
+    """Per-shard weight arrays indexed by shard-local edge slot.
+
+    Shard ``g`` stores the contiguous global CSR slot range
+    ``[vlist[lo], vlist[hi])`` of its owned rows, and its local slot 0
+    is global slot ``vlist[lo]`` — so the slice lines up with
+    ``backend.edge_slots`` of global frontier ids.
+    """
+    vlist = cluster.graph.vlist
+    slices = []
+    for g in range(cluster.num_gpus):
+        lo, hi = cluster.partition.bounds(g)
+        slices.append(weights[vlist[lo] : vlist[hi]])
+    return slices
+
+
+def distributed_sssp(
+    cluster: ShardedCluster,
+    source: int,
+    weights: np.ndarray,
+    max_iterations: int | None = None,
+    partial_sort: bool = True,
+    sort_fraction: float = 0.65,
+) -> DistSSSPResult:
+    """Shortest paths from ``source`` across the cluster's shards.
+
+    ``weights`` is one non-negative float per arc in global CSR slot
+    order.  The cluster must have been built with ``with_weights=True``
+    so every shard's memory plan includes its weight slice.
+    """
+    nv = cluster.num_nodes
+    if not 0 <= source < nv:
+        raise IndexError(f"source {source} out of range")
+    weights = np.asarray(weights, dtype=np.float32)
+    if weights.shape[0] != cluster.graph.num_edges:
+        raise ValueError("one weight per stored arc required")
+    if weights.size and weights.min() < 0:
+        raise ValueError("sssp requires non-negative weights")
+    for b in cluster.backends:
+        if "weights" not in b.engine.memory.plan():
+            raise RuntimeError(
+                "cluster built without weights; use build(..., with_weights=True)"
+            )
+    cluster.reset()
+    partition = cluster.partition
+    num_gpus = cluster.num_gpus
+    shard_weights = _shard_weight_slices(cluster, weights)
+
+    dist = np.full(nv, np.inf, dtype=np.float64)
+    dist[source] = 0.0
+    source_owner = int(partition.owner(np.array([source]))[0])
+    frontiers: list[np.ndarray] = [
+        np.array([source], dtype=np.int64) if g == source_owner else
+        np.empty(0, dtype=np.int64)
+        for g in range(num_gpus)
+    ]
+
+    edges_relaxed = 0
+    exchanged_bytes = 0
+    exchange_seconds = 0.0
+    messages = 0
+    iterations = 0
+    cap = max_iterations if max_iterations is not None else nv
+    cluster.open_algorithm("dist_sssp", source=int(source))
+    while any(f.size for f in frontiers) and iterations < cap:
+        frontier_total = int(sum(f.size for f in frontiers))
+        cluster.metrics.observe("dist.frontier_size", frontier_total)
+        with cluster.level(
+            f"iteration:{iterations}",
+            level=iterations,
+            frontier_size=frontier_total,
+        ) as sp:
+            outgoing: list[list[np.ndarray]] = []
+            out_values: list[list[np.ndarray]] = []
+            relax_seconds = 0.0
+            level_edges = 0
+            for g in range(num_gpus):
+                backend = cluster.backends[g]
+                engine = backend.engine
+                before = engine.elapsed_seconds
+                frontier = frontiers[g]
+                buckets = [
+                    np.empty(0, dtype=np.int64) for _ in range(num_gpus)
+                ]
+                val_buckets = [
+                    np.empty(0, dtype=np.float64) for _ in range(num_gpus)
+                ]
+                if frontier.size:
+                    if partial_sort and frontier.size > 1:
+                        frontier = partial_sort_frontier(
+                            frontier, nv, sort_fraction
+                        )
+                    with engine.launch("dist_relax") as k:
+                        nbrs, seg = backend.expand(frontier, k)
+                        slots = backend.edge_slots(frontier)
+                        cand = dist[frontier[seg]] + shard_weights[g][slots]
+                        k.read_stream("weights", slots, 4)
+                        k.read_stream("work:labels", nbrs, 4)
+                        k.instructions(4.0 * nbrs.shape[0])
+                    level_edges += int(nbrs.shape[0])
+                    buckets, val_buckets = cluster.pack(
+                        g, nbrs, values=cand, combine="min"
+                    )
+                outgoing.append(buckets)
+                out_values.append(val_buckets)
+                relax_seconds = max(
+                    relax_seconds, engine.elapsed_seconds - before
+                )
+            edges_relaxed += level_edges
+
+            incoming, in_values, ex = cluster.exchange_buckets(
+                outgoing, values=out_values, combine="min"
+            )
+            exchanged_bytes += ex.wire_bytes
+            exchange_seconds += ex.seconds
+            messages += ex.messages
+
+            update_seconds = 0.0
+            next_frontiers: list[np.ndarray] = []
+            improved_total = 0
+            for g in range(num_gpus):
+                engine = cluster.backends[g].engine
+                before = engine.elapsed_seconds
+                ids = incoming[g]
+                cand = in_values[g]
+                with engine.launch("dist_update") as k:
+                    cluster.charge_unpack(k, g, ex)
+                    better = cand < dist[ids]
+                    mine = ids[better]
+                    dist[mine] = cand[better]
+                    k.read_stream("work:labels", ids, 4)
+                    k.atomic("work:visited", int(mine.shape[0]), 1)
+                    k.instructions(2.0 * ids.shape[0])
+                    k.write(
+                        "work:frontier", int(mine.shape[0]), FRONTIER_ID_BYTES
+                    )
+                next_frontiers.append(mine)
+                improved_total += int(mine.shape[0])
+                update_seconds = max(
+                    update_seconds, engine.elapsed_seconds - before
+                )
+            frontiers = next_frontiers
+            iterations += 1
+            cluster.advance(relax_seconds + ex.seconds + update_seconds)
+            sp.annotate(
+                edges_expanded=level_edges,
+                improved=improved_total,
+                expand_seconds=relax_seconds,
+                exchange_seconds=ex.seconds,
+                claim_seconds=update_seconds,
+                wire_bytes=ex.wire_bytes,
+                messages=ex.messages,
+                bound=cluster.level_bound(relax_seconds, ex, update_seconds),
+            )
+    cluster.finish_run(edges_relaxed, "dist_sssp")
+    cluster.close_algorithm()
+
+    return DistSSSPResult(
+        source=source,
+        distances=dist,
+        iterations=iterations,
+        edges_relaxed=edges_relaxed,
+        exchanged_bytes=exchanged_bytes,
+        exchange_seconds=exchange_seconds,
+        sim_seconds=cluster.clock,
+        num_gpus=num_gpus,
+        wire=cluster.codec.name,
+        schedule=cluster.schedule,
+        messages=messages,
+        cluster=cluster,
+    )

@@ -1,0 +1,142 @@
+"""Per-link cost model for the inter-GPU frontier exchange.
+
+The original ``multi_gpu_bfs`` divided the *total* wire bytes of an
+all-to-all by a single link's bandwidth — as if every transfer
+serialized through one pipe no matter how many GPUs participate.  Real
+exchanges overlap: each GPU owns one (full-duplex) link, its egress
+traffic serializes on that link while its ingress serializes on the
+receive side, and only the *shared* host fabric (PCIe switches, host
+bridges) couples the flows.  A bulk-synchronous exchange step therefore
+finishes when the busiest link drains:
+
+``step = max_g(max(egress_g, ingress_g)) / bw``, lower-bounded by the
+contended fabric term ``contention * total_bytes / bw``, plus a fixed
+latency per message each GPU must post.
+
+``contention`` interpolates between the two regimes: ``0`` is a perfect
+per-link switch (NVLink-style point-to-point), ``1`` reproduces the old
+single-pipe model (every byte crosses one shared bus — the workstation
+PCIe tree the paper's Titan Xp lives on is closer to this end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["DEFAULT_PEER_BANDWIDTH", "LinkTopology"]
+
+#: PCIe peer-to-peer bandwidth between GPUs (no NVLink on a Titan Xp
+#: class workstation; both directions share the host links).
+DEFAULT_PEER_BANDWIDTH = 10e9
+
+#: Fixed cost of posting one peer-to-peer message (driver + DMA setup).
+DEFAULT_MESSAGE_LATENCY_S = 5e-6
+
+
+@dataclass(frozen=True)
+class LinkTopology:
+    """Inter-GPU interconnect: one full-duplex link per GPU.
+
+    Parameters
+    ----------
+    num_gpus:
+        Devices on the fabric.
+    link_bandwidth:
+        Bytes/s each GPU's own link sustains in one direction.
+    contention:
+        Fraction of the exchange's *total* bytes that serialize on the
+        shared fabric (0 = independent links, 1 = one shared pipe).
+    message_latency_s:
+        Fixed cost per message a GPU posts in one step.
+    """
+
+    num_gpus: int
+    link_bandwidth: float = DEFAULT_PEER_BANDWIDTH
+    contention: float = 0.5
+    message_latency_s: float = DEFAULT_MESSAGE_LATENCY_S
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError(f"need at least one GPU, got {self.num_gpus}")
+        if self.link_bandwidth <= 0:
+            raise ValueError(
+                f"link bandwidth must be positive, got {self.link_bandwidth}"
+            )
+        if not 0.0 <= self.contention <= 1.0:
+            raise ValueError(
+                f"contention must be in [0, 1], got {self.contention}"
+            )
+        if self.message_latency_s < 0:
+            raise ValueError("message latency must be >= 0")
+
+    @classmethod
+    def for_device(
+        cls,
+        device: DeviceSpec,
+        num_gpus: int,
+        link_bandwidth: float = DEFAULT_PEER_BANDWIDTH,
+        contention: float = 0.5,
+    ) -> "LinkTopology":
+        """Topology matched to a (possibly scaled) device.
+
+        The message latency follows the device's kernel launch overhead
+        so miniature-scale simulations keep the paper's ratio of fixed
+        cost to bandwidth-bound time (see ``DeviceSpec.scaled``).
+        """
+        return cls(
+            num_gpus=num_gpus,
+            link_bandwidth=link_bandwidth,
+            contention=contention,
+            message_latency_s=device.launch_overhead_s,
+        )
+
+    def scaled_bandwidth(self, factor: float) -> "LinkTopology":
+        """Same fabric with every link's bandwidth multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return replace(self, link_bandwidth=self.link_bandwidth * factor)
+
+    def step_breakdown(
+        self,
+        egress_bytes: np.ndarray,
+        ingress_bytes: np.ndarray,
+        messages_per_gpu: int,
+    ) -> tuple[float, float]:
+        """``(transfer, latency)`` seconds of one exchange step.
+
+        ``egress_bytes[g]`` / ``ingress_bytes[g]`` are the bytes GPU
+        ``g`` sends/receives in this step; ``messages_per_gpu`` the
+        number of messages each GPU posts (P-1 for a flat all-to-all,
+        1 per butterfly round).
+        """
+        egress = np.asarray(egress_bytes, dtype=np.float64)
+        ingress = np.asarray(ingress_bytes, dtype=np.float64)
+        if egress.shape != (self.num_gpus,) or ingress.shape != (self.num_gpus,):
+            raise ValueError(
+                f"expected {self.num_gpus} per-GPU byte totals, got "
+                f"{egress.shape} / {ingress.shape}"
+            )
+        if self.num_gpus == 1:
+            return 0.0, 0.0
+        link_time = float(np.maximum(egress, ingress).max()) / self.link_bandwidth
+        fabric_time = self.contention * float(egress.sum()) / self.link_bandwidth
+        transfer = max(link_time, fabric_time)
+        if transfer == 0.0:
+            return 0.0, 0.0
+        return transfer, messages_per_gpu * self.message_latency_s
+
+    def step_seconds(
+        self,
+        egress_bytes: np.ndarray,
+        ingress_bytes: np.ndarray,
+        messages_per_gpu: int,
+    ) -> float:
+        """Total duration of one bulk-synchronous exchange step."""
+        transfer, latency = self.step_breakdown(
+            egress_bytes, ingress_bytes, messages_per_gpu
+        )
+        return transfer + latency

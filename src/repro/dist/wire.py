@@ -1,0 +1,281 @@
+"""Frontier wire codecs for the inter-GPU exchange.
+
+Romera et al. (PAPERS.md: *Optimizing Communication by Compression for
+Multi-GPU Scalable BFS*, *ButterFly BFS*) show that the frontier
+exchange — not local expansion — bounds multi-GPU BFS scaling, and that
+compressing the exchanged frontier changes the verdict.  These codecs
+model the standard menu:
+
+* ``raw``    — one int32 per vertex id (the uncompressed wire format of
+  the multi-GPU BFS literature; valid while |V| < 2^31);
+* ``raw64``  — one int64 per id, i.e. the device-side frontier width
+  shipped unpacked (what the pre-codec simulator should always have
+  charged — see :data:`FRONTIER_ID_BYTES`);
+* ``bitmap`` — one bit per vertex of the destination range, the win
+  once frontier density crosses ~1/32 of the shard;
+* ``varint`` — delta-encode the sorted ids, LEB128-varint the gaps —
+  the sparse-frontier compressor (gaps within a shard are small);
+* ``auto``   — per message, whichever of raw/bitmap/varint is smallest
+  (density-based selection, decided from the header the receiver reads
+  anyway).
+
+Every codec really encodes and decodes (the drivers traverse what came
+off the wire), so "levels bit-identical across codecs" is a property of
+the code, not an assumption.  Ids inside one message must be sorted and
+unique — the pack kernel dedupes before encoding, which is itself part
+of the communication-reduction story.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = [
+    "FRONTIER_ID_BYTES",
+    "MESSAGE_HEADER_BYTES",
+    "WIRE_CODECS",
+    "WireCodec",
+    "RawCodec",
+    "Raw64Codec",
+    "BitmapCodec",
+    "VarintCodec",
+    "AutoCodec",
+    "get_codec",
+]
+
+#: Width of one device-side frontier id.  Frontiers are int64 arrays on
+#: every simulated device; kernel writes of frontier entries and any
+#: unpacked (``raw64``) wire accounting must both use this constant.
+FRONTIER_ID_BYTES = 8
+
+#: Fixed per-message envelope: codec tag, id count, range base —
+#: everything the receiver needs before touching the payload.
+MESSAGE_HEADER_BYTES = 16
+
+
+def _check_sorted_unique(ids: np.ndarray) -> np.ndarray:
+    ids = np.asarray(ids, dtype=np.int64)
+    if ids.size and np.any(np.diff(ids) <= 0):
+        raise ValueError("wire codecs require sorted unique ids")
+    return ids
+
+
+def _varint_encode(values: np.ndarray) -> np.ndarray:
+    """LEB128-encode a uint64 array (vectorized over byte positions)."""
+    values = values.astype(np.uint64)
+    if values.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    lengths = np.ones(values.shape[0], dtype=np.int64)
+    bound = np.uint64(1 << 7)
+    while np.any(values >= bound):
+        lengths += values >= bound
+        if int(bound) >= 1 << 63:
+            break
+        bound = np.uint64(int(bound) << 7)
+    offsets = np.zeros(values.shape[0], dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    out = np.empty(int(lengths.sum()), dtype=np.uint8)
+    for b in range(int(lengths.max())):
+        live = lengths > b
+        chunk = (values[live] >> np.uint64(7 * b)) & np.uint64(0x7F)
+        more = lengths[live] > b + 1
+        out[offsets[live] + b] = (chunk | (np.uint64(0x80) * more)).astype(
+            np.uint8
+        )
+    return out
+
+
+def _varint_decode(payload: np.ndarray) -> np.ndarray:
+    """Decode an LEB128 byte stream back to a uint64 array."""
+    data = np.asarray(payload, dtype=np.uint8)
+    if data.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    ends = np.flatnonzero((data & 0x80) == 0)
+    if ends.size == 0 or ends[-1] != data.size - 1:
+        raise ValueError("truncated varint stream")
+    starts = np.empty(ends.size, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    seg = np.repeat(np.arange(ends.size), ends - starts + 1)
+    pos = np.arange(data.size, dtype=np.int64) - starts[seg]
+    values = np.zeros(ends.size, dtype=np.uint64)
+    np.add.at(
+        values,
+        seg,
+        (data.astype(np.uint64) & np.uint64(0x7F))
+        << (np.uint64(7) * pos.astype(np.uint64)),
+    )
+    return values
+
+
+class WireCodec(abc.ABC):
+    """One frontier wire format: encode to bytes, decode back to ids."""
+
+    name: str
+    #: Per-id ALU cost of packing ids into this format on the sender.
+    encode_instr_per_id: float
+    #: Per-id ALU cost of unpacking on the receiver (claim side).
+    decode_instr_per_id: float
+
+    @abc.abstractmethod
+    def encode(self, ids: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Encode sorted unique ids in ``[lo, hi)`` to a uint8 payload."""
+
+    @abc.abstractmethod
+    def decode(self, payload: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Recover the exact id array from one message payload."""
+
+    def encoded_nbytes(self, ids: np.ndarray, lo: int, hi: int) -> int:
+        """Payload size without actually materialising it (override when
+        the size is closed-form)."""
+        return int(self.encode(ids, lo, hi).shape[0])
+
+
+class RawCodec(WireCodec):
+    """Uncompressed int32 ids — the literature's baseline wire format."""
+
+    name = "raw"
+    encode_instr_per_id = 1.0
+    decode_instr_per_id = 1.0
+
+    def encode(self, ids: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        ids = _check_sorted_unique(ids)
+        if ids.size and int(ids[-1]) >= 1 << 31:
+            raise ValueError("raw int32 wire format needs ids < 2^31")
+        return ids.astype("<i4").view(np.uint8)
+
+    def decode(self, payload: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        return (
+            np.asarray(payload, dtype=np.uint8)
+            .view("<i4")
+            .astype(np.int64)
+        )
+
+    def encoded_nbytes(self, ids: np.ndarray, lo: int, hi: int) -> int:
+        return 4 * int(np.asarray(ids).shape[0])
+
+
+class Raw64Codec(WireCodec):
+    """Device-width int64 ids shipped unpacked (no pack kernel at all)."""
+
+    name = "raw64"
+    encode_instr_per_id = 0.0
+    decode_instr_per_id = 1.0
+
+    def encode(self, ids: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        return _check_sorted_unique(ids).astype("<i8").view(np.uint8)
+
+    def decode(self, payload: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        return np.asarray(payload, dtype=np.uint8).view("<i8").astype(np.int64)
+
+    def encoded_nbytes(self, ids: np.ndarray, lo: int, hi: int) -> int:
+        return FRONTIER_ID_BYTES * int(np.asarray(ids).shape[0])
+
+
+class BitmapCodec(WireCodec):
+    """One bit per vertex of the message's ``[lo, hi)`` range."""
+
+    name = "bitmap"
+    encode_instr_per_id = 2.0
+    decode_instr_per_id = 2.0
+
+    def encode(self, ids: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        ids = _check_sorted_unique(ids)
+        if ids.size and (int(ids[0]) < lo or int(ids[-1]) >= hi):
+            raise ValueError("bitmap codec: id outside message range")
+        bits = np.zeros(max(0, hi - lo), dtype=np.uint8)
+        bits[ids - lo] = 1
+        return np.packbits(bits)
+
+    def decode(self, payload: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        bits = np.unpackbits(
+            np.asarray(payload, dtype=np.uint8), count=hi - lo
+        )
+        return np.flatnonzero(bits).astype(np.int64) + lo
+
+    def encoded_nbytes(self, ids: np.ndarray, lo: int, hi: int) -> int:
+        return -(-(hi - lo) // 8)
+
+
+class VarintCodec(WireCodec):
+    """Delta + LEB128 varint over the sorted ids (gap encoding)."""
+
+    name = "varint"
+    encode_instr_per_id = 4.0
+    decode_instr_per_id = 6.0
+
+    def encode(self, ids: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        ids = _check_sorted_unique(ids)
+        if ids.size == 0:
+            return np.empty(0, dtype=np.uint8)
+        gaps = np.empty(ids.shape[0], dtype=np.uint64)
+        gaps[0] = np.uint64(int(ids[0]) - lo)
+        gaps[1:] = np.diff(ids).astype(np.uint64)
+        return _varint_encode(gaps)
+
+    def decode(self, payload: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        gaps = _varint_decode(payload)
+        if gaps.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.cumsum(gaps.astype(np.int64)) + lo
+
+
+class AutoCodec(WireCodec):
+    """Per-message density-based selection among raw/bitmap/varint.
+
+    The sender knows the id count and range, so the choice costs one
+    comparison; the winner's tag rides in the message header the
+    receiver parses anyway.  Functional decode delegates to the chosen
+    codec, recovered the same way.
+    """
+
+    name = "auto"
+
+    def __init__(self) -> None:
+        self._candidates = (RawCodec(), BitmapCodec(), VarintCodec())
+
+    def choose(self, ids: np.ndarray, lo: int, hi: int) -> WireCodec:
+        """Smallest-payload candidate for this message."""
+        return min(
+            self._candidates, key=lambda c: c.encoded_nbytes(ids, lo, hi)
+        )
+
+    @property
+    def encode_instr_per_id(self) -> float:  # type: ignore[override]
+        return max(c.encode_instr_per_id for c in self._candidates)
+
+    @property
+    def decode_instr_per_id(self) -> float:  # type: ignore[override]
+        return max(c.decode_instr_per_id for c in self._candidates)
+
+    def encode(self, ids: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        return self.choose(ids, lo, hi).encode(ids, lo, hi)
+
+    def decode(self, payload: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        raise NotImplementedError(
+            "auto is a selector; decode with the codec choose() returned"
+        )
+
+    def encoded_nbytes(self, ids: np.ndarray, lo: int, hi: int) -> int:
+        return min(c.encoded_nbytes(ids, lo, hi) for c in self._candidates)
+
+
+#: CLI-facing codec names.
+WIRE_CODECS = ("raw", "raw64", "bitmap", "varint", "auto")
+
+_CODECS: dict[str, WireCodec] = {
+    c.name: c
+    for c in (RawCodec(), Raw64Codec(), BitmapCodec(), VarintCodec(), AutoCodec())
+}
+
+
+def get_codec(name: str) -> WireCodec:
+    """Look up a wire codec by name."""
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown wire codec {name!r}; pick from {WIRE_CODECS}"
+        ) from None

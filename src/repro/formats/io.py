@@ -53,6 +53,15 @@ def read_edge_list(
     path: str | os.PathLike, directed: bool = True, name: str = ""
 ) -> Graph:
     """Read a ``src dst`` text edge list (comments with ``#`` allowed)."""
+    # Reject empty input before touching np.loadtxt: it emits a
+    # UserWarning on empty files, so the check must come first for the
+    # rejection to be a clean ValueError with no warning noise.
+    with open(path) as fh:
+        has_data = any(
+            line.strip() and not line.lstrip().startswith("#") for line in fh
+        )
+    if not has_data:
+        raise ValueError(f"empty edge list: {path}")
     pairs = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
     if pairs.size == 0:
         raise ValueError(f"empty edge list: {path}")

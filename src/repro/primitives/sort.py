@@ -27,6 +27,17 @@ def radix_sort(keys: np.ndarray, num_bits: int | None = None) -> np.ndarray:
         Non-negative integers.
     num_bits:
         Key width to sort on.  Defaults to enough bits for ``keys.max()``.
+
+    .. warning::
+        An explicit ``num_bits`` narrower than the widest key is a
+        *truncated* sort, not a full one: keys compare on their low
+        ``num_bits`` only (rounded up to whole 8-bit digits), higher
+        bits are ignored, and keys equal under truncation keep their
+        input order.  This mirrors CUB's ``begin_bit``/``end_bit``
+        interface, where restricting the bit range is exactly how the
+        paper's Sec. VI-E partial frontier sort is expressed — callers
+        wanting a total order must not pass ``num_bits`` (the default
+        always covers the widest key).
     """
     keys = np.asarray(keys)
     if keys.size == 0:

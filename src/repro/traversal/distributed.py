@@ -1,24 +1,31 @@
-"""Multi-GPU BFS — the Intro's alternative to compression.
+"""Multi-GPU BFS — compatibility wrapper over :mod:`repro.dist`.
 
 The paper's introduction lists distribution over multiple GPUs [1-3]
 as one answer to graphs that exceed device memory, with "higher
 implementation complexity and hardware costs" as the trade-off; EFG is
-positioned as the complementary single-GPU answer.  This module
-implements the classic 1-D partitioned BFS so the two answers can be
-compared head-to-head in the simulator:
+positioned as the complementary single-GPU answer.  The machinery that
+makes the comparison honest — 1-D partitioning, per-link exchange cost,
+frontier wire codecs, flat and butterfly schedules — lives in
+:mod:`repro.dist` now; this module keeps the original
+:func:`multi_gpu_bfs` entry point (and re-exports
+:class:`~repro.dist.partition.VertexPartition`) on top of it.
 
-* vertices are range-partitioned; each GPU stores the out-lists of its
-  own vertices (in CSR or EFG) plus its shard of the visited bitmap
-  and level array;
-* each level, every GPU expands its share of the frontier locally,
-  buckets discovered neighbours by owner, and exchanges them all-to-all
-  over the inter-GPU links;
-* owners claim unvisited vertices and the next frontier is the union
-  of the local claims.
+Two accounting bugs of the original standalone implementation are gone
+in the delegated version:
 
-Per-level simulated time is ``max`` over GPUs of the local expand time
-plus the all-to-all exchange time — the bulk-synchronous model used by
-the multi-GPU systems the paper cites.
+* frontiers are int64 on the device, yet the bucket/claim kernel writes
+  and the exchange both charged 4 bytes per vertex id — everything now
+  uses :data:`repro.dist.wire.FRONTIER_ID_BYTES` (the default ``raw64``
+  wire format ships the device width unpacked; pass ``wire=`` for the
+  compressed codecs);
+* "partial_sort" ran a full ``np.sort`` — the frontier now goes through
+  :func:`repro.primitives.sort.partial_sort_frontier` (65% of the id
+  bits, Sec. VI-E) and the sort passes are charged on the kernel.
+
+``contention=1.0`` with ``message_latency_s`` tied to the device keeps
+the old single-shared-pipe timing model as the default; lower it (or
+build a :class:`~repro.dist.topology.LinkTopology` directly) for
+per-link overlap.
 """
 
 from __future__ import annotations
@@ -27,59 +34,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.dist.partition import VertexPartition
+from repro.dist.topology import DEFAULT_PEER_BANDWIDTH, LinkTopology
 from repro.formats.graph import Graph
 from repro.gpusim.device import DeviceSpec
-from repro.primitives.compact import atomic_or_claim
-from repro.traversal.backends import CSRBackend, EFGBackend, GraphBackend
 
 __all__ = ["MultiGPUBFSResult", "VertexPartition", "multi_gpu_bfs"]
-
-#: PCIe peer-to-peer bandwidth between GPUs (no NVLink on a Titan Xp
-#: class workstation; both directions share the host links).
-DEFAULT_PEER_BANDWIDTH = 10e9
-
-
-@dataclass(frozen=True)
-class VertexPartition:
-    """Contiguous 1-D vertex ranges, one per GPU."""
-
-    boundaries: np.ndarray  # int64, num_gpus + 1, [0, ..., num_nodes]
-
-    @classmethod
-    def even(cls, num_nodes: int, num_gpus: int) -> "VertexPartition":
-        """Split |V| into ``num_gpus`` near-equal contiguous ranges."""
-        if num_gpus < 1:
-            raise ValueError("need at least one GPU")
-        bounds = np.linspace(0, num_nodes, num_gpus + 1).astype(np.int64)
-        return cls(boundaries=bounds)
-
-    @property
-    def num_gpus(self) -> int:
-        """Number of shards."""
-        return int(self.boundaries.shape[0] - 1)
-
-    def owner(self, vertices: np.ndarray) -> np.ndarray:
-        """GPU id owning each vertex."""
-        return (
-            np.searchsorted(self.boundaries, vertices, side="right") - 1
-        ).astype(np.int64)
-
-    def subgraph(self, graph: Graph, gpu: int) -> Graph:
-        """Out-lists of the vertices owned by ``gpu``.
-
-        The shard keeps global vertex ids (standard 1-D partitioning):
-        row ``v`` of the shard is empty unless ``gpu`` owns ``v``.
-        """
-        lo, hi = int(self.boundaries[gpu]), int(self.boundaries[gpu + 1])
-        vlist = np.zeros(graph.num_nodes + 1, dtype=np.int64)
-        degrees = np.zeros(graph.num_nodes, dtype=np.int64)
-        degrees[lo:hi] = graph.degrees[lo:hi]
-        np.cumsum(degrees, out=vlist[1:])
-        elist = graph.elist[graph.vlist[lo] : graph.vlist[hi]]
-        return Graph(
-            vlist=vlist, elist=elist, directed=graph.directed,
-            name=f"{graph.name}/gpu{gpu}",
-        )
 
 
 @dataclass(frozen=True)
@@ -108,20 +68,6 @@ class MultiGPUBFSResult:
         return self.edges_traversed / self.sim_seconds / 1e9
 
 
-def _make_shard_backend(
-    fmt: str, shard: Graph, device: DeviceSpec
-) -> GraphBackend:
-    if fmt == "csr":
-        from repro.formats.csr import CSRGraph
-
-        return CSRBackend(CSRGraph.from_graph(shard), device)
-    if fmt == "efg":
-        from repro.core.efg import efg_encode
-
-        return EFGBackend(efg_encode(shard), device)
-    raise ValueError(f"unsupported distributed format {fmt!r}")
-
-
 def multi_gpu_bfs(
     graph: Graph,
     source: int,
@@ -130,6 +76,9 @@ def multi_gpu_bfs(
     fmt: str = "csr",
     peer_bandwidth: float = DEFAULT_PEER_BANDWIDTH,
     partial_sort: bool = True,
+    wire: str = "raw64",
+    schedule: str = "flat",
+    contention: float = 1.0,
 ) -> MultiGPUBFSResult:
     """1-D partitioned level-synchronous BFS over ``num_gpus`` devices.
 
@@ -146,107 +95,41 @@ def multi_gpu_bfs(
     fmt:
         Shard storage format: ``"csr"`` or ``"efg"``.
     peer_bandwidth:
-        Inter-GPU link bandwidth for the all-to-all frontier exchange.
+        Inter-GPU link bandwidth for the frontier exchange.
+    partial_sort:
+        Partially sort each frontier shard before expansion (Sec. VI-E).
+    wire:
+        Frontier wire codec (default ships device-width int64 ids
+        unpacked; see :data:`repro.dist.wire.WIRE_CODECS`).
+    schedule:
+        Exchange schedule, ``"flat"`` or ``"butterfly"``.
+    contention:
+        Shared-fabric contention of the links (1.0 = one shared pipe,
+        the historical model).
     """
-    nv = graph.num_nodes
-    if not 0 <= source < nv:
-        raise IndexError(f"source {source} out of range")
-    partition = VertexPartition.even(nv, num_gpus)
-    backends = [
-        _make_shard_backend(fmt, partition.subgraph(graph, g), device)
-        for g in range(num_gpus)
-    ]
-    for b in backends:
-        b.engine.reset_timeline()
+    # Imported here, not at module top: repro.dist builds on
+    # repro.traversal.backends, so a module-level import would cycle
+    # through this package's __init__.
+    from repro.dist.bfs import distributed_bfs
+    from repro.dist.cluster import ShardedCluster
 
-    levels = np.full(nv, -1, dtype=np.int64)
-    visited = np.zeros(nv, dtype=bool)
-    levels[source] = 0
-    visited[source] = True
-    owners_of = partition.owner(np.arange(nv, dtype=np.int64))
-    # Per-GPU frontier shards (vertices each GPU must expand).
-    frontiers: list[np.ndarray] = [
-        np.array([source], dtype=np.int64) if g == owners_of[source] else
-        np.empty(0, dtype=np.int64)
-        for g in range(num_gpus)
-    ]
-
-    depth = 0
-    edges_traversed = 0
-    exchanged_bytes = 0
-    total_seconds = 0.0
-
-    while any(f.size for f in frontiers):
-        level_local: list[float] = []
-        outgoing: list[list[np.ndarray]] = [
-            [np.empty(0, dtype=np.int64)] * num_gpus for _ in range(num_gpus)
-        ]
-        # --- local expansion on every GPU ---
-        for g, backend in enumerate(backends):
-            engine = backend.engine
-            before = engine.elapsed_seconds
-            frontier = frontiers[g]
-            if frontier.size:
-                if partial_sort and frontier.size > 1:
-                    frontier = np.sort(frontier)
-                with engine.launch("dist_expand") as k:
-                    nbrs, _ = backend.expand(frontier, k)
-                    k.read_stream("work:visited", nbrs, 1)
-                edges_traversed += int(nbrs.shape[0])
-                # Bucket by owner for the exchange.
-                dest = owners_of[nbrs]
-                order = np.argsort(dest, kind="stable")
-                nbrs_sorted = nbrs[order]
-                dest_sorted = dest[order]
-                cuts = np.searchsorted(dest_sorted, np.arange(num_gpus + 1))
-                with engine.launch("dist_bucket") as k:
-                    k.instructions(6.0 * nbrs.shape[0])
-                    k.write("work:frontier", int(nbrs.shape[0]), 4)
-                for h in range(num_gpus):
-                    outgoing[g][h] = nbrs_sorted[cuts[h] : cuts[h + 1]]
-            level_local.append(engine.elapsed_seconds - before)
-
-        # --- all-to-all exchange (bulk synchronous) ---
-        wire = sum(
-            4 * outgoing[g][h].shape[0]
-            for g in range(num_gpus)
-            for h in range(num_gpus)
-            if g != h
-        )
-        exchanged_bytes += wire
-        exchange_seconds = wire / peer_bandwidth if num_gpus > 1 else 0.0
-
-        # --- owners claim and build next frontiers ---
-        claim_seconds = 0.0
-        next_frontiers: list[np.ndarray] = []
-        depth += 1
-        for h, backend in enumerate(backends):
-            engine = backend.engine
-            before = engine.elapsed_seconds
-            incoming = np.concatenate(
-                [outgoing[g][h] for g in range(num_gpus)]
-            ) if num_gpus else np.empty(0, dtype=np.int64)
-            with engine.launch("dist_claim") as k:
-                fresh = incoming[~visited[incoming]]
-                won = atomic_or_claim(visited, fresh)
-                mine = fresh[won]
-                k.read_stream("work:visited", incoming, 1)
-                k.instructions(2.0 * incoming.shape[0])
-                k.write("work:frontier", int(mine.shape[0]), 4)
-            levels[mine] = depth
-            next_frontiers.append(mine)
-            claim_seconds = max(
-                claim_seconds, engine.elapsed_seconds - before
-            )
-        frontiers = next_frontiers
-        total_seconds += max(level_local) + exchange_seconds + claim_seconds
-
-    return MultiGPUBFSResult(
-        source=source,
-        levels=levels,
-        num_levels=int(levels.max()) + 1,
-        edges_traversed=edges_traversed,
-        exchanged_bytes=exchanged_bytes,
-        sim_seconds=total_seconds,
+    topology = LinkTopology(
         num_gpus=num_gpus,
+        link_bandwidth=peer_bandwidth,
+        contention=contention,
+        message_latency_s=device.launch_overhead_s,
+    )
+    cluster = ShardedCluster.build(
+        graph, num_gpus, device,
+        fmt=fmt, wire=wire, schedule=schedule, topology=topology,
+    )
+    r = distributed_bfs(cluster, source, partial_sort=partial_sort)
+    return MultiGPUBFSResult(
+        source=r.source,
+        levels=r.levels,
+        num_levels=r.num_levels,
+        edges_traversed=r.edges_traversed,
+        exchanged_bytes=r.exchanged_bytes,
+        sim_seconds=r.sim_seconds,
+        num_gpus=r.num_gpus,
     )

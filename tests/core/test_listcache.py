@@ -82,6 +82,50 @@ class TestEviction:
         assert 0 in cache and 2 in cache and 1 not in cache
 
 
+class TestEdgeCases:
+    def test_reput_resident_vertex_under_tight_budget(self):
+        # Growing a resident entry releases its old bytes *before*
+        # evicting, so the entry never competes with itself for space.
+        cache = DecodedListCache(budget_bytes=8 * DECODED_ELEM_BYTES)
+        cache.put(0, _lst(4))
+        cache.put(1, _lst(4))
+        assert cache.put(0, _lst(8))  # now needs the whole budget
+        assert 0 in cache and 1 not in cache
+        assert cache.used_bytes == 8 * DECODED_ELEM_BYTES
+        assert cache.stats.evictions == 1
+        (got,) = cache.get_many(np.array([0]))
+        assert np.array_equal(got, _lst(8))
+
+    def test_degree_eviction_tie_breaks_oldest_first(self):
+        # Equal-degree victims: the earliest-inserted one goes, so the
+        # policy degrades to FIFO (not arbitrary) among same-size lists.
+        cache = DecodedListCache(budget_bytes=8 * DECODED_ELEM_BYTES,
+                                 policy="degree")
+        cache.put(0, _lst(4))
+        cache.put(1, _lst(4))
+        cache.put(2, _lst(4))
+        assert 0 not in cache
+        assert 1 in cache and 2 in cache
+
+    def test_used_bytes_never_exceeds_budget(self, rng):
+        # Invariant lock: arbitrary interleaving of puts, re-puts and
+        # probes keeps the occupied bytes within the budget.
+        for policy in ("lru", "degree"):
+            cache = DecodedListCache(budget_bytes=25 * DECODED_ELEM_BYTES,
+                                     policy=policy)
+            for _ in range(300):
+                v = int(rng.integers(0, 12))
+                n = int(rng.integers(0, 30))
+                cache.put(v, _lst(n, start=v))
+                cache.probe(rng.integers(0, 12, size=3))
+                assert cache.used_bytes <= cache.budget_bytes
+                total = sum(
+                    e.shape[0] * DECODED_ELEM_BYTES
+                    for e in cache._entries.values()
+                )
+                assert cache.used_bytes == total
+
+
 class TestStats:
     def test_hit_rate(self):
         cache = DecodedListCache(budget_bytes=1024)

@@ -1,0 +1,197 @@
+"""Tests for the bucketed frontier exchange (flat and butterfly)."""
+
+import numpy as np
+import pytest
+
+from repro.dist.exchange import exchange
+from repro.dist.partition import VertexPartition
+from repro.dist.topology import LinkTopology
+from repro.dist.wire import MESSAGE_HEADER_BYTES, get_codec
+
+NV = 64
+
+
+def _setup(num_gpus):
+    return (
+        VertexPartition.even(NV, num_gpus),
+        LinkTopology(num_gpus=num_gpus, link_bandwidth=1e9),
+    )
+
+
+def _bucketize(partition, per_gpu_ids):
+    """Build outgoing[g][h] rows from each GPU's discovered id set."""
+    num_gpus = partition.num_gpus
+    outgoing = []
+    for ids in per_gpu_ids:
+        ids = np.unique(np.asarray(ids, dtype=np.int64))
+        cuts = np.searchsorted(ids, partition.boundaries)
+        outgoing.append(
+            [ids[cuts[h] : cuts[h + 1]] for h in range(num_gpus)]
+        )
+    return outgoing
+
+
+class TestFlat:
+    @pytest.mark.parametrize("wire", ["raw", "raw64", "bitmap", "varint", "auto"])
+    def test_delivers_union_to_owner(self, rng, wire):
+        partition, topology = _setup(4)
+        discovered = [rng.integers(0, NV, size=20) for _ in range(4)]
+        outgoing = _bucketize(partition, discovered)
+        incoming, in_vals, stats = exchange(
+            outgoing, partition, topology, get_codec(wire)
+        )
+        assert in_vals is None
+        for h in range(4):
+            lo, hi = partition.bounds(h)
+            want = np.unique(
+                np.concatenate(discovered)[
+                    (np.concatenate(discovered) >= lo)
+                    & (np.concatenate(discovered) < hi)
+                ]
+            )
+            assert np.array_equal(incoming[h], want)
+
+    def test_own_bucket_is_free(self):
+        partition, topology = _setup(2)
+        outgoing = _bucketize(partition, [[1, 2, 3], []])
+        incoming, _, stats = exchange(
+            outgoing, partition, topology, get_codec("raw")
+        )
+        assert stats.wire_bytes == 0
+        assert stats.messages == 0
+        assert stats.seconds == 0.0
+        assert np.array_equal(incoming[0], [1, 2, 3])
+
+    def test_byte_accounting_adds_up(self):
+        partition, topology = _setup(2)
+        ids = np.arange(NV // 2, NV // 2 + 10, dtype=np.int64)
+        outgoing = _bucketize(partition, [ids, []])
+        _, _, stats = exchange(outgoing, partition, topology, get_codec("raw"))
+        assert stats.messages == 1
+        assert stats.id_bytes == 4 * 10
+        assert stats.header_bytes == MESSAGE_HEADER_BYTES
+        assert stats.wire_bytes == (
+            stats.id_bytes + stats.value_bytes + stats.header_bytes
+        )
+        assert stats.sent_ids == 10 and stats.received_ids == 10
+        assert stats.rounds == 1
+
+    def test_value_exchange_min_combines(self):
+        partition, topology = _setup(2)
+        v = NV - 1  # owned by GPU 1
+        outgoing = [
+            [np.empty(0, dtype=np.int64), np.array([v])],
+            [np.empty(0, dtype=np.int64), np.array([v])],
+        ]
+        values = [
+            [np.empty(0), np.array([7.0])],
+            [np.empty(0), np.array([3.0])],
+        ]
+        incoming, in_vals, stats = exchange(
+            outgoing, partition, topology, get_codec("raw"),
+            values=values, combine="min",
+        )
+        assert np.array_equal(incoming[1], [v])
+        assert in_vals[1].tolist() == [3.0]
+        # Only GPU 0's copy crossed a link; GPU 1's stayed local.
+        assert stats.value_bytes == 4
+
+    def test_value_exchange_sum_combines(self):
+        partition, topology = _setup(2)
+        v = 0  # owned by GPU 0; one copy is local, one crosses the link
+        outgoing = [
+            [np.array([v]), np.empty(0, dtype=np.int64)],
+            [np.array([v]), np.empty(0, dtype=np.int64)],
+        ]
+        values = [[np.array([1.5]), np.empty(0)],
+                  [np.array([2.5]), np.empty(0)]]
+        incoming, in_vals, _ = exchange(
+            outgoing, partition, topology, get_codec("raw"),
+            values=values, combine="sum",
+        )
+        assert in_vals[0].tolist() == [4.0]
+
+    def test_values_need_combiner(self):
+        partition, topology = _setup(2)
+        outgoing = _bucketize(partition, [[1], []])
+        values = [[np.array([1.0]), np.empty(0)], [np.empty(0), np.empty(0)]]
+        with pytest.raises(ValueError):
+            exchange(outgoing, partition, topology, get_codec("raw"),
+                     values=values)
+
+    def test_wrong_row_count(self):
+        partition, topology = _setup(2)
+        with pytest.raises(ValueError):
+            exchange([[np.empty(0, dtype=np.int64)] * 2], partition,
+                     topology, get_codec("raw"))
+
+    def test_unknown_schedule(self):
+        partition, topology = _setup(2)
+        outgoing = _bucketize(partition, [[], []])
+        with pytest.raises(ValueError):
+            exchange(outgoing, partition, topology, get_codec("raw"),
+                     schedule="ring")
+
+
+class TestButterfly:
+    @pytest.mark.parametrize("num_gpus", [2, 4, 8])
+    @pytest.mark.parametrize("wire", ["raw", "bitmap", "varint", "auto"])
+    def test_matches_flat_delivery(self, rng, num_gpus, wire):
+        partition, topology = _setup(num_gpus)
+        discovered = [rng.integers(0, NV, size=25) for _ in range(num_gpus)]
+        outgoing = _bucketize(partition, discovered)
+        flat, _, _ = exchange(
+            outgoing, partition, topology, get_codec(wire), schedule="flat"
+        )
+        bfly, _, stats = exchange(
+            outgoing, partition, topology, get_codec(wire),
+            schedule="butterfly",
+        )
+        for h in range(num_gpus):
+            assert np.array_equal(flat[h], bfly[h])
+        assert stats.rounds == num_gpus.bit_length() - 1
+
+    def test_value_min_matches_flat(self, rng):
+        partition, topology = _setup(4)
+        ids = [np.sort(rng.choice(NV, size=12, replace=False))
+               for _ in range(4)]
+        outgoing, values = [], []
+        for g in range(4):
+            cuts = np.searchsorted(ids[g], partition.boundaries)
+            vals = rng.uniform(0, 10, size=ids[g].shape[0])
+            outgoing.append([ids[g][cuts[h]:cuts[h + 1]] for h in range(4)])
+            values.append([vals[cuts[h]:cuts[h + 1]] for h in range(4)])
+        flat_ids, flat_vals, _ = exchange(
+            outgoing, partition, topology, get_codec("auto"),
+            values=values, combine="min", schedule="flat",
+        )
+        b_ids, b_vals, _ = exchange(
+            outgoing, partition, topology, get_codec("auto"),
+            values=values, combine="min", schedule="butterfly",
+        )
+        for h in range(4):
+            assert np.array_equal(flat_ids[h], b_ids[h])
+            assert np.array_equal(flat_vals[h], b_vals[h])
+
+    def test_fewer_messages_than_flat(self, rng):
+        # log-step schedule: at most log2(P) messages per GPU per level
+        # versus P-1 for the flat all-to-all.
+        partition, topology = _setup(8)
+        discovered = [np.arange(NV) for _ in range(8)]  # worst case: dense
+        outgoing = _bucketize(partition, discovered)
+        _, _, flat = exchange(
+            outgoing, partition, topology, get_codec("bitmap"),
+            schedule="flat",
+        )
+        _, _, bfly = exchange(
+            outgoing, partition, topology, get_codec("bitmap"),
+            schedule="butterfly",
+        )
+        assert bfly.messages < flat.messages
+
+    def test_requires_power_of_two(self):
+        partition, topology = _setup(3)
+        outgoing = _bucketize(partition, [[], [], []])
+        with pytest.raises(ValueError):
+            exchange(outgoing, partition, topology, get_codec("raw"),
+                     schedule="butterfly")

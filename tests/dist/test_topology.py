@@ -1,0 +1,106 @@
+"""Tests for the per-link exchange cost model."""
+
+import numpy as np
+import pytest
+
+from repro.dist.topology import LinkTopology
+
+
+def _even(n, val):
+    return np.full(n, float(val))
+
+
+class TestValidation:
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(ValueError):
+            LinkTopology(num_gpus=0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkTopology(num_gpus=2, link_bandwidth=0)
+
+    def test_rejects_bad_contention(self):
+        with pytest.raises(ValueError):
+            LinkTopology(num_gpus=2, contention=1.5)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            LinkTopology(num_gpus=2, message_latency_s=-1e-6)
+
+    def test_rejects_wrong_shapes(self):
+        topo = LinkTopology(num_gpus=4)
+        with pytest.raises(ValueError):
+            topo.step_seconds(_even(3, 10), _even(4, 10), 1)
+
+
+class TestStepModel:
+    def test_single_gpu_is_free(self):
+        topo = LinkTopology(num_gpus=1)
+        assert topo.step_seconds(_even(1, 1e9), _even(1, 1e9), 4) == 0.0
+
+    def test_no_bytes_no_latency(self):
+        # An exchange step with nothing to send costs nothing, even if
+        # the caller reports posted messages.
+        topo = LinkTopology(num_gpus=4)
+        assert topo.step_seconds(_even(4, 0), _even(4, 0), 3) == 0.0
+
+    def test_zero_contention_is_busiest_link(self):
+        topo = LinkTopology(
+            num_gpus=4, link_bandwidth=1e9, contention=0.0,
+            message_latency_s=0.0,
+        )
+        egress = np.array([4e6, 1e6, 1e6, 1e6])
+        ingress = np.array([1e6, 1e6, 1e6, 4e6])
+        # Busiest direction of the busiest link serializes; the rest
+        # overlaps completely.
+        assert topo.step_seconds(egress, ingress, 3) == pytest.approx(
+            4e6 / 1e9
+        )
+
+    def test_full_contention_is_single_pipe(self):
+        topo = LinkTopology(
+            num_gpus=4, link_bandwidth=1e9, contention=1.0,
+            message_latency_s=0.0,
+        )
+        egress = _even(4, 1e6)
+        assert topo.step_seconds(egress, egress, 3) == pytest.approx(
+            egress.sum() / 1e9
+        )
+
+    def test_latency_scales_with_messages(self):
+        topo = LinkTopology(
+            num_gpus=2, link_bandwidth=1e9, message_latency_s=1e-6
+        )
+        one = topo.step_seconds(_even(2, 8), _even(2, 8), 1)
+        three = topo.step_seconds(_even(2, 8), _even(2, 8), 3)
+        assert three - one == pytest.approx(2e-6)
+
+    def test_breakdown_sums_to_step(self):
+        topo = LinkTopology(num_gpus=4, contention=0.5)
+        egress = np.array([1e5, 2e5, 3e5, 4e5])
+        transfer, latency = topo.step_breakdown(egress, egress[::-1], 3)
+        assert transfer + latency == topo.step_seconds(egress, egress[::-1], 3)
+
+    def test_halved_bandwidth_doubles_transfer(self):
+        topo = LinkTopology(
+            num_gpus=4, link_bandwidth=2e9, message_latency_s=0.0
+        )
+        egress = _even(4, 1e6)
+        slow = topo.scaled_bandwidth(0.5)
+        assert slow.step_seconds(egress, egress, 3) == pytest.approx(
+            2 * topo.step_seconds(egress, egress, 3)
+        )
+
+    def test_scaled_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            LinkTopology(num_gpus=2).scaled_bandwidth(0)
+
+
+class TestForDevice:
+    def test_latency_follows_launch_overhead(self):
+        from repro.gpusim.device import TITAN_XP
+
+        device = TITAN_XP.scaled(2048)
+        topo = LinkTopology.for_device(device, 4)
+        assert topo.message_latency_s == device.launch_overhead_s
+        assert topo.num_gpus == 4

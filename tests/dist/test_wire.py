@@ -1,0 +1,150 @@
+"""Tests for the frontier wire codecs."""
+
+import numpy as np
+import pytest
+
+from repro.dist.wire import (
+    FRONTIER_ID_BYTES,
+    WIRE_CODECS,
+    AutoCodec,
+    BitmapCodec,
+    RawCodec,
+    Raw64Codec,
+    VarintCodec,
+    get_codec,
+)
+
+CONCRETE = [RawCodec(), Raw64Codec(), BitmapCodec(), VarintCodec()]
+
+
+def _ids(rng, lo, hi, n):
+    pool = rng.choice(np.arange(lo, hi), size=min(n, hi - lo), replace=False)
+    return np.sort(pool).astype(np.int64)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("codec", CONCRETE, ids=lambda c: c.name)
+    def test_roundtrip_random(self, rng, codec):
+        lo, hi = 1000, 9000
+        ids = _ids(rng, lo, hi, 500)
+        payload = codec.encode(ids, lo, hi)
+        assert payload.dtype == np.uint8
+        back = codec.decode(payload, lo, hi)
+        assert back.dtype == np.int64
+        assert np.array_equal(back, ids)
+
+    @pytest.mark.parametrize("codec", CONCRETE, ids=lambda c: c.name)
+    def test_roundtrip_empty(self, codec):
+        empty = np.empty(0, dtype=np.int64)
+        back = codec.decode(codec.encode(empty, 10, 20), 10, 20)
+        # Bitmap decodes an empty payload to the empty set of the range.
+        assert back.shape == (0,)
+
+    @pytest.mark.parametrize("codec", CONCRETE, ids=lambda c: c.name)
+    def test_roundtrip_boundaries(self, codec):
+        lo, hi = 64, 192
+        ids = np.array([lo, lo + 1, hi - 1], dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(ids, lo, hi), lo, hi), ids)
+
+    @pytest.mark.parametrize("codec", CONCRETE, ids=lambda c: c.name)
+    def test_encoded_nbytes_matches_encode(self, rng, codec):
+        lo, hi = 0, 4096
+        ids = _ids(rng, lo, hi, 300)
+        assert codec.encoded_nbytes(ids, lo, hi) == codec.encode(
+            ids, lo, hi
+        ).shape[0]
+
+    def test_rejects_unsorted(self):
+        for codec in CONCRETE:
+            with pytest.raises(ValueError):
+                codec.encode(np.array([5, 3, 9]), 0, 16)
+
+    def test_rejects_duplicates(self):
+        for codec in CONCRETE:
+            with pytest.raises(ValueError):
+                codec.encode(np.array([3, 3, 9]), 0, 16)
+
+
+class TestSizes:
+    def test_raw_is_4_bytes_per_id(self, rng):
+        ids = _ids(rng, 0, 1000, 100)
+        assert RawCodec().encoded_nbytes(ids, 0, 1000) == 4 * ids.shape[0]
+
+    def test_raw64_is_frontier_width(self, rng):
+        ids = _ids(rng, 0, 1000, 100)
+        assert (
+            Raw64Codec().encoded_nbytes(ids, 0, 1000)
+            == FRONTIER_ID_BYTES * ids.shape[0]
+        )
+
+    def test_raw_rejects_wide_ids(self):
+        with pytest.raises(ValueError):
+            RawCodec().encode(np.array([1 << 31]), 0, 1 << 32)
+        # raw64 takes them fine
+        ids = np.array([1 << 31], dtype=np.int64)
+        back = Raw64Codec().decode(Raw64Codec().encode(ids, 0, 1 << 32), 0, 1 << 32)
+        assert np.array_equal(back, ids)
+
+    def test_bitmap_size_is_range_bits(self):
+        ids = np.array([0], dtype=np.int64)
+        assert BitmapCodec().encoded_nbytes(ids, 0, 800) == 100
+        assert BitmapCodec().encoded_nbytes(ids, 0, 801) == 101
+
+    def test_bitmap_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitmapCodec().encode(np.array([20]), 0, 16)
+
+    def test_dense_frontier_bitmap_beats_raw(self):
+        # Density > 1/32 of the range: one bit per vertex wins over 4 B.
+        ids = np.arange(0, 1024, 8, dtype=np.int64)
+        bitmap = BitmapCodec().encoded_nbytes(ids, 0, 1024)
+        raw = RawCodec().encoded_nbytes(ids, 0, 1024)
+        assert bitmap < raw
+
+    def test_sparse_frontier_varint_beats_bitmap(self):
+        ids = np.array([5, 900_000], dtype=np.int64)
+        varint = VarintCodec().encoded_nbytes(ids, 0, 1_000_000)
+        bitmap = BitmapCodec().encoded_nbytes(ids, 0, 1_000_000)
+        assert varint < bitmap
+
+    def test_varint_small_gaps_one_byte_each(self):
+        ids = np.arange(100, 150, dtype=np.int64)
+        # First gap (100-lo=100) also fits one byte? 100 < 128 yes.
+        assert VarintCodec().encoded_nbytes(ids, 0, 1000) == 50
+
+
+class TestAuto:
+    def test_choose_picks_smallest(self, rng):
+        auto = AutoCodec()
+        lo, hi = 0, 4096
+        for ids in (
+            np.arange(0, 4096, 2, dtype=np.int64),  # dense -> bitmap
+            np.array([7, 4000], dtype=np.int64),  # sparse -> varint
+        ):
+            chosen = auto.choose(ids, lo, hi)
+            assert chosen.encoded_nbytes(ids, lo, hi) == min(
+                c.encoded_nbytes(ids, lo, hi)
+                for c in (RawCodec(), BitmapCodec(), VarintCodec())
+            )
+
+    def test_auto_decode_raises(self):
+        with pytest.raises(NotImplementedError):
+            AutoCodec().decode(np.empty(0, dtype=np.uint8), 0, 8)
+
+    def test_auto_nbytes_is_min(self, rng):
+        ids = _ids(rng, 0, 2048, 200)
+        auto = AutoCodec()
+        assert auto.encoded_nbytes(ids, 0, 2048) == min(
+            c.encoded_nbytes(ids, 0, 2048)
+            for c in (RawCodec(), BitmapCodec(), VarintCodec())
+        )
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in WIRE_CODECS:
+            assert get_codec(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_codec("zstd")

@@ -1,5 +1,7 @@
 """Tests for graph persistence."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -43,3 +45,21 @@ class TestEdgeListText:
         path.write_text("")
         with pytest.raises(ValueError):
             read_edge_list(path)
+
+    def test_empty_file_rejection_is_warning_free(self, tmp_path):
+        # np.loadtxt warns on empty input; the emptiness check must run
+        # first so the rejection is a clean ValueError with no warning.
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(ValueError):
+                read_edge_list(path)
+
+    def test_comment_only_file_rejected_warning_free(self, tmp_path):
+        path = tmp_path / "comments.txt"
+        path.write_text("# a comment\n\n   \n  # another\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(ValueError):
+                read_edge_list(path)

@@ -40,6 +40,29 @@ class TestRadixSort:
         got = radix_sort(keys, num_bits=8)
         assert got.tolist() == [0x201, 0x101, 0x102]
 
+    def test_narrow_num_bits_is_truncated_sort(self, rng):
+        # Documented semantics: explicit num_bits narrower than the
+        # widest key compares the low num_bits only (CUB begin/end-bit
+        # style) — the output is totally ordered on the truncated key
+        # and a permutation of the input.
+        keys = rng.integers(0, 1 << 20, size=500)
+        got = radix_sort(keys, num_bits=8)
+        assert np.all(np.diff(got & 0xFF) >= 0)
+        assert np.array_equal(np.sort(got), np.sort(keys))
+
+    def test_truncated_sort_is_stable_on_equal_low_bits(self):
+        # Keys equal under truncation keep their input order, so a
+        # truncated sort composes into multi-pass partial sorts.
+        keys = np.array([0x305, 0x105, 0x205, 0x104])
+        got = radix_sort(keys, num_bits=8)
+        assert got.tolist() == [0x104, 0x305, 0x105, 0x205]
+
+    def test_num_bits_rounds_up_to_whole_digit(self):
+        # Passes are 8-bit digits, so num_bits=4 still sorts the full
+        # low byte (documented round-up).
+        keys = np.array([0xF0, 0x0F])
+        assert radix_sort(keys, num_bits=4).tolist() == [0x0F, 0xF0]
+
 
 class TestPartialKey:
     def test_keeps_top_bits(self):

@@ -147,3 +147,46 @@ class TestSuite:
         assert "scc-lj" in out
         assert "moliere-16" in out
         assert "out-of-core" in out
+
+
+class TestDist:
+    def test_bfs_on_rmat(self, capsys):
+        assert main([
+            "dist", "bfs", "--rmat-scale", "7", "--gpus", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dist-bfs on 4 GPUs" in out
+        assert "wire" in out
+
+    def test_graph_file_input(self, graph_file, capsys):
+        assert main(["dist", "bfs", graph_file, "--gpus", "2"]) == 0
+        assert "on 2 GPUs" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algo", ["sssp", "pagerank"])
+    def test_other_algorithms(self, algo, capsys):
+        assert main([
+            "dist", algo, "--rmat-scale", "6", "--gpus", "2",
+        ]) == 0
+        assert f"dist-{algo}" in capsys.readouterr().out
+
+    def test_butterfly_schedule(self, capsys):
+        assert main([
+            "dist", "bfs", "--rmat-scale", "6", "--gpus", "4",
+            "--schedule", "butterfly", "--wire", "bitmap",
+        ]) == 0
+
+    def test_metrics_dump_is_deterministic(self, tmp_path, capsys):
+        paths = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            assert main([
+                "dist", "bfs", "--rmat-scale", "7", "--gpus", "4",
+                "--metrics", str(path),
+            ]) == 0
+            paths.append(str(path))
+        assert main(["compare", *paths]) == 0
+        assert "metrically identical" in capsys.readouterr().out
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(SystemExit):
+            main(["dist", "bfs", "--rmat-scale", "6", "--gpus", "0"])

@@ -65,6 +65,31 @@ class TestMultiGPUBFS:
         r = multi_gpu_bfs(small_graph, 0, 2, scaled_device)
         assert r.exchanged_bytes > 0
 
+    def test_partial_sort_preserves_levels(self, small_graph, scaled_device):
+        # Regression: the old implementation full-sorted the frontier, so
+        # switching to the paper's partial sort (65% of the id bits,
+        # Sec. VI-E) must not change the traversal outcome.
+        with_sort = multi_gpu_bfs(
+            small_graph, 3, 4, scaled_device, partial_sort=True
+        )
+        without = multi_gpu_bfs(
+            small_graph, 3, 4, scaled_device, partial_sort=False
+        )
+        assert np.array_equal(with_sort.levels, without.levels)
+        assert with_sort.num_levels == without.num_levels
+
+    def test_frontier_bytes_use_device_width(self, small_graph, scaled_device):
+        # Regression: int64 frontiers were charged at 4 B/id on the wire.
+        from repro.dist.wire import FRONTIER_ID_BYTES
+
+        assert FRONTIER_ID_BYTES == 8
+        # The default raw64 wire ships device-width ids, so it must cost
+        # more on the wire than explicitly narrowing to int32.
+        wide = multi_gpu_bfs(small_graph, 0, 2, scaled_device, wire="raw64")
+        narrow = multi_gpu_bfs(small_graph, 0, 2, scaled_device, wire="raw")
+        assert wide.exchanged_bytes > narrow.exchanged_bytes
+        assert np.array_equal(wide.levels, narrow.levels)
+
     def test_bad_source(self, small_graph, scaled_device):
         with pytest.raises(IndexError):
             multi_gpu_bfs(small_graph, 10**7, 2, scaled_device)
