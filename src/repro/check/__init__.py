@@ -1,0 +1,59 @@
+"""Decode-path verification: fault injection + differential oracle.
+
+The compressed formats (EFG, PEF, CGR, Ligra+, BV) promise that any
+corruption of their streams either round-trips clean or raises a typed
+:class:`~repro.core.errors.DecodeError` — never a foreign exception and
+never silently-wrong neighbours.  This package is the harness that
+keeps the promise honest:
+
+* :mod:`repro.check.adapters` — one uniform :class:`FormatAdapter` per
+  format: encode, full decode, payload/metadata accessors, and
+  rebuild-with-mutation that constructs *fresh* containers (no stale
+  caches).
+* :mod:`repro.check.faults` — seeded deterministic fault injectors
+  (payload bit flips, truncation, metadata perturbation, offset swaps)
+  and the two-pass classifier: a primary pass including the CRC
+  integrity check (must show zero silent corruption) and a
+  structural-only pass that skips the CRCs (must still show zero
+  foreign exceptions — this is what proves the decoders themselves are
+  hardened).
+* :mod:`repro.check.differential` — cross-format agreement at decode
+  level (every format vs the uncompressed reference) and at algorithm
+  level (BFS / SSSP / PageRank across backends and vs the sharded
+  ``repro.dist`` drivers).
+* :mod:`repro.check.report` — serialises campaign + differential
+  results into the stable ``repro.metrics/1`` JSON layout for CI.
+
+Driven by ``repro check [--fuzz N --seed S]``.
+"""
+
+from repro.check.adapters import FORMAT_ADAPTERS, FormatAdapter, get_adapter
+from repro.check.differential import (
+    CHECK_DATASETS,
+    algorithm_differential,
+    decode_differential,
+    run_differential,
+)
+from repro.check.faults import (
+    FAULT_INJECTORS,
+    FaultResult,
+    default_fuzz_graph,
+    run_fault_campaign,
+)
+from repro.check.report import check_report, summarize_faults
+
+__all__ = [
+    "FormatAdapter",
+    "FORMAT_ADAPTERS",
+    "get_adapter",
+    "FaultResult",
+    "FAULT_INJECTORS",
+    "run_fault_campaign",
+    "default_fuzz_graph",
+    "CHECK_DATASETS",
+    "decode_differential",
+    "algorithm_differential",
+    "run_differential",
+    "check_report",
+    "summarize_faults",
+]

@@ -1,0 +1,94 @@
+"""Serialise check results into the stable ``repro.metrics/1`` layout.
+
+The payload mirrors the shape ``repro profile``/``repro dist`` emit —
+``schema`` tag, diff-exempt ``meta`` block, flat numeric ``counters``
+and ``gauges`` — so the same canonical-JSON dump and CI tooling apply.
+
+Counter keys::
+
+    check.faults.<fmt>.<injector>.<outcome>              (primary pass)
+    check.faults.structural.<fmt>.<injector>.<outcome>   (no-CRC pass)
+    check.differential.<check>.{agree,disagree}
+
+Gauge keys::
+
+    check.faults.<fmt>.silent_rate          (primary; must be 0)
+    check.faults.<fmt>.foreign_rate         (either pass; must be 0)
+    check.differential.disagreements        (must be 0)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.check.faults import FaultResult
+from repro.obs.metrics import METRICS_SCHEMA
+
+__all__ = ["summarize_faults", "check_report"]
+
+
+def summarize_faults(results: list[FaultResult]) -> dict:
+    """Aggregate fault outcomes into counters and per-format rates."""
+    counters: Counter[str] = Counter()
+    per_fmt_trials: Counter[str] = Counter()
+    per_fmt_silent: Counter[str] = Counter()
+    per_fmt_foreign: Counter[str] = Counter()
+    for r in results:
+        counters[f"check.faults.{r.fmt}.{r.injector}.{r.outcome}"] += 1
+        counters[
+            "check.faults.structural."
+            f"{r.fmt}.{r.injector}.{r.structural_outcome}"
+        ] += 1
+        per_fmt_trials[r.fmt] += 1
+        if r.outcome == "silent-corruption":
+            per_fmt_silent[r.fmt] += 1
+        if (
+            r.outcome == "foreign-exception"
+            or r.structural_outcome == "foreign-exception"
+        ):
+            per_fmt_foreign[r.fmt] += 1
+    gauges: dict[str, float] = {}
+    for fmt, n in sorted(per_fmt_trials.items()):
+        gauges[f"check.faults.{fmt}.trials"] = float(n)
+        gauges[f"check.faults.{fmt}.silent_rate"] = per_fmt_silent[fmt] / n
+        gauges[f"check.faults.{fmt}.foreign_rate"] = per_fmt_foreign[fmt] / n
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": gauges,
+        "silent": sum(per_fmt_silent.values()),
+        "foreign": sum(per_fmt_foreign.values()),
+    }
+
+
+def check_report(
+    fault_results: list[FaultResult],
+    differential: dict | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Build the full ``repro.metrics/1`` payload for one check run."""
+    faults = summarize_faults(fault_results)
+    counters = dict(faults["counters"])
+    gauges = dict(faults["gauges"])
+    if differential is not None:
+        for r in differential["rows"]:
+            ok = r["agree"] and r.get("integrity_ok", True)
+            key = f"check.differential.{r['check']}"
+            counters[f"{key}.{'agree' if ok else 'disagree'}"] = (
+                counters.get(f"{key}.{'agree' if ok else 'disagree'}", 0) + 1
+            )
+        gauges["check.differential.disagreements"] = float(
+            differential["disagreements"]
+        )
+    return {
+        "schema": METRICS_SCHEMA,
+        "meta": dict(meta or {}),
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "failures": {
+            "silent_corruption": faults["silent"],
+            "foreign_exceptions": faults["foreign"],
+            "differential_disagreements": (
+                differential["disagreements"] if differential else 0
+            ),
+        },
+    }

@@ -27,6 +27,13 @@ Commands
 ``compare <a.json> <b.json> [--threshold PCT]``
     Diff two metrics dumps per kernel and per cost term; exits
     non-zero when any key moved more than the threshold (CI perf gate).
+``check [graph] [--fuzz N --seed S]``
+    Decode-path verification: N seeded fault injections per compressed
+    format (classified ok / detected / silent-corruption /
+    foreign-exception) plus the cross-format differential oracle
+    (decode-level and BFS/SSSP/PageRank agreement, single-GPU and
+    sharded).  Exits non-zero on any silent corruption, foreign
+    exception, or disagreement.
 ``suite``
     List the scaled paper suite with sizes and memory regions.
 """
@@ -354,6 +361,81 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.differential import CHECK_DATASETS, run_differential
+    from repro.check.faults import default_fuzz_graph, run_fault_campaign
+    from repro.check.report import check_report
+    from repro.obs.metrics import dump_metrics
+
+    if args.fuzz < 0:
+        raise SystemExit(f"--fuzz must be >= 0, got {args.fuzz}")
+    if args.graph is not None:
+        graphs = [_load(args.graph)]
+        fuzz_graph = graphs[0]
+        dataset_names = (args.graph,)
+    else:
+        graphs = None
+        fuzz_graph = default_fuzz_graph()
+        dataset_names = CHECK_DATASETS
+
+    faults = run_fault_campaign(fuzz_graph, trials=args.fuzz, seed=args.seed)
+    differential = run_differential(
+        datasets=dataset_names, seed=args.seed, graphs=graphs,
+        algorithms=not args.decode_only,
+    )
+    report = check_report(
+        faults, differential,
+        meta={
+            "fuzz_trials": str(args.fuzz),
+            "seed": str(args.seed),
+            "datasets": ",".join(dataset_names),
+        },
+    )
+    fail = report["failures"]
+    per_fmt: dict[str, int] = {}
+    for r in faults:
+        per_fmt[r.fmt] = per_fmt.get(r.fmt, 0) + 1
+    for fmt, n in sorted(per_fmt.items()):
+        detected = sum(
+            1 for r in faults if r.fmt == fmt and r.outcome == "detected"
+        )
+        ok = sum(1 for r in faults if r.fmt == fmt and r.outcome == "ok")
+        print(
+            f"{fmt:6s}: {n} faults injected -> {detected} detected, "
+            f"{ok} inert, "
+            f"{sum(1 for r in faults if r.fmt == fmt and r.outcome == 'silent-corruption')} silent, "
+            f"{sum(1 for r in faults if r.fmt == fmt and r.outcome == 'foreign-exception')} foreign"
+        )
+    agree = sum(
+        1 for r in differential["rows"]
+        if r["agree"] and r.get("integrity_ok", True)
+    )
+    print(
+        f"differential: {agree}/{len(differential['rows'])} checks agree "
+        f"across {len(dataset_names)} graph(s)"
+    )
+    for r in differential["rows"]:
+        if not (r["agree"] and r.get("integrity_ok", True)):
+            print(f"  DISAGREE: {r}")
+    if args.metrics:
+        dump_metrics(report, args.metrics)
+        print(f"wrote metrics to {args.metrics}")
+    bad = (
+        fail["silent_corruption"]
+        + fail["foreign_exceptions"]
+        + fail["differential_disagreements"]
+    )
+    if bad:
+        print(
+            f"FAIL: {fail['silent_corruption']} silent corruption(s), "
+            f"{fail['foreign_exceptions']} foreign exception(s), "
+            f"{fail['differential_disagreements']} disagreement(s)"
+        )
+        return 1
+    print("OK: no silent corruption, no foreign exceptions, no disagreements")
+    return 0
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     from repro.datasets.suite import build_suite_graph, suite_entries
     from repro.formats.csr import CSRGraph
@@ -492,6 +574,25 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--threshold", type=float, default=2.0,
                    help="max tolerated relative change in percent (default 2)")
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "check",
+        help="fault-injection + cross-format differential verification",
+    )
+    p.add_argument(
+        "graph", nargs="?", default=None,
+        help="graph file; omit to use the built-in fuzz graph and the "
+        "small dataset-suite entries",
+    )
+    p.add_argument("--fuzz", type=int, default=200,
+                   help="fault injections per format (default 200)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="campaign seed (default 7)")
+    p.add_argument("--decode-only", action="store_true",
+                   help="skip the algorithm-level differential checks")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write the stable-schema metrics JSON")
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("suite", help="list the scaled paper suite")
     p.add_argument("--v100", action="store_true",

@@ -13,7 +13,14 @@
   equivalent in tests.
 """
 
-from repro.core.efg import EFGraph, decode_lists, efg_encode
+from repro.core.efg import (
+    EFGraph,
+    check_decode_batch,
+    decode_lists,
+    efg_encode,
+    validate_efg,
+)
+from repro.core.errors import CorruptMetadataError, CorruptStreamError, DecodeError
 from repro.core.frontier import Frontier
 from repro.core.listcache import CacheStats, DecodedListCache
 from repro.core.partition import BlockAssignment, partition_edges_to_blocks
@@ -22,6 +29,11 @@ __all__ = [
     "EFGraph",
     "efg_encode",
     "decode_lists",
+    "validate_efg",
+    "check_decode_batch",
+    "DecodeError",
+    "CorruptStreamError",
+    "CorruptMetadataError",
     "Frontier",
     "CacheStats",
     "DecodedListCache",

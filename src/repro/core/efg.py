@@ -29,14 +29,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.errors import CorruptMetadataError, CorruptStreamError
 from repro.ef.bitstream import extract_fields
 from repro.ef.forward import DEFAULT_QUANTUM
 from repro.formats.graph import Graph
+from repro.formats.integrity import arrays_crc32
 from repro.primitives.bitops import POPCOUNT_TABLE_I64, SELECT_IN_BYTE_TABLE_I64
 from repro.primitives.scan import exclusive_scan
 from repro.primitives.search import binsearch_maxle
 
-__all__ = ["EFGraph", "efg_encode", "decode_lists", "csr_gather_indices"]
+__all__ = [
+    "EFGraph",
+    "efg_encode",
+    "decode_lists",
+    "csr_gather_indices",
+    "validate_efg",
+    "check_decode_batch",
+]
 
 
 def csr_gather_indices(starts: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -76,6 +85,10 @@ class EFGraph:
     data: np.ndarray
     quantum: int = DEFAULT_QUANTUM
     name: str = ""
+    #: CRC32 over ``data`` / over the metadata arrays, stamped by
+    #: :func:`efg_encode`; ``None`` on hand-built containers.
+    payload_crc: int | None = None
+    meta_crc: int | None = None
     _degree_cache: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     @property
@@ -153,6 +166,7 @@ class EFGraph:
         deg = int(self.degrees[v])
         if not 0 <= i < deg:
             raise IndexError(f"vertex {v} has no edge {i}")
+        check_decode_batch(self, np.array([v], dtype=np.int64))
         from repro.ef.select import select1_scalar
 
         k = self.quantum
@@ -162,17 +176,22 @@ class EFGraph:
         fwd = self.forward_values(v)
         l = int(self.num_lower_bits[v])
         j = (i + 1) // k
-        if j > 0:
-            anchor = j * k - 1
-            anchor_bit = int(fwd[j - 1]) + anchor  # select1(anchor)
-            if anchor == i:
-                select_pos = anchor_bit
+        try:
+            if j > 0:
+                anchor = j * k - 1
+                anchor_bit = int(fwd[j - 1]) + anchor  # select1(anchor)
+                if anchor == i:
+                    select_pos = anchor_bit
+                else:
+                    select_pos = select1_scalar(
+                        window, i - anchor - 1, start_bit=anchor_bit + 1
+                    )
             else:
-                select_pos = select1_scalar(
-                    window, i - anchor - 1, start_bit=anchor_bit + 1
-                )
-        else:
-            select_pos = select1_scalar(window, i)
+                select_pos = select1_scalar(window, i)
+        except IndexError as exc:
+            # Fewer stop bits than the degree promises (or a forward
+            # pointer steering the scan past the section).
+            raise CorruptStreamError(str(exc), fmt="efg", vertex=v) from exc
         upper_half = select_pos - i
         if l == 0:
             return upper_half
@@ -207,6 +226,39 @@ class EFGraph:
         return Graph(
             vlist=self.vlist.copy(), elist=elist, directed=True, name=self.name
         )
+
+    # -- integrity ------------------------------------------------------
+
+    def verify_integrity(self) -> None:
+        """Check the encode-time CRCs; no-op when they were never stamped.
+
+        Raises
+        ------
+        CorruptStreamError
+            The payload bytes changed since encode.
+        CorruptMetadataError
+            A metadata array changed since encode.
+        """
+        if self.meta_crc is not None and self._current_meta_crc() != self.meta_crc:
+            raise CorruptMetadataError(
+                "metadata checksum mismatch", fmt="efg"
+            )
+        if self.payload_crc is not None and arrays_crc32(self.data) != self.payload_crc:
+            raise CorruptStreamError(
+                "payload checksum mismatch", fmt="efg"
+            )
+
+    def _current_meta_crc(self) -> int:
+        return arrays_crc32(
+            self.vlist, self.num_lower_bits, self.offsets, self.quantum
+        )
+
+    def validate(self) -> None:
+        """Structural validation of the whole container (cheap, vectorized).
+
+        See :func:`validate_efg`.
+        """
+        validate_efg(self)
 
 
 def efg_encode(
@@ -303,14 +355,142 @@ def efg_encode(
         for k in range(4):
             data[byte0 + k] = raw[:, k]
 
+    vlist = graph.vlist.copy()
+    num_lower_bits = l.astype(np.uint8)
+    # Freeze everything the decoders read: a buggy kernel scribbling on
+    # shared payload bytes corrupts every later traversal, so the
+    # container is immutable after encode (like the bitops LUTs and the
+    # frombuffer-backed CGR/Ligra+ payloads).
+    for arr in (vlist, num_lower_bits, offsets, data):
+        arr.flags.writeable = False
     return EFGraph(
-        vlist=graph.vlist.copy(),
-        num_lower_bits=l.astype(np.uint8),
+        vlist=vlist,
+        num_lower_bits=num_lower_bits,
         offsets=offsets,
         data=data,
         quantum=quantum,
         name=name if name is not None else graph.name,
+        payload_crc=arrays_crc32(data),
+        meta_crc=arrays_crc32(vlist, num_lower_bits, offsets, quantum),
     )
+
+
+def validate_efg(efg: EFGraph) -> None:
+    """Structural validation of an :class:`EFGraph` (vectorized, O(|V|)).
+
+    Checks the invariants every clean encode satisfies: monotone
+    ``vlist`` and ``offsets`` anchored at 0, ``offsets[-1]`` equal to
+    the payload length, ``num_lower_bits <= 64``, and per list enough
+    payload bytes for the *(forward | lower | upper)* sections its
+    degree and ``l`` imply (the upper section needs at least one stop
+    bit per element).
+
+    Raises
+    ------
+    CorruptMetadataError
+        Naming the first offending vertex where one is identifiable.
+    """
+    nv = int(efg.vlist.shape[0]) - 1
+    if nv < 0:
+        raise CorruptMetadataError("vlist is empty", fmt="efg")
+    if efg.num_lower_bits.shape[0] != nv:
+        raise CorruptMetadataError(
+            f"num_lower_bits has {efg.num_lower_bits.shape[0]} entries "
+            f"for {nv} vertices",
+            fmt="efg",
+        )
+    if efg.offsets.shape[0] != nv + 1:
+        raise CorruptMetadataError(
+            f"offsets has {efg.offsets.shape[0]} entries for {nv} vertices",
+            fmt="efg",
+        )
+    if int(efg.vlist[0]) != 0:
+        raise CorruptMetadataError(
+            f"vlist[0] is {int(efg.vlist[0])}, expected 0", fmt="efg"
+        )
+    deg = np.diff(efg.vlist)
+    if np.any(deg < 0):
+        v = int(np.argmax(deg < 0))
+        raise CorruptMetadataError("vlist not monotone", fmt="efg", vertex=v)
+    if int(efg.offsets[0]) != 0:
+        raise CorruptMetadataError(
+            f"offsets[0] is {int(efg.offsets[0])}, expected 0", fmt="efg"
+        )
+    list_bytes = np.diff(efg.offsets)
+    if np.any(list_bytes < 0):
+        v = int(np.argmax(list_bytes < 0))
+        raise CorruptMetadataError("offsets not monotone", fmt="efg", vertex=v)
+    if int(efg.offsets[-1]) != int(efg.data.shape[0]):
+        raise CorruptMetadataError(
+            f"offsets[-1] is {int(efg.offsets[-1])} but payload holds "
+            f"{int(efg.data.shape[0])} bytes",
+            fmt="efg",
+        )
+    check_decode_batch(efg, np.arange(nv, dtype=np.int64))
+
+
+def check_decode_batch(efg: EFGraph, vertices: np.ndarray) -> None:
+    """Cheap per-batch metadata guard run before decoding ``vertices``.
+
+    Verifies, for exactly the requested lists, that degrees are
+    non-negative, ``num_lower_bits`` is a representable EF parameter,
+    and the implied section geometry fits inside both the per-list
+    payload slice and the payload array — the precondition for the
+    gather-based decoders to stay in bounds.  Rejecting here is what
+    turns a corrupt ``num_lower_bits`` into a typed
+    :class:`CorruptMetadataError` instead of numpy's internal
+    ``ValueError: repeats may not contain negative values``.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size == 0:
+        return
+    if int(vertices.min()) < 0 or int(vertices.max()) >= efg.num_nodes:
+        v = int(vertices[(vertices < 0) | (vertices >= efg.num_nodes)][0])
+        raise IndexError(f"vertex {v} out of range for |V|={efg.num_nodes}")
+    deg = efg.degrees[vertices]
+    if np.any(deg < 0):
+        v = int(vertices[np.argmax(deg < 0)])
+        raise CorruptMetadataError(
+            "negative degree (vlist not monotone)", fmt="efg", vertex=v
+        )
+    l = efg.num_lower_bits[vertices].astype(np.int64)
+    if np.any(l > 64):
+        i = int(np.argmax(l > 64))
+        raise CorruptMetadataError(
+            f"num_lower_bits {int(l[i])} exceeds 64",
+            fmt="efg",
+            vertex=int(vertices[i]),
+        )
+    list_bytes = (efg.offsets[vertices + 1] - efg.offsets[vertices]).astype(
+        np.int64
+    )
+    if np.any(list_bytes < 0):
+        v = int(vertices[np.argmax(list_bytes < 0)])
+        raise CorruptMetadataError(
+            "offsets not monotone", fmt="efg", vertex=v
+        )
+    overhead = efg.fwd_nbytes(vertices) + efg.lower_nbytes(vertices)
+    min_upper = (deg + 7) >> 3  # >= 1 stop bit per element
+    bad = overhead + min_upper > list_bytes
+    if np.any(bad):
+        i = int(np.argmax(bad))
+        raise CorruptMetadataError(
+            f"sections need >= {int(overhead[i] + min_upper[i])} bytes but "
+            f"the payload slice holds {int(list_bytes[i])} "
+            f"(corrupt num_lower_bits or offsets)",
+            fmt="efg",
+            vertex=int(vertices[i]),
+        )
+    up_start = efg.upper_start_byte(vertices)
+    up_end = up_start + efg.upper_nbytes(vertices)
+    out_of_payload = (up_start < 0) | (up_end > int(efg.data.shape[0]))
+    if np.any(out_of_payload):
+        i = int(np.argmax(out_of_payload))
+        raise CorruptMetadataError(
+            "upper-bits window falls outside the payload",
+            fmt="efg",
+            vertex=int(vertices[i]),
+        )
 
 
 def decode_lists(
@@ -331,6 +511,7 @@ def decode_lists(
         of the list it belongs to.
     """
     vertices = np.asarray(vertices, dtype=np.int64)
+    check_decode_batch(efg, vertices)
     degrees = efg.degrees[vertices]
     total_vals = int(degrees.sum())
     if total_vals == 0:
@@ -346,8 +527,8 @@ def decode_lists(
     popc = POPCOUNT_TABLE_I64[window]
     exsum, total_pop = exclusive_scan(popc)
     if total_pop != total_vals:
-        raise AssertionError(
-            f"corrupt EFG data: {total_pop} stop bits for {total_vals} values"
+        raise CorruptStreamError(
+            f"{total_pop} stop bits for {total_vals} values", fmt="efg"
         )
 
     # Each value's global rank -> target byte via binsearch (steps 4-5).
@@ -370,6 +551,12 @@ def decode_lists(
 
     # upper half = select1(i) - i; combine with lower half (step 9).
     upper_half = select_in_list - local_rank
+    if int(upper_half.min()) < 0:
+        # Total stop bits matched but migrated across a list boundary.
+        raise CorruptStreamError(
+            "select position precedes element rank (stop bits misplaced)",
+            fmt="efg",
+        )
     l_per_val = efg.num_lower_bits[vertices][val_seg].astype(np.int64)
     low_base_bit = efg.lower_start_byte(vertices) * 8
     low_pos = low_base_bit[val_seg] + local_rank * l_per_val

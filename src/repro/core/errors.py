@@ -1,0 +1,72 @@
+"""Typed decode-error contract for every compressed-graph format.
+
+The paper's correctness claim is that run-time decompression returns
+the *same* adjacency lists CSR would.  When a stream or its metadata is
+damaged, that claim must fail loudly and uniformly: every decoder in
+the repository either returns the exact clean output or raises one of
+the exceptions below — never a foreign ``ValueError`` from deep inside
+numpy, never an ``IndexError`` from a gather running off the end of a
+payload, and never a bare ``assert`` that vanishes under ``python -O``.
+
+Hierarchy
+---------
+* :class:`DecodeError` — root; callers that only want "the stream is
+  bad" catch this.
+* :class:`CorruptStreamError` — the payload bytes are inconsistent
+  (wrong stop-bit count, truncated varint, reference chain past the
+  encoder's bound, checksum mismatch, ...).
+* :class:`CorruptMetadataError` — the per-vertex bookkeeping arrays are
+  inconsistent (non-monotone ``vlist``/``offsets``, ``num_lower_bits``
+  past 64, section sizes exceeding the payload slice, ...).
+
+All three carry ``fmt`` (format name), ``vertex`` (offending vertex id
+when one is identifiable) and ``detail`` (human-readable diagnosis);
+``str(exc)`` renders all of them.  The fault-injection harness in
+:mod:`repro.check.faults` counts any escape of a non-``DecodeError``
+exception from a decode path as a hardening bug.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DecodeError", "CorruptStreamError", "CorruptMetadataError"]
+
+
+class DecodeError(Exception):
+    """A compressed stream or its metadata failed validation.
+
+    Parameters
+    ----------
+    detail:
+        Human-readable diagnosis of what check failed.
+    fmt:
+        Short format name (``"efg"``, ``"cgr"``, ``"ligra"``, ``"bv"``,
+        ``"pef"``, ``"ef"``), when known.
+    vertex:
+        Offending vertex id, when one is identifiable.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        fmt: str | None = None,
+        vertex: int | None = None,
+    ) -> None:
+        self.detail = detail
+        self.fmt = fmt
+        self.vertex = None if vertex is None else int(vertex)
+        parts = []
+        if fmt is not None:
+            parts.append(f"[{fmt}]")
+        if vertex is not None:
+            parts.append(f"vertex {int(vertex)}:")
+        parts.append(detail)
+        super().__init__(" ".join(parts))
+
+
+class CorruptStreamError(DecodeError):
+    """The payload bytes of a compressed stream are inconsistent."""
+
+
+class CorruptMetadataError(DecodeError):
+    """The metadata arrays describing a compressed stream are inconsistent."""

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.efg import EFGraph
+from repro.core.efg import EFGraph, check_decode_batch
+from repro.core.errors import CorruptStreamError
 from repro.core.partition import BlockAssignment, partition_edges_to_blocks
 from repro.ef.bitstream import extract_fields
 from repro.primitives.bitops import POPCOUNT_TABLE_I64, SELECT_IN_BYTE_TABLE_I64
@@ -55,6 +56,7 @@ def decompress_single_list(efg: EFGraph, v: int, dimx: int = 32) -> np.ndarray:
     deg = int(efg.degrees[v])
     if deg == 0:
         return np.empty(0, dtype=np.int64)
+    check_decode_batch(efg, np.array([v], dtype=np.int64))
     up_start = int(efg.upper_start_byte(np.array([v]))[0])
     n_bytes = int(efg.upper_nbytes(np.array([v]))[0])
     l = int(efg.num_lower_bits[v])
@@ -72,6 +74,12 @@ def decompress_single_list(efg: EFGraph, v: int, dimx: int = 32) -> np.ndarray:
         # (2) popcount; (3) block-wide exclusive scan in shared memory.
         popc = POPCOUNT_TABLE_I64[s_bytes]
         s_exsum, total_vals = exclusive_scan(popc)
+        if prev_vals + total_vals > deg:
+            raise CorruptStreamError(
+                f"more than {deg} stop bits in the upper section",
+                fmt="efg",
+                vertex=v,
+            )
         # inner loop: DIMX values per iteration.
         val_iters = -(-total_vals // dimx)
         for j in range(val_iters):
@@ -92,6 +100,10 @@ def decompress_single_list(efg: EFGraph, v: int, dimx: int = 32) -> np.ndarray:
             lower_half = _lower_halves(efg, v, global_val_id)
             out[global_val_id] = (upper_half << l) | lower_half
         prev_vals += total_vals
+    if prev_vals != deg:
+        raise CorruptStreamError(
+            f"{prev_vals} stop bits for degree {deg}", fmt="efg", vertex=v
+        )
     return out
 
 
@@ -109,6 +121,7 @@ def decompress_partial_list(
         raise IndexError(f"range [{a}, {b}) invalid for degree {deg}")
     if a == b:
         return np.empty(0, dtype=np.int64)
+    check_decode_batch(efg, np.array([v], dtype=np.int64))
     k = efg.quantum
     fwd = efg.forward_values(v)
     up_start = int(efg.upper_start_byte(np.array([v]))[0])
@@ -133,15 +146,30 @@ def decompress_partial_list(
     else:
         stop_bit = n_bytes * 8
 
+    if start_bit > n_bytes * 8:
+        # A corrupt forward pointer steered the scan past the section.
+        raise CorruptStreamError(
+            f"forward pointer places bit {start_bit} beyond the "
+            f"{n_bytes}-byte upper section",
+            fmt="efg",
+            vertex=v,
+        )
     first_byte = start_bit >> 3
     last_byte = min((stop_bit + 7) >> 3, n_bytes)
     window = efg.data[up_start + first_byte : up_start + last_byte].copy()
-    lead = start_bit & 7
-    if lead:
+    if window.shape[0] and (start_bit & 7):
+        lead = start_bit & 7
         window[0] &= np.uint8((0xFF << lead) & 0xFF)
 
     popc = POPCOUNT_TABLE_I64[window]
     exsum, _total = exclusive_scan(popc)
+    if (b - 1) - base_rank >= _total:
+        raise CorruptStreamError(
+            f"{_total} stop bits in the bounded window for elements "
+            f"[{a}, {b}) (rank base {base_rank})",
+            fmt="efg",
+            vertex=v,
+        )
     out = np.empty(b - a, dtype=np.int64)
     count = b - a
     for j in range(-(-count // dimx)):
@@ -200,7 +228,10 @@ def decompress_multiple_lists(
             seg_out[pos : pos + hi - lo] = li
             pos += hi - lo
         if pos != e1:
-            raise AssertionError("block decoded wrong number of edges")
+            raise CorruptStreamError(
+                f"block {blk} decoded {pos - e0} edges, expected {e1 - e0}",
+                fmt="efg",
+            )
     return values, seg_out, assignment
 
 

@@ -19,8 +19,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import CorruptMetadataError, CorruptStreamError
 from repro.ef.partitioned import pef_encode, pef_from_blob, pef_to_blob
 from repro.formats.graph import Graph
+from repro.formats.integrity import arrays_crc32
 
 __all__ = ["PEFGraph", "pefg_encode"]
 
@@ -33,6 +35,10 @@ class PEFGraph:
     offsets: np.ndarray  # int64, |V|+1, byte offsets into data
     data: np.ndarray  # uint8, concatenated pef blobs
     name: str = ""
+    #: CRC32 over ``data`` / the metadata arrays, stamped by
+    #: :func:`pefg_encode`; ``None`` on hand-built containers.
+    payload_crc: int | None = None
+    meta_crc: int | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -59,9 +65,41 @@ class PEFGraph:
         """Decode one list."""
         if not 0 <= v < self.num_nodes:
             raise IndexError(f"vertex {v} out of range")
-        if self.degrees[v] == 0:
+        deg = int(self.degrees[v])
+        if deg < 0:
+            raise CorruptMetadataError(
+                "negative degree (vlist not monotone)", fmt="pef", vertex=v
+            )
+        if deg == 0:
             return np.empty(0, dtype=np.int64)
-        return pef_from_blob(self.data[self.offsets[v] : self.offsets[v + 1]])
+        lo, hi = int(self.offsets[v]), int(self.offsets[v + 1])
+        if not 0 <= lo <= hi <= int(self.data.shape[0]):
+            raise CorruptMetadataError(
+                f"blob slice [{lo}, {hi}) outside the {int(self.data.shape[0])}"
+                "-byte payload",
+                fmt="pef",
+                vertex=v,
+            )
+        try:
+            nbrs = pef_from_blob(self.data[lo:hi])
+        except (CorruptStreamError, CorruptMetadataError) as exc:
+            raise type(exc)(exc.detail, fmt="pef", vertex=v) from exc
+        if nbrs.shape[0] != deg:
+            raise CorruptStreamError(
+                f"decoded {nbrs.shape[0]} neighbours, vlist promises {deg}",
+                fmt="pef",
+                vertex=v,
+            )
+        return nbrs
+
+    def verify_integrity(self) -> None:
+        """Check the encode-time CRCs; no-op when they were never stamped."""
+        if self.meta_crc is not None and arrays_crc32(
+            self.vlist, self.offsets
+        ) != self.meta_crc:
+            raise CorruptMetadataError("metadata checksum mismatch", fmt="pef")
+        if self.payload_crc is not None and arrays_crc32(self.data) != self.payload_crc:
+            raise CorruptStreamError("payload checksum mismatch", fmt="pef")
 
     def to_graph(self) -> Graph:
         """Decode the whole graph."""
@@ -91,6 +129,12 @@ def pefg_encode(graph: Graph, partition_size: int = 128) -> PEFGraph:
         if chunks
         else np.empty(0, dtype=np.uint8)
     )
+    vlist = graph.vlist.copy()
+    for arr in (vlist, offsets, data):
+        if arr.flags.writeable:
+            arr.flags.writeable = False
     return PEFGraph(
-        vlist=graph.vlist.copy(), offsets=offsets, data=data, name=graph.name
+        vlist=vlist, offsets=offsets, data=data, name=graph.name,
+        payload_crc=arrays_crc32(data),
+        meta_crc=arrays_crc32(vlist, offsets),
     )

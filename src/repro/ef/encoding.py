@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.errors import CorruptMetadataError, CorruptStreamError
 from repro.ef.bitstream import pack_bits, unpack_bits
 from repro.ef.bounds import ef_num_lower_bits, ef_upper_bits
 from repro.ef.forward import DEFAULT_QUANTUM, ForwardPointers, build_forward_pointers
@@ -118,6 +119,27 @@ def ef_encode(
     )
 
 
+def _check_sequence(seq: EFSequence) -> None:
+    """Cheap metadata guard for the random-access decoders.
+
+    Rejects parameter corruption (``l`` past 64, a lower-bits section
+    too short for ``n`` fields) with a typed error before any gather can
+    read out of bounds or feed numpy a negative repeat count.
+    """
+    l = int(seq.num_lower_bits)
+    if not 0 <= l <= 64:
+        raise CorruptMetadataError(
+            f"num_lower_bits {l} out of range [0, 64]", fmt="ef"
+        )
+    need_lower = (seq.n * l + 7) >> 3
+    if int(seq.lower.shape[0]) < need_lower:
+        raise CorruptMetadataError(
+            f"lower section holds {int(seq.lower.shape[0])} bytes, "
+            f"{need_lower} needed for {seq.n} fields of {l} bits",
+            fmt="ef",
+        )
+
+
 def ef_decode(seq: EFSequence) -> np.ndarray:
     """Decode the full sequence with the batched select decomposition."""
     return ef_decode_range(seq, 0, seq.n)
@@ -131,15 +153,19 @@ def ef_decode_at(seq: EFSequence, i: int) -> int:
     """
     if not 0 <= i < seq.n:
         raise IndexError(f"index {i} out of range for sequence of {seq.n}")
+    _check_sequence(seq)
     anchor_elem, anchor_bit = seq.forward.floor_anchor(i)
-    if anchor_elem == i:
-        select_pos = anchor_bit
-    elif anchor_elem < 0:
-        select_pos = select1_scalar(seq.upper, i)
-    else:
-        select_pos = select1_scalar(
-            seq.upper, i - anchor_elem - 1, start_bit=anchor_bit + 1
-        )
+    try:
+        if anchor_elem == i:
+            select_pos = anchor_bit
+        elif anchor_elem < 0:
+            select_pos = select1_scalar(seq.upper, i)
+        else:
+            select_pos = select1_scalar(
+                seq.upper, i - anchor_elem - 1, start_bit=anchor_bit + 1
+            )
+    except IndexError as exc:
+        raise CorruptStreamError(str(exc), fmt="ef") from exc
     upper_half = select_pos - i
     lower_half = int(
         unpack_bits(seq.lower, seq.num_lower_bits, 1, start_bit=i * seq.num_lower_bits)[0]
@@ -159,6 +185,7 @@ def ef_decode_range(seq: EFSequence, a: int, b: int) -> np.ndarray:
         raise IndexError(f"range [{a}, {b}) invalid for sequence of {seq.n}")
     if a == b:
         return np.empty(0, dtype=np.int64)
+    _check_sequence(seq)
 
     # --- bound the upper-bits scan with forward pointers (Fig. 6) ---
     anchor_elem, anchor_bit = seq.forward.floor_anchor(a)
@@ -221,7 +248,11 @@ def _batched_select_window(
         popc[0] = POPCOUNT_TABLE_I64[first_byte_value]
     exsum, total = exclusive_scan(popc)
     if ranks.size and ranks.max() >= total:
-        raise IndexError("select rank beyond set bits in window")
+        # Fewer stop bits in the covering window than the requested
+        # element ranks imply — missing or truncated upper bits.
+        raise CorruptStreamError(
+            "select rank beyond set bits in window", fmt="ef"
+        )
     target_byte = binsearch_maxle(exsum, ranks)
     target_value = window[target_byte]
     if first_byte_value is not None:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import CorruptMetadataError, CorruptStreamError
 from repro.ef.bounds import ef_total_bits
 from repro.ef.encoding import EFSequence, ef_decode, ef_encode
 
@@ -61,10 +62,26 @@ class PEFPartition:
         if self.codec is PartitionCodec.RUN:
             return 0
         if self.codec is PartitionCodec.BITMAP:
-            assert isinstance(self.payload, np.ndarray)
+            _require_payload_type(self, np.ndarray)
             return int(self.payload.shape[0]) * 8
-        assert isinstance(self.payload, EFSequence)
+        _require_payload_type(self, EFSequence)
         return self.payload.nbytes * 8
+
+
+def _require_payload_type(partition: "PEFPartition", expected: type) -> None:
+    """Typed replacement for the old ``assert isinstance`` guards.
+
+    Those asserts vanished under ``python -O``, letting a corrupt
+    partition reach the codec-specific decode with the wrong payload
+    class and die on an arbitrary ``AttributeError``.
+    """
+    if not isinstance(partition.payload, expected):
+        raise CorruptMetadataError(
+            f"{partition.codec.value} partition carries "
+            f"{type(partition.payload).__name__} payload, expected "
+            f"{expected.__name__}",
+            fmt="pef",
+        )
 
 
 @dataclass(frozen=True)
@@ -300,11 +317,11 @@ def pef_to_blob(seq: PEFSequence) -> np.ndarray:
         header += int(p.count).to_bytes(2, "little")
         header += bytes([codec_ids[p.codec], 0])
         if p.codec is PartitionCodec.BITMAP:
-            assert isinstance(p.payload, np.ndarray)
+            _require_payload_type(p, np.ndarray)
             payloads += int(p.payload.shape[0]).to_bytes(3, "little")
             payloads += p.payload.tobytes()
         elif p.codec is PartitionCodec.EF:
-            assert isinstance(p.payload, EFSequence)
+            _require_payload_type(p, EFSequence)
             blob = p.payload.to_blob()
             payloads += int(blob.shape[0]).to_bytes(3, "little")
             payloads += int(p.payload.num_lower_bits).to_bytes(1, "little")
@@ -314,36 +331,68 @@ def pef_to_blob(seq: PEFSequence) -> np.ndarray:
 
 
 def pef_from_blob(blob: np.ndarray) -> np.ndarray:
-    """Decode a :func:`pef_to_blob` blob back to the original values."""
+    """Decode a :func:`pef_to_blob` blob back to the original values.
+
+    Every read is bounds-checked: a truncated blob, an unknown codec id
+    or a bitmap with fewer set bits than its skip entry promises raises
+    a typed :class:`CorruptStreamError` / :class:`CorruptMetadataError`
+    instead of slicing garbage.
+    """
     data = np.asarray(blob, dtype=np.uint8)
     raw = data.tobytes()
-    npart = int.from_bytes(raw[0:2], "little")
-    pos = 2
+
+    def _take(pos: int, n: int, what: str) -> tuple[bytes, int]:
+        if pos + n > len(raw):
+            raise CorruptStreamError(
+                f"blob truncated reading {what} at byte {pos} "
+                f"({len(raw)} bytes total)",
+                fmt="pef",
+            )
+        return raw[pos : pos + n], pos + n
+
+    chunk, pos = _take(0, 2, "partition count")
+    npart = int.from_bytes(chunk, "little")
     skips = []
-    for _ in range(npart):
-        base = int.from_bytes(raw[pos : pos + 4], "little")
-        count = int.from_bytes(raw[pos + 4 : pos + 6], "little")
-        codec = raw[pos + 6]
+    for p in range(npart):
+        chunk, pos = _take(pos, 8, f"skip entry {p}")
+        base = int.from_bytes(chunk[0:4], "little")
+        count = int.from_bytes(chunk[4:6], "little")
+        codec = chunk[6]
+        if codec > 2:
+            raise CorruptMetadataError(
+                f"unknown codec id {codec} in skip entry {p}", fmt="pef"
+            )
         skips.append((base, count, codec))
-        pos += 8
     out: list[np.ndarray] = []
     for base, count, codec in skips:
         if codec == 0:  # RUN
             local = np.arange(count, dtype=np.int64)
         elif codec == 1:  # BITMAP
-            nbytes = int.from_bytes(raw[pos : pos + 3], "little")
-            pos += 3
-            bitmap = np.frombuffer(raw[pos : pos + nbytes], dtype=np.uint8)
-            pos += nbytes
+            chunk, pos = _take(pos, 3, "bitmap length")
+            nbytes = int.from_bytes(chunk, "little")
+            chunk, pos = _take(pos, nbytes, "bitmap payload")
+            bitmap = np.frombuffer(chunk, dtype=np.uint8)
             bits = np.unpackbits(bitmap, bitorder="little")
-            local = np.flatnonzero(bits).astype(np.int64)[:count]
+            local = np.flatnonzero(bits).astype(np.int64)
+            if local.shape[0] != count:
+                raise CorruptStreamError(
+                    f"bitmap has {local.shape[0]} set bits, skip entry "
+                    f"promises {count}",
+                    fmt="pef",
+                )
         else:  # EF
-            nbytes = int.from_bytes(raw[pos : pos + 3], "little")
-            l = raw[pos + 3]
-            upper_bytes = int.from_bytes(raw[pos + 4 : pos + 7], "little")
-            pos += 7
-            payload = np.frombuffer(raw[pos : pos + nbytes], dtype=np.uint8)
-            pos += nbytes
+            chunk, pos = _take(pos, 7, "EF partition header")
+            nbytes = int.from_bytes(chunk[0:3], "little")
+            l = chunk[3]
+            upper_bytes = int.from_bytes(chunk[4:7], "little")
+            if upper_bytes > nbytes:
+                raise CorruptMetadataError(
+                    f"EF partition claims {upper_bytes} upper bytes of a "
+                    f"{nbytes}-byte payload",
+                    fmt="pef",
+                )
+            chunk, pos = _take(pos, nbytes, "EF partition payload")
+            payload = np.frombuffer(chunk, dtype=np.uint8)
             lower = payload[: nbytes - upper_bytes]
             upper = payload[nbytes - upper_bytes :]
             from repro.ef.forward import ForwardPointers
@@ -356,6 +405,11 @@ def pef_from_blob(blob: np.ndarray) -> np.ndarray:
             )
             local = ef_decode(seq)
         out.append(local + base)
+    if pos != len(raw):
+        raise CorruptStreamError(
+            f"{len(raw) - pos} trailing bytes after the last partition",
+            fmt="pef",
+        )
     return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
 
 
@@ -366,11 +420,17 @@ def pef_decode(seq: PEFSequence) -> np.ndarray:
         if p.codec is PartitionCodec.RUN:
             local = np.arange(p.count, dtype=np.int64)
         elif p.codec is PartitionCodec.BITMAP:
-            assert isinstance(p.payload, np.ndarray)
+            _require_payload_type(p, np.ndarray)
             bits = np.unpackbits(p.payload, bitorder="little")
-            local = np.flatnonzero(bits).astype(np.int64)[: p.count]
+            local = np.flatnonzero(bits).astype(np.int64)
+            if local.shape[0] != p.count:
+                raise CorruptStreamError(
+                    f"bitmap has {local.shape[0]} set bits, partition "
+                    f"promises {p.count}",
+                    fmt="pef",
+                )
         else:
-            assert isinstance(p.payload, EFSequence)
+            _require_payload_type(p, EFSequence)
             local = ef_decode(p.payload)
         out.append(local + p.base)
     return np.concatenate(out)

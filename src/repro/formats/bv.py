@@ -29,8 +29,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import CorruptMetadataError, CorruptStreamError
 from repro.formats.cgr import _read_varint, _unzigzag, _write_varint, _zigzag
 from repro.formats.graph import Graph
+from repro.formats.integrity import arrays_crc32
 
 __all__ = ["BVGraph", "bv_encode", "bv_decode_list"]
 
@@ -122,6 +124,10 @@ class BVGraph:
     data: np.ndarray
     window: int
     max_ref_chain: int
+    #: CRC32 over ``data`` / the metadata, stamped by
+    #: :func:`bv_encode`; ``None`` on hand-built containers.
+    payload_crc: int | None = None
+    meta_crc: int | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -142,40 +148,109 @@ class BVGraph:
         """Decode one list, following reference chains as needed."""
         return bv_decode_list(self, v)
 
+    def verify_integrity(self) -> None:
+        """Check the encode-time CRCs; no-op when they were never stamped."""
+        if self.meta_crc is not None and arrays_crc32(
+            self.offsets, self.window, self.max_ref_chain
+        ) != self.meta_crc:
+            raise CorruptMetadataError("metadata checksum mismatch", fmt="bv")
+        if self.payload_crc is not None and arrays_crc32(self.data) != self.payload_crc:
+            raise CorruptStreamError("payload checksum mismatch", fmt="bv")
 
-def bv_decode_list(bv: BVGraph, v: int) -> np.ndarray:
-    """Dependent-chain decoder (the reason BV resists GPU porting)."""
+
+def bv_decode_list(bv: BVGraph, v: int, _depth: int = 0) -> np.ndarray:
+    """Dependent-chain decoder (the reason BV resists GPU porting).
+
+    Hardened against corrupt streams: reference offsets must stay inside
+    the window and point at earlier vertices, chains are bounded by the
+    container's ``max_ref_chain`` (a corrupt offset cannot drive the
+    recursion to a RecursionError), copy-block cursors are checked
+    against the reference length, and varint reads are bounds-checked.
+    """
+    if not 0 <= v < bv.num_nodes:
+        raise IndexError(f"vertex {v} out of range")
     data = bv.data
     pos = int(bv.offsets[v])
-    ref_offset, pos = _read_varint(data, pos)
-    copied = np.empty(0, dtype=np.int64)
-    if ref_offset:
-        # Recursive dependency on an earlier list.
-        reference = bv_decode_list(bv, v - ref_offset)
-        nblocks, pos = _read_varint(data, pos)
-        blocks = []
-        for _ in range(nblocks):
-            b, pos = _read_varint(data, pos)
-            blocks.append(b)
-        keep = np.zeros(reference.shape[0], dtype=bool)
-        cursor = 0
-        copy_block = True
-        for b in blocks:
-            if copy_block:
-                keep[cursor : cursor + b] = True
-            cursor += b
-            copy_block = not copy_block
-        copied = reference[keep]
-    n_res, pos = _read_varint(data, pos)
-    residuals = np.empty(n_res, dtype=np.int64)
-    prev = v
-    for i in range(n_res):
-        raw, pos = _read_varint(data, pos)
-        value = prev + (_unzigzag(raw) if i == 0 else raw + 1)
-        residuals[i] = value
-        prev = value
+    if not 0 <= pos <= int(data.shape[0]):
+        raise CorruptMetadataError(
+            f"list offset {pos} outside the {int(data.shape[0])}-byte payload",
+            fmt="bv",
+            vertex=v,
+        )
+    try:
+        ref_offset, pos = _read_varint(data, pos)
+        copied = np.empty(0, dtype=np.int64)
+        if ref_offset:
+            if ref_offset > v:
+                raise CorruptStreamError(
+                    f"reference offset {ref_offset} points before vertex 0",
+                    fmt="bv",
+                    vertex=v,
+                )
+            if ref_offset > bv.window:
+                raise CorruptStreamError(
+                    f"reference offset {ref_offset} exceeds window {bv.window}",
+                    fmt="bv",
+                    vertex=v,
+                )
+            if _depth >= bv.max_ref_chain:
+                raise CorruptStreamError(
+                    f"reference chain deeper than max_ref_chain "
+                    f"{bv.max_ref_chain}",
+                    fmt="bv",
+                    vertex=v,
+                )
+            # Recursive dependency on an earlier list.
+            reference = bv_decode_list(bv, v - ref_offset, _depth + 1)
+            nblocks, pos = _read_varint(data, pos)
+            blocks = []
+            for _ in range(nblocks):
+                b, pos = _read_varint(data, pos)
+                blocks.append(b)
+            keep = np.zeros(reference.shape[0], dtype=bool)
+            cursor = 0
+            copy_block = True
+            for b in blocks:
+                if cursor + b > reference.shape[0]:
+                    raise CorruptStreamError(
+                        f"copy blocks span {cursor + b} entries, reference "
+                        f"list has {reference.shape[0]}",
+                        fmt="bv",
+                        vertex=v,
+                    )
+                if copy_block:
+                    keep[cursor : cursor + b] = True
+                cursor += b
+                copy_block = not copy_block
+            copied = reference[keep]
+        n_res, pos = _read_varint(data, pos)
+        residuals = np.empty(n_res, dtype=np.int64)
+        prev = v
+        for i in range(n_res):
+            raw, pos = _read_varint(data, pos)
+            value = prev + (_unzigzag(raw) if i == 0 else raw + 1)
+            if value < 0:
+                raise CorruptStreamError(
+                    f"residual {i} decodes to negative id {value}",
+                    fmt="bv",
+                    vertex=v,
+                )
+            residuals[i] = value
+            prev = value
+    except CorruptStreamError as exc:
+        if exc.vertex is None:
+            # _read_varint tags errors fmt="cgr" (shared helper); rehome.
+            raise CorruptStreamError(exc.detail, fmt="bv", vertex=v) from exc
+        raise
     merged = np.concatenate([copied, residuals])
     merged.sort()
+    deg = int(bv.graph.degrees[v])
+    if deg >= 0 and merged.shape[0] != deg:
+        raise CorruptStreamError(
+            f"decoded {merged.shape[0]} neighbours, degree is {deg}",
+            fmt="bv",
+            vertex=v,
+        )
     return merged
 
 
@@ -209,7 +284,12 @@ def bv_encode(
         if chunks
         else np.empty(0, dtype=np.uint8)
     )
+    for arr in (offsets, data):
+        if arr.flags.writeable:
+            arr.flags.writeable = False
     return BVGraph(
         graph=graph, offsets=offsets, data=data, window=window,
         max_ref_chain=max_ref_chain,
+        payload_crc=arrays_crc32(data),
+        meta_crc=arrays_crc32(offsets, window, max_ref_chain),
     )

@@ -28,7 +28,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import CorruptMetadataError, CorruptStreamError
 from repro.formats.graph import Graph
+from repro.formats.integrity import arrays_crc32
 
 __all__ = ["CGRGraph", "cgr_encode", "cgr_encode_list", "cgr_decode_list", "cgr_list_steps"]
 
@@ -61,10 +63,25 @@ def _write_varint(out: bytearray, value: int) -> None:
 
 
 def _read_varint(data: np.ndarray, pos: int) -> tuple[int, int]:
-    """Read one varint at byte offset ``pos``; return (value, new_pos)."""
+    """Read one varint at byte offset ``pos``; return (value, new_pos).
+
+    Bounds-checked: running off the end of the payload, or a
+    continuation chain longer than a 64-bit value can need, raises a
+    typed error instead of IndexError / an unbounded integer.
+    """
     value = 0
     shift = 0
+    end = int(data.shape[0])
     while True:
+        if pos >= end:
+            raise CorruptStreamError(
+                f"varint truncated at byte {pos} of {end}", fmt="cgr"
+            )
+        if shift > 63:
+            raise CorruptStreamError(
+                f"varint continuation chain exceeds 64 bits at byte {pos}",
+                fmt="cgr",
+            )
         byte = int(data[pos])
         pos += 1
         value |= (byte & 0x7F) << shift
@@ -127,28 +144,92 @@ def cgr_encode_list(v: int, nbrs: np.ndarray) -> bytes:
     return bytes(out)
 
 
-def cgr_decode_list(v: int, data: np.ndarray, offset: int = 0) -> np.ndarray:
-    """Sequentially decode one list (the dependent-chain decoder)."""
+def cgr_decode_list(
+    v: int,
+    data: np.ndarray,
+    offset: int = 0,
+    expected_degree: int | None = None,
+) -> np.ndarray:
+    """Sequentially decode one list (the dependent-chain decoder).
+
+    When ``expected_degree`` is given (the container knows the degree
+    from its vlist) the decoder rejects any chain whose counts or
+    interval lengths would produce a different number of neighbours —
+    corruption of the leading count varints otherwise turns into huge
+    allocations or silently short lists.
+    """
     data = np.asarray(data, dtype=np.uint8)
+    try:
+        return _cgr_decode_list_inner(v, data, offset, expected_degree)
+    except CorruptStreamError as exc:
+        if exc.vertex is None:
+            raise CorruptStreamError(exc.detail, fmt="cgr", vertex=v) from exc
+        raise
+
+
+#: Hard cap on a single decoded interval when the caller supplies no
+#: degree — keeps a corrupt length varint from requesting a giant arange.
+_MAX_UNCHECKED_INTERVAL = 1 << 32
+
+
+def _cgr_decode_list_inner(
+    v: int, data: np.ndarray, offset: int, expected_degree: int | None
+) -> np.ndarray:
     pos = offset
+    produced = 0
+    budget = expected_degree if expected_degree is not None else _MAX_UNCHECKED_INTERVAL
     n_intervals, pos = _read_varint(data, pos)
+    if n_intervals * MIN_INTERVAL > budget:
+        raise CorruptStreamError(
+            f"{n_intervals} intervals need at least "
+            f"{n_intervals * MIN_INTERVAL} values, budget is {budget}",
+            fmt="cgr",
+        )
     interval_values: list[np.ndarray] = []
     prev = v
     for i in range(n_intervals):
         raw, pos = _read_varint(data, pos)
         left = prev + (_unzigzag(raw) if i == 0 else raw)
+        if left < 0:
+            raise CorruptStreamError(
+                f"interval {i} starts at negative id {left}", fmt="cgr"
+            )
         length_m, pos = _read_varint(data, pos)
         length = length_m + MIN_INTERVAL
+        if produced + length > budget:
+            raise CorruptStreamError(
+                f"interval {i} of length {length} overruns the "
+                f"{budget}-value budget",
+                fmt="cgr",
+            )
         interval_values.append(np.arange(left, left + length, dtype=np.int64))
+        produced += length
         prev = left + length
     n_residuals, pos = _read_varint(data, pos)
+    if produced + n_residuals > budget:
+        raise CorruptStreamError(
+            f"{n_residuals} residuals after {produced} interval values "
+            f"overrun the {budget}-value budget",
+            fmt="cgr",
+        )
     residuals = np.empty(n_residuals, dtype=np.int64)
     prev = v
     for i in range(n_residuals):
         raw, pos = _read_varint(data, pos)
         value = prev + (_unzigzag(raw) if i == 0 else raw + 1)
+        if value < 0:
+            raise CorruptStreamError(
+                f"residual {i} decodes to negative id {value}", fmt="cgr"
+            )
         residuals[i] = value
         prev = value
+    produced += n_residuals
+    if expected_degree is not None and produced != expected_degree:
+        raise CorruptStreamError(
+            f"chain produced {produced} neighbours, degree is "
+            f"{expected_degree}",
+            fmt="cgr",
+        )
     if interval_values:
         merged = np.concatenate(interval_values + [residuals])
         merged.sort()
@@ -171,6 +252,10 @@ class CGRGraph:
     offsets: np.ndarray  # int64, |V|+1, exclusive byte offsets into data
     data: np.ndarray  # uint8 payload
     steps: np.ndarray  # int64, |V|, varints per list (decode chain length)
+    #: CRC32 over ``data`` / the metadata arrays, stamped by
+    #: :func:`cgr_encode`; ``None`` on hand-built containers.
+    payload_crc: int | None = None
+    meta_crc: int | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -189,7 +274,31 @@ class CGRGraph:
 
     def neighbours(self, v: int) -> np.ndarray:
         """Decode vertex ``v``'s list."""
-        return cgr_decode_list(v, self.data, int(self.offsets[v]))
+        if not 0 <= v < self.num_nodes:
+            raise IndexError(f"vertex {v} out of range")
+        lo = int(self.offsets[v])
+        if not 0 <= lo <= int(self.data.shape[0]):
+            raise CorruptMetadataError(
+                f"list offset {lo} outside the {int(self.data.shape[0])}"
+                "-byte payload",
+                fmt="cgr",
+                vertex=v,
+            )
+        deg = int(self.graph.vlist[v + 1] - self.graph.vlist[v])
+        if deg < 0:
+            raise CorruptMetadataError(
+                "negative degree (vlist not monotone)", fmt="cgr", vertex=v
+            )
+        return cgr_decode_list(v, self.data, lo, expected_degree=deg)
+
+    def verify_integrity(self) -> None:
+        """Check the encode-time CRCs; no-op when they were never stamped."""
+        if self.meta_crc is not None and arrays_crc32(
+            self.offsets, self.steps
+        ) != self.meta_crc:
+            raise CorruptMetadataError("metadata checksum mismatch", fmt="cgr")
+        if self.payload_crc is not None and arrays_crc32(self.data) != self.payload_crc:
+            raise CorruptStreamError("payload checksum mismatch", fmt="cgr")
 
     def list_nbytes(self, v: int | np.ndarray) -> np.ndarray:
         """Compressed byte length of one or many lists."""
@@ -219,4 +328,11 @@ def cgr_encode(graph: Graph) -> CGRGraph:
         if chunks
         else np.empty(0, dtype=np.uint8)
     )
-    return CGRGraph(graph=graph, offsets=offsets, data=data, steps=steps)
+    for arr in (offsets, steps, data):
+        if arr.flags.writeable:
+            arr.flags.writeable = False
+    return CGRGraph(
+        graph=graph, offsets=offsets, data=data, steps=steps,
+        payload_crc=arrays_crc32(data),
+        meta_crc=arrays_crc32(offsets, steps),
+    )

@@ -1,0 +1,40 @@
+"""Stream-integrity checksums for the compressed-graph containers.
+
+Structural validation (monotone offsets, plausible section sizes) can
+prove a stream is *malformed*, but a flipped bit deep inside a lower-
+bits section still decodes to a well-formed, silently-wrong neighbour
+list.  Closing that gap needs content integrity: every encoder stamps
+its container with two CRC32s — one over the payload bytes, one over
+the metadata arrays — and ``verify_integrity`` on the container checks
+them before a trusted decode.  This is the same table-stakes check
+archive-scale Elias-Fano deployments (swh-graph, WebGraph) run on
+their streams.
+
+The helper here is deliberately tiny and dependency-free so that both
+``repro.core`` and ``repro.formats`` modules can share it without an
+import cycle.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["arrays_crc32"]
+
+
+def arrays_crc32(*arrays: np.ndarray | int) -> int:
+    """CRC32 over the raw bytes of the given arrays (and bare ints).
+
+    Arrays are hashed in C order; bare integers are folded in as 8-byte
+    little-endian words so scalar parameters (quantum, window, ...) are
+    covered too.  The result is a stable uint32 for any fixed input.
+    """
+    crc = 0
+    for a in arrays:
+        if isinstance(a, (int, np.integer)):
+            crc = zlib.crc32(int(a).to_bytes(8, "little", signed=True), crc)
+        else:
+            crc = zlib.crc32(np.ascontiguousarray(a).tobytes(), crc)
+    return crc & 0xFFFFFFFF

@@ -19,7 +19,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import CorruptMetadataError, CorruptStreamError
 from repro.formats.graph import Graph
+from repro.formats.integrity import arrays_crc32
 
 __all__ = ["LigraPlusGraph", "ligra_encode", "ligra_encode_list", "ligra_decode_list"]
 
@@ -76,18 +78,45 @@ def ligra_encode_list(v: int, nbrs: np.ndarray) -> bytes:
 
 
 def ligra_decode_list(v: int, degree: int, data: np.ndarray, offset: int = 0) -> np.ndarray:
-    """Sequentially decode one list of known degree."""
+    """Sequentially decode one list of known degree.
+
+    Every header/payload read is bounds-checked against the payload and
+    against ``degree``; a corrupt run header raises
+    :class:`~repro.core.errors.CorruptStreamError` instead of reading
+    past the section or tripping a numpy reshape error.
+    """
     if degree == 0:
         return np.empty(0, dtype=np.int64)
     data = np.asarray(data, dtype=np.uint8)
+    end = int(data.shape[0])
     gaps = np.empty(degree, dtype=np.int64)
     produced = 0
     pos = offset
     while produced < degree:
+        if pos >= end:
+            raise CorruptStreamError(
+                f"run header expected at byte {pos}, payload ends at {end}",
+                fmt="ligra",
+                vertex=v,
+            )
         header = int(data[pos])
         pos += 1
         width = (header >> 6) + 1
         run = (header & 0x3F) + 1
+        if produced + run > degree:
+            raise CorruptStreamError(
+                f"run of {run} gaps overruns degree {degree} "
+                f"({produced} already decoded)",
+                fmt="ligra",
+                vertex=v,
+            )
+        if pos + run * width > end:
+            raise CorruptStreamError(
+                f"run payload of {run * width} bytes at {pos} overruns the "
+                f"{end}-byte section",
+                fmt="ligra",
+                vertex=v,
+            )
         block = data[pos : pos + run * width].reshape(run, width).astype(np.int64)
         weights = np.int64(1) << (8 * np.arange(width, dtype=np.int64))
         gaps[produced : produced + run] = block @ weights
@@ -95,6 +124,12 @@ def ligra_decode_list(v: int, degree: int, data: np.ndarray, offset: int = 0) ->
         produced += run
     out = np.empty(degree, dtype=np.int64)
     out[0] = _first_gap_decode(v, int(gaps[0]))
+    if out[0] < 0:
+        raise CorruptStreamError(
+            f"first neighbour decodes to negative id {int(out[0])}",
+            fmt="ligra",
+            vertex=v,
+        )
     if degree > 1:
         np.cumsum(gaps[1:] + 1, out=out[1:])
         out[1:] += out[0]
@@ -113,6 +148,10 @@ class LigraPlusGraph:
     graph: Graph
     offsets: np.ndarray  # int64, |V|+1 exclusive byte offsets
     data: np.ndarray  # uint8 payload
+    #: CRC32 over ``data`` / ``offsets``, stamped by
+    #: :func:`ligra_encode`; ``None`` on hand-built containers.
+    payload_crc: int | None = None
+    meta_crc: int | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -131,8 +170,29 @@ class LigraPlusGraph:
 
     def neighbours(self, v: int) -> np.ndarray:
         """Decode vertex ``v``'s list."""
+        if not 0 <= v < self.num_nodes:
+            raise IndexError(f"vertex {v} out of range")
         degree = int(self.graph.degrees[v])
-        return ligra_decode_list(v, degree, self.data, int(self.offsets[v]))
+        if degree < 0:
+            raise CorruptMetadataError(
+                "negative degree (vlist not monotone)", fmt="ligra", vertex=v
+            )
+        lo = int(self.offsets[v])
+        if not 0 <= lo <= int(self.data.shape[0]):
+            raise CorruptMetadataError(
+                f"list offset {lo} outside the {int(self.data.shape[0])}"
+                "-byte payload",
+                fmt="ligra",
+                vertex=v,
+            )
+        return ligra_decode_list(v, degree, self.data, lo)
+
+    def verify_integrity(self) -> None:
+        """Check the encode-time CRCs; no-op when they were never stamped."""
+        if self.meta_crc is not None and arrays_crc32(self.offsets) != self.meta_crc:
+            raise CorruptMetadataError("metadata checksum mismatch", fmt="ligra")
+        if self.payload_crc is not None and arrays_crc32(self.data) != self.payload_crc:
+            raise CorruptStreamError("payload checksum mismatch", fmt="ligra")
 
     def list_nbytes(self, v: int | np.ndarray) -> np.ndarray:
         """Compressed byte length of one or many lists."""
@@ -153,4 +213,11 @@ def ligra_encode(graph: Graph) -> LigraPlusGraph:
         if chunks
         else np.empty(0, dtype=np.uint8)
     )
-    return LigraPlusGraph(graph=graph, offsets=offsets, data=data)
+    for arr in (offsets, data):
+        if arr.flags.writeable:
+            arr.flags.writeable = False
+    return LigraPlusGraph(
+        graph=graph, offsets=offsets, data=data,
+        payload_crc=arrays_crc32(data),
+        meta_crc=arrays_crc32(offsets),
+    )
