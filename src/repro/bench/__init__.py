@@ -10,6 +10,8 @@ One module per concern:
   returning structured records.
 * :mod:`repro.bench.report` — plain-text tables and ASCII series that
   mirror the paper's figures.
+* :mod:`repro.bench.trajectory` — the pinned ``repro bench`` workload
+  suite and the ``BENCH_<n>.json`` trajectory it appends to.
 """
 
 from repro.bench.harness import (
@@ -22,8 +24,26 @@ from repro.bench.harness import (
     run_bfs_average,
 )
 from repro.bench.report import ascii_series, format_table
+from repro.bench.trajectory import (
+    BENCH_SCHEMA,
+    BenchConfig,
+    bench_payload,
+    compare_bench,
+    load_bench,
+    next_seq,
+    run_bench_suite,
+    write_bench,
+)
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchConfig",
+    "run_bench_suite",
+    "bench_payload",
+    "next_seq",
+    "write_bench",
+    "load_bench",
+    "compare_bench",
     "SCALED_TITAN_XP",
     "SCALED_V100",
     "SCALED_CPU",

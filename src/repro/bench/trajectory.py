@@ -1,0 +1,262 @@
+"""Continuous benchmark trajectory: ``BENCH_<n>.json`` producer + gate.
+
+Each entry in the trajectory is one run of a **pinned workload suite**
+(BFS / SSSP / PageRank x csr / efg / cgr on a fixed seeded RMAT graph),
+serialised as the full :func:`repro.obs.metrics.run_metrics` payload per
+workload — emulated hardware counters, per-array attribution and
+simulated times included — plus a self-describing ``meta`` block (git
+sha, sequence number, schema versions, suite parameters).
+
+The suite is deterministic end to end: same seed, same graph, same
+traversal order, same counters — so ``repro bench --against`` can gate
+*relative* regressions with an exact zero-delta baseline (the
+comparison reuses :mod:`repro.obs.compare`; any cost-term drift shows
+up as a non-zero delta and a non-zero exit).
+
+File naming: ``BENCH_<n>.json`` where ``n`` continues the highest
+sequence already in the output directory; on an empty directory it
+falls back to the repo's PR count (one ``CHANGES.md`` line per PR), so
+the first bench of PR *n* seeds the trajectory at ``BENCH_<n>.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.compare import Comparison, DeltaRow, flatten_metrics
+from repro.obs.metrics import METRICS_SCHEMA, git_sha
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchConfig",
+    "run_bench_suite",
+    "bench_payload",
+    "next_seq",
+    "bench_path",
+    "write_bench",
+    "load_bench",
+    "compare_bench",
+]
+
+#: Version tag of the bench-trajectory JSON layout.
+BENCH_SCHEMA = "repro.bench/1"
+
+_BENCH_FILE_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Pinned parameters of one bench-suite run.
+
+    The defaults define the canonical CI suite: an RMAT graph small
+    enough to run in seconds, on a device scaled so the graph occupies
+    a realistic fraction of memory.  Changing any default is a
+    trajectory break — old entries stop being comparable — so overrides
+    are for local experiments, not for the committed baseline.
+    """
+
+    rmat_scale: int = 9
+    edge_factor: int = 8
+    seed: int = 3
+    device_scale: float = 2048.0
+    algos: tuple[str, ...] = ("bfs", "sssp", "pagerank")
+    formats: tuple[str, ...] = ("csr", "efg", "cgr")
+
+    def suite_meta(self) -> dict:
+        return {
+            "rmat_scale": self.rmat_scale,
+            "edge_factor": self.edge_factor,
+            "seed": self.seed,
+            "device_scale": self.device_scale,
+            "algos": list(self.algos),
+            "formats": list(self.formats),
+        }
+
+
+def _build_backend(fmt: str, graph, device, weight_bytes: int):
+    from repro.core.efg import efg_encode
+    from repro.formats.cgr import cgr_encode
+    from repro.formats.csr import CSRGraph
+    from repro.traversal.backends import CGRBackend, CSRBackend, EFGBackend
+
+    if fmt == "csr":
+        return CSRBackend(
+            CSRGraph.from_graph(graph), device, weight_bytes=weight_bytes
+        )
+    if fmt == "efg":
+        return EFGBackend(efg_encode(graph), device, weight_bytes=weight_bytes)
+    if fmt == "cgr":
+        return CGRBackend(cgr_encode(graph), device, weight_bytes=weight_bytes)
+    raise ValueError(f"unknown bench format {fmt!r}")
+
+
+def run_bench_suite(
+    config: BenchConfig | None = None,
+) -> dict[str, dict]:
+    """Run the pinned workload suite; return per-workload metrics dumps.
+
+    Keys are ``"<algo>/<fmt>"``; values are full
+    :func:`~repro.obs.metrics.run_metrics` payloads (schema
+    ``repro.metrics/2``), so every trajectory entry carries the whole
+    counter surface, not a digest.
+    """
+    from repro.bench.harness import run_profiled
+    from repro.datasets.rmat import rmat_graph
+    from repro.gpusim.device import TITAN_XP
+
+    config = config or BenchConfig()
+    graph = rmat_graph(
+        scale=config.rmat_scale,
+        edge_factor=config.edge_factor,
+        seed=config.seed,
+    )
+    device = TITAN_XP.scaled(config.device_scale)
+    # Deterministic weights in CSR slot order, shared by every format.
+    rng = np.random.default_rng(config.seed)
+    weights = rng.uniform(0.1, 1.0, graph.num_edges).astype(np.float32)
+    source = int(np.flatnonzero(graph.degrees > 0)[0])
+
+    workloads: dict[str, dict] = {}
+    for algo in config.algos:
+        needs_weights = algo in ("sssp", "delta")
+        for fmt in config.formats:
+            backend = _build_backend(
+                fmt, graph, device,
+                weight_bytes=4 * graph.num_edges if needs_weights else 0,
+            )
+            run = run_profiled(
+                algo,
+                backend,
+                source=source,
+                weights=weights if needs_weights else None,
+                meta={"bench_workload": f"{algo}/{fmt}"},
+            )
+            workloads[f"{algo}/{fmt}"] = run.metrics
+    return workloads
+
+
+def bench_payload(
+    workloads: dict[str, dict], seq: int, config: BenchConfig | None = None
+) -> dict:
+    """Assemble one self-describing trajectory entry."""
+    config = config or BenchConfig()
+    return {
+        "schema": BENCH_SCHEMA,
+        "meta": {
+            "git_sha": git_sha(),
+            "seq": int(seq),
+            "schema_versions": {
+                "bench": BENCH_SCHEMA,
+                "metrics": METRICS_SCHEMA,
+            },
+            "suite": config.suite_meta(),
+        },
+        "workloads": {name: workloads[name] for name in sorted(workloads)},
+    }
+
+
+def next_seq(out_dir: str) -> int:
+    """Next trajectory sequence number for ``out_dir``.
+
+    Continues the highest existing ``BENCH_<n>.json``; with none, falls
+    back to the repo's PR count — the number of non-empty lines in
+    ``CHANGES.md`` (looked up in ``out_dir``, then the cwd) — so the
+    first bench entry of PR *n* is ``BENCH_<n>.json``.  Last resort: 1.
+    """
+    existing = []
+    if os.path.isdir(out_dir):
+        for name in os.listdir(out_dir):
+            match = _BENCH_FILE_RE.match(name)
+            if match:
+                existing.append(int(match.group(1)))
+    if existing:
+        return max(existing) + 1
+    for candidate in (
+        os.path.join(out_dir, "CHANGES.md"),
+        os.path.join(os.getcwd(), "CHANGES.md"),
+    ):
+        try:
+            with open(candidate) as fh:
+                lines = [line for line in fh if line.strip()]
+        except OSError:
+            continue
+        if lines:
+            return len(lines)
+    return 1
+
+
+def bench_path(out_dir: str, seq: int) -> str:
+    return os.path.join(out_dir, f"BENCH_{int(seq)}.json")
+
+
+def write_bench(payload: dict, out_dir: str) -> str:
+    """Write one trajectory entry as canonical JSON; return its path.
+
+    Canonical form (sorted keys, two-space indent, trailing newline)
+    matches :func:`repro.obs.metrics.dump_metrics`, so identical runs
+    produce byte-identical files — the CI determinism gate relies on
+    this.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    path = bench_path(out_dir, payload["meta"]["seq"])
+    with open(path, "w") as fh:
+        json.dump(payload, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_bench(path: str) -> dict:
+    """Load one trajectory entry from a file, or the latest from a dir."""
+    if os.path.isdir(path):
+        entries = sorted(
+            (int(m.group(1)), name)
+            for name in os.listdir(path)
+            if (m := _BENCH_FILE_RE.match(name))
+        )
+        if not entries:
+            raise FileNotFoundError(f"{path}: no BENCH_<n>.json files")
+        path = os.path.join(path, entries[-1][1])
+    with open(path) as fh:
+        payload = json.load(fh)
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {schema!r} != expected {BENCH_SCHEMA!r}"
+        )
+    return payload
+
+
+def compare_bench(
+    baseline: dict, current: dict, threshold: float = 0.0
+) -> Comparison:
+    """Diff two trajectory entries workload by workload.
+
+    Flattens each workload's metrics dump with the same rules as
+    ``repro compare`` (identity sections skipped, numeric leaves only)
+    under a ``workloads.<name>.`` prefix; workloads present on only one
+    side compare against 0.  The returned
+    :class:`~repro.obs.compare.Comparison` applies ``threshold`` as a
+    relative gate, so ``threshold=0`` demands byte-level equality of
+    every counter.
+    """
+    rows: list[DeltaRow] = []
+    names = sorted(
+        set(baseline.get("workloads", {})) | set(current.get("workloads", {}))
+    )
+    for name in names:
+        flat_a = flatten_metrics(baseline.get("workloads", {}).get(name, {}))
+        flat_b = flatten_metrics(current.get("workloads", {}).get(name, {}))
+        for key in sorted(set(flat_a) | set(flat_b)):
+            rows.append(
+                DeltaRow(
+                    key=f"workloads.{name}.{key}",
+                    a=flat_a.get(key, 0.0),
+                    b=flat_b.get(key, 0.0),
+                )
+            )
+    return Comparison(rows=rows, threshold=threshold)

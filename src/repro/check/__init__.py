@@ -22,7 +22,7 @@ keeps the promise honest:
   level (BFS / SSSP / PageRank across backends and vs the sharded
   ``repro.dist`` drivers).
 * :mod:`repro.check.report` — serialises campaign + differential
-  results into the stable ``repro.metrics/1`` JSON layout for CI.
+  results into the stable ``repro.metrics`` JSON layout for CI.
 
 Driven by ``repro check [--fuzz N --seed S]``.
 """

@@ -1,4 +1,4 @@
-"""Serialise check results into the stable ``repro.metrics/1`` layout.
+"""Serialise check results into the stable ``repro.metrics`` layout.
 
 The payload mirrors the shape ``repro profile``/``repro dist`` emit —
 ``schema`` tag, diff-exempt ``meta`` block, flat numeric ``counters``
@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.check.faults import FaultResult
-from repro.obs.metrics import METRICS_SCHEMA
+from repro.obs.metrics import METRICS_SCHEMA, git_sha
 
 __all__ = ["summarize_faults", "check_report"]
 
@@ -65,7 +65,7 @@ def check_report(
     differential: dict | None = None,
     meta: dict | None = None,
 ) -> dict:
-    """Build the full ``repro.metrics/1`` payload for one check run."""
+    """Build the full ``repro.metrics`` payload for one check run."""
     faults = summarize_faults(fault_results)
     counters = dict(faults["counters"])
     gauges = dict(faults["gauges"])
@@ -79,9 +79,14 @@ def check_report(
         gauges["check.differential.disagreements"] = float(
             differential["disagreements"]
         )
+    full_meta = {
+        "git_sha": git_sha(),
+        **(meta or {}),
+        "schema_versions": {"metrics": METRICS_SCHEMA},
+    }
     return {
         "schema": METRICS_SCHEMA,
-        "meta": dict(meta or {}),
+        "meta": dict(sorted(full_meta.items())),
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
         "failures": {

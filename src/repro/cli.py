@@ -27,6 +27,14 @@ Commands
 ``compare <a.json> <b.json> [--threshold PCT]``
     Diff two metrics dumps per kernel and per cost term; exits
     non-zero when any key moved more than the threshold (CI perf gate).
+``bench [--out-dir D] [--against FILE|DIR] [--threshold PCT]``
+    Run the pinned workload suite (BFS/SSSP/PageRank x csr/efg/cgr on
+    a seeded RMAT graph) and append ``BENCH_<n>.json`` — full emulated
+    counters, simulated times, git sha and schema versions — to the
+    bench trajectory.  With ``--against`` the new entry is gated
+    against a baseline entry (or the latest in a directory) and the
+    command exits non-zero on any relative regression past the
+    threshold.
 ``check [graph] [--fuzz N --seed S]``
     Decode-path verification: N seeded fault injections per compressed
     format (classified ok / detected / silent-corruption /
@@ -251,12 +259,69 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     print()
     print(run.report)
+    if args.counters:
+        from repro.obs.counters import counters_report
+
+        print()
+        print(counters_report(backend.engine))
     if args.trace:
         write_perfetto_trace(backend.engine, args.trace)
         print(f"\nwrote Perfetto trace to {args.trace}")
     if args.metrics:
         dump_metrics(run.metrics, args.metrics)
         print(f"wrote metrics to {args.metrics}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.trajectory import (
+        BenchConfig,
+        bench_payload,
+        compare_bench,
+        load_bench,
+        next_seq,
+        run_bench_suite,
+        write_bench,
+    )
+    from repro.obs.compare import format_comparison
+
+    if args.threshold < 0:
+        raise SystemExit(f"--threshold must be >= 0, got {args.threshold}")
+    config = BenchConfig(
+        rmat_scale=args.rmat_scale,
+        edge_factor=args.edge_factor,
+        seed=args.seed,
+        device_scale=args.device_scale,
+    )
+    workloads = run_bench_suite(config)
+    seq = args.seq if args.seq is not None else next_seq(args.out_dir)
+    payload = bench_payload(workloads, seq=seq, config=config)
+    totals = {
+        name: m["totals"]["elapsed_seconds"]
+        for name, m in payload["workloads"].items()
+    }
+    print(f"bench suite: {len(totals)} workloads "
+          f"(rmat scale={config.rmat_scale}, ef={config.edge_factor}, "
+          f"seed={config.seed})")
+    for name in sorted(totals):
+        print(f"  {name:16s} {totals[name] * 1e3:9.4f} ms simulated")
+    if not args.no_write:
+        path = write_bench(payload, args.out_dir)
+        print(f"wrote {path}")
+    if args.against:
+        baseline = load_bench(args.against)
+        cmp = compare_bench(baseline, payload, threshold=args.threshold / 100.0)
+        print(
+            f"\nagainst BENCH_{baseline['meta']['seq']} "
+            f"(git {baseline['meta']['git_sha']}):"
+        )
+        print(format_comparison(cmp))
+        if not cmp.ok:
+            print(
+                f"\nFAIL: {len(cmp.regressions)} key(s) moved more than "
+                f"{args.threshold:.2f}%"
+            )
+            return 1
     return 0
 
 
@@ -524,6 +589,8 @@ def main(argv: list[str] | None = None) -> int:
                    help="shrink the Titan Xp by this factor (default 2048)")
     p.add_argument("--cache-kb", type=int, default=0,
                    help="decoded-list cache budget in KiB (0 = no cache)")
+    p.add_argument("--counters", action="store_true",
+                   help="print the emulated hardware-counter tables")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Perfetto trace (nested spans + counters)")
     p.add_argument("--metrics", metavar="PATH",
@@ -574,6 +641,30 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--threshold", type=float, default=2.0,
                    help="max tolerated relative change in percent (default 2)")
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned workload suite; append to the bench trajectory",
+    )
+    p.add_argument("--out-dir", default=".",
+                   help="directory for BENCH_<n>.json (default cwd)")
+    p.add_argument("--seq", type=int, default=None,
+                   help="force the sequence number (default: next in dir)")
+    p.add_argument("--against", metavar="FILE|DIR",
+                   help="gate against this bench entry (dir = latest entry)")
+    p.add_argument("--threshold", type=float, default=0.0,
+                   help="max tolerated relative change in percent (default 0)")
+    p.add_argument("--no-write", action="store_true",
+                   help="compare only; do not write BENCH_<n>.json")
+    p.add_argument("--rmat-scale", type=int, default=9,
+                   help="log2 |V| of the pinned RMAT graph (default 9)")
+    p.add_argument("--edge-factor", type=int, default=8,
+                   help="edges per vertex of the pinned graph (default 8)")
+    p.add_argument("--seed", type=int, default=3,
+                   help="suite seed (default 3)")
+    p.add_argument("--device-scale", type=float, default=2048,
+                   help="shrink the Titan Xp by this factor (default 2048)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "check",

@@ -16,7 +16,7 @@ each level.
 from __future__ import annotations
 
 from repro.dist.cluster import ShardedCluster
-from repro.obs.metrics import METRICS_SCHEMA
+from repro.obs.metrics import METRICS_SCHEMA, git_sha
 
 __all__ = ["dist_run_metrics", "dist_report"]
 
@@ -85,6 +85,8 @@ def dist_run_metrics(cluster: ShardedCluster, meta: dict | None = None) -> dict:
         "schedule": cluster.schedule,
         "link_bandwidth": cluster.topology.link_bandwidth,
         "contention": cluster.topology.contention,
+        "git_sha": git_sha(),
+        "schema_versions": {"metrics": METRICS_SCHEMA},
     }
     return {
         "schema": METRICS_SCHEMA,

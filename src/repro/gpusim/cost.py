@@ -31,6 +31,7 @@ component is not the bottleneck.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,6 +41,7 @@ from repro.gpusim.memory import MemoryManager, Residency
 
 __all__ = [
     "AccessPattern",
+    "ArrayTraffic",
     "CostParams",
     "KernelCost",
     "CostModel",
@@ -124,6 +126,66 @@ class CostParams:
 
 
 @dataclass
+class ArrayTraffic:
+    """Traffic one kernel generated against one array (or cache tag).
+
+    The emulated-counter analogue of an nvprof per-data-structure row:
+
+    * ``residency`` — ``"device"``, ``"host"`` or ``"cache"``; decides
+      which byte column (and which transfer unit) the traffic landed in.
+    * ``moved_bytes`` — bytes the memory system actually transferred,
+      at sector/cacheline granularity.  Sums over a launch's entries
+      reproduce ``device_bytes`` / ``host_bytes`` / ``cached_bytes``
+      exactly — the attribution invariant the counters module checks.
+    * ``requested_bytes`` — bytes the lanes logically demanded
+      (``count * elem_bytes``).  ``requested / moved`` is the coalescing
+      efficiency; it exceeds 1 when broadcasts or the coalescing window
+      merge many requests into one transfer.
+    * ``sectors`` — transfer units moved (DRAM sectors or PCIe
+      cachelines); the nvprof transaction count.  Cache hits move no
+      sectors.
+    * ``accesses`` — element-level requests issued.
+    """
+
+    residency: str
+    moved_bytes: float = 0.0
+    requested_bytes: float = 0.0
+    sectors: float = 0.0
+    accesses: float = 0.0
+
+    def add(
+        self, moved: float, requested: float, sectors: float, accesses: float
+    ) -> None:
+        self.moved_bytes += moved
+        self.requested_bytes += requested
+        self.sectors += sectors
+        self.accesses += accesses
+
+    def merge(self, other: "ArrayTraffic") -> None:
+        self.add(
+            other.moved_bytes, other.requested_bytes, other.sectors, other.accesses
+        )
+
+    def copy(self) -> "ArrayTraffic":
+        return ArrayTraffic(
+            residency=self.residency,
+            moved_bytes=self.moved_bytes,
+            requested_bytes=self.requested_bytes,
+            sectors=self.sectors,
+            accesses=self.accesses,
+        )
+
+    def to_dict(self) -> dict[str, float | str]:
+        return {
+            "residency": self.residency,
+            "moved_bytes": self.moved_bytes,
+            "requested_bytes": self.requested_bytes,
+            "sectors": self.sectors,
+            "accesses": self.accesses,
+        }
+
+
+@dataclass
 class KernelCost:
     """Accumulated cost of one kernel launch.
 
@@ -131,6 +193,11 @@ class KernelCost:
     in :meth:`CostModel.kernel_seconds` cannot hide behind bandwidth:
     a dependent chain no amount of parallel hardware can shorten
     (e.g. CGR's longest per-list varint chain).
+
+    ``traffic`` carries the per-array attribution of every byte term
+    (keyed by the registered array name, or ``cache:<tag>`` for cached
+    reads); ``active_lanes`` / ``lane_slots`` accumulate the warp
+    occupancy recorded by :meth:`KernelLaunch.warp_occupancy`.
     """
 
     name: str
@@ -141,6 +208,36 @@ class KernelCost:
     floor_seconds: float = 0.0
     launches: int = 1
     breakdown: dict[str, float] = field(default_factory=dict)
+    traffic: dict[str, ArrayTraffic] = field(default_factory=dict)
+    active_lanes: float = 0.0
+    lane_slots: float = 0.0
+
+    @property
+    def warp_efficiency(self) -> float:
+        """Active-lane fraction of the occupied warp slots (1.0 = none)."""
+        if self.lane_slots <= 0:
+            return 1.0
+        return self.active_lanes / self.lane_slots
+
+    def add_traffic(
+        self,
+        array: str,
+        residency: str,
+        moved: float,
+        requested: float,
+        sectors: float,
+        accesses: float,
+    ) -> None:
+        """Accumulate one charge into the per-array attribution table."""
+        entry = self.traffic.get(array)
+        if entry is not None and entry.residency != residency:
+            # Residency changed between launches (re-planned memory):
+            # keep the entries separate so sums stay per-residency exact.
+            array = f"{array}@{residency}"
+            entry = self.traffic.get(array)
+        if entry is None:
+            entry = self.traffic[array] = ArrayTraffic(residency=residency)
+        entry.add(moved, requested, sectors, accesses)
 
     def merge(self, other: "KernelCost") -> None:
         """Fold another launch's cost into this one (for summaries)."""
@@ -150,8 +247,35 @@ class KernelCost:
         self.instructions += other.instructions
         self.floor_seconds += other.floor_seconds
         self.launches += other.launches
+        self.active_lanes += other.active_lanes
+        self.lane_slots += other.lane_slots
         for key, value in other.breakdown.items():
             self.breakdown[key] = self.breakdown.get(key, 0.0) + value
+        for key, entry in other.traffic.items():
+            self.add_traffic(
+                key,
+                entry.residency,
+                entry.moved_bytes,
+                entry.requested_bytes,
+                entry.sectors,
+                entry.accesses,
+            )
+
+    def snapshot(self) -> "KernelCost":
+        """Deep-enough copy for an immutable :class:`LaunchRecord`."""
+        return KernelCost(
+            name=self.name,
+            device_bytes=self.device_bytes,
+            host_bytes=self.host_bytes,
+            cached_bytes=self.cached_bytes,
+            instructions=self.instructions,
+            floor_seconds=self.floor_seconds,
+            launches=self.launches,
+            breakdown=dict(self.breakdown),
+            traffic={key: entry.copy() for key, entry in self.traffic.items()},
+            active_lanes=self.active_lanes,
+            lane_slots=self.lane_slots,
+        )
 
 
 @dataclass
@@ -179,6 +303,12 @@ class CostModel:
             unit = self.device.link_line_bytes
         return float(count * max(elem_bytes, unit))
 
+    def transfer_unit(self, residency: Residency) -> int:
+        """Transfer-unit size for a residency: DRAM sector or PCIe line."""
+        if residency is Residency.DEVICE:
+            return self.device.sector_bytes
+        return self.device.link_line_bytes
+
     def charge(
         self,
         cost: KernelCost,
@@ -195,22 +325,39 @@ class CostModel:
         else:
             cost.host_bytes += nbytes
         cost.breakdown[array] = cost.breakdown.get(array, 0.0) + nbytes
+        unit = self.transfer_unit(residency)
+        cost.add_traffic(
+            array,
+            residency.value,
+            moved=nbytes,
+            requested=float(count * elem_bytes),
+            sectors=float(math.ceil(nbytes / unit)) if nbytes else 0.0,
+            accesses=float(count),
+        )
 
     def charge_stream(
         self, cost: KernelCost, array: str, ids: np.ndarray, elem_bytes: int
     ) -> None:
         """Charge an access stream with measured coalescing."""
         residency = self.memory.residency(array)
-        if residency is Residency.DEVICE:
-            unit = self.device.sector_bytes
-        else:
-            unit = self.device.link_line_bytes
+        unit = self.transfer_unit(residency)
         nbytes = float(stream_transfer_bytes(ids, elem_bytes, unit))
         if residency is Residency.DEVICE:
             cost.device_bytes += nbytes
         else:
             cost.host_bytes += nbytes
         cost.breakdown[array] = cost.breakdown.get(array, 0.0) + nbytes
+        ids = np.asarray(ids)
+        cost.add_traffic(
+            array,
+            residency.value,
+            moved=nbytes,
+            requested=float(ids.size * elem_bytes),
+            # stream_transfer_bytes returns misses * unit, so this is
+            # exactly the miss count — the sectors the stream moved.
+            sectors=nbytes / unit,
+            accesses=float(ids.size),
+        )
 
     def charge_cached(
         self, cost: KernelCost, tag: str, count: int, elem_bytes: int
@@ -230,6 +377,14 @@ class CostModel:
         cost.cached_bytes += nbytes
         key = f"cache:{tag}"
         cost.breakdown[key] = cost.breakdown.get(key, 0.0) + nbytes
+        cost.add_traffic(
+            key,
+            "cache",
+            moved=nbytes,
+            requested=nbytes,
+            sectors=0.0,
+            accesses=float(count),
+        )
 
     def compute_seconds(self, instructions: float) -> float:
         """Instruction time at the effective (derated) issue rate."""

@@ -20,6 +20,7 @@ runs produce identical telemetry.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -102,17 +103,7 @@ class SimEngine:
         # Snapshot the cost so the caller's live record stays untouched
         # by later mutation; the record is the single source of truth
         # for summaries and exporters.
-        cost = kernel.cost
-        snapshot = KernelCost(
-            name=name,
-            device_bytes=cost.device_bytes,
-            host_bytes=cost.host_bytes,
-            cached_bytes=cost.cached_bytes,
-            instructions=cost.instructions,
-            floor_seconds=cost.floor_seconds,
-            launches=cost.launches,
-            breakdown=dict(cost.breakdown),
-        )
+        snapshot = kernel.cost.snapshot()
         self._records.append(LaunchRecord(name, start, seconds, snapshot))
         self._elapsed += seconds
         span.annotate(
@@ -174,14 +165,18 @@ class SimEngine:
     # -- named counters and series (cache hits, frontier sizes, ...) -----
 
     def record_counter(self, name: str, delta: float) -> None:
-        """Accumulate a named event counter on this run's timeline.
+        """Deprecated shim over ``metrics.inc`` — call that instead.
 
-        Compatibility shim over ``metrics.inc``: existing call sites
-        (decoded-list cache hits/misses/evictions, bytes saved) keep
-        working and their counters land in the metrics registry, next
-        to the kernels that produced them in :meth:`profile_report`.
-        Cleared by :meth:`reset_timeline` like the rest of the run state.
+        Kept one release for external callers; internal call sites have
+        migrated to ``engine.metrics.inc``.  Still lands the counter in
+        the registry so behaviour is unchanged apart from the warning.
         """
+        warnings.warn(
+            "SimEngine.record_counter is deprecated; "
+            "use engine.metrics.inc(name, delta) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.metrics.inc(name, delta)
 
     @property
@@ -213,15 +208,23 @@ class SimEngine:
                     "instructions": 0.0,
                     "floor_seconds": 0.0,
                     "seconds": 0.0,
+                    "active_lanes": 0.0,
+                    "lane_slots": 0.0,
                 },
             )
             row["launches"] += rec.cost.launches
+            # The three byte columns are disjoint by construction:
+            # charge/charge_stream land in device_bytes or host_bytes by
+            # residency, charge_cached only in cached_bytes — a cached
+            # read never re-counts as DRAM traffic.
             row["device_bytes"] += rec.cost.device_bytes
             row["host_bytes"] += rec.cost.host_bytes
             row["cached_bytes"] += rec.cost.cached_bytes
             row["instructions"] += rec.cost.instructions
             row["floor_seconds"] += rec.cost.floor_seconds
             row["seconds"] += rec.seconds
+            row["active_lanes"] += rec.cost.active_lanes
+            row["lane_slots"] += rec.cost.lane_slots
         return out
 
     @staticmethod
@@ -232,16 +235,28 @@ class SimEngine:
         return name[: width - 1] + "…"
 
     def profile_report(self) -> str:
-        """nvprof-style text table of where simulated time went."""
+        """nvprof-style text table of where simulated time went.
+
+        The three byte columns are disjoint: DRAM and PCIe bytes come
+        from residency-charged accesses, ``cache MB`` only from
+        :meth:`KernelLaunch.cached_read` hits — a byte appears in
+        exactly one column.
+        """
         summary = self.kernel_summary()
         total = self.elapsed_seconds or 1.0
-        lines = [f"{'kernel':32s} {'time(ms)':>10s} {'%':>6s} {'launches':>9s}"]
+        lines = [
+            f"{'kernel':32s} {'time(ms)':>10s} {'%':>6s} {'launches':>9s} "
+            f"{'dram MB':>9s} {'pcie MB':>9s} {'cache MB':>9s}"
+        ]
         for name, row in sorted(
             summary.items(), key=lambda kv: -kv[1]["seconds"]
         ):
             lines.append(
                 f"{self._fit_name(name)} {row['seconds'] * 1e3:10.3f} "
-                f"{100 * row['seconds'] / total:6.1f} {int(row['launches']):9d}"
+                f"{100 * row['seconds'] / total:6.1f} {int(row['launches']):9d} "
+                f"{row['device_bytes'] / 1e6:9.3f} "
+                f"{row['host_bytes'] / 1e6:9.3f} "
+                f"{row['cached_bytes'] / 1e6:9.3f}"
             )
         counters = self.metrics.counters
         if counters:

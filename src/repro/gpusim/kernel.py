@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.gpusim.cost import AccessPattern, CostModel, KernelCost
 
 __all__ = ["KernelLaunch"]
@@ -72,6 +74,33 @@ class KernelLaunch:
         registered array — cache residency is budgeted separately).
         """
         self.model.charge_cached(self.cost, tag, count, elem_bytes)
+
+    def warp_occupancy(self, list_lengths) -> None:
+        """Record warp divergence from the per-lane work distribution.
+
+        ``list_lengths`` is the work each consecutive lane performs —
+        for expand kernels, the adjacency-list length of each frontier
+        vertex in issue order.  Lanes are grouped into warps of
+        ``warp_width``; a warp runs for as many steps as its *longest*
+        list while shorter lanes idle, so the launch accumulates
+        ``sum(lengths)`` active lanes against
+        ``warp_width * sum(per-warp max)`` occupied lane slots.  The
+        ratio is the emulated ``warp_execution_efficiency`` counter —
+        skewed degree distributions (hub + leaves in one warp) drive it
+        down exactly as on hardware.
+        """
+        lengths = np.asarray(list_lengths, dtype=np.float64).ravel()
+        if lengths.size == 0:
+            return
+        if float(lengths.min()) < 0:
+            raise ValueError("negative list length")
+        width = self.model.params.warp_width
+        pad = (-lengths.size) % width
+        if pad:
+            lengths = np.concatenate([lengths, np.zeros(pad)])
+        per_warp = lengths.reshape(-1, width)
+        self.cost.active_lanes += float(per_warp.sum())
+        self.cost.lane_slots += float(per_warp.max(axis=1).sum() * width)
 
     # -- compute ---------------------------------------------------------
 

@@ -16,10 +16,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-from repro.obs.metrics import METRICS_SCHEMA
+from repro.obs.metrics import SUPPORTED_SCHEMAS
 
-__all__ = ["DeltaRow", "Comparison", "load_metrics", "compare_metrics",
-           "format_comparison"]
+__all__ = ["DeltaRow", "Comparison", "load_metrics", "flatten_metrics",
+           "compare_metrics", "format_comparison"]
 
 #: Sections never diffed: identity, not measurement.
 SKIP_SECTIONS = ("meta", "schema", "device")
@@ -69,13 +69,20 @@ class Comparison:
 
 
 def load_metrics(path: str) -> dict:
-    """Load and schema-check one metrics dump."""
+    """Load and schema-check one metrics dump.
+
+    Accepts every schema in
+    :data:`~repro.obs.metrics.SUPPORTED_SCHEMAS` — ``repro.metrics/2``
+    is a strict superset of ``/1``, so a v1 baseline diffs cleanly
+    against a v2 run on the shared keys (new v2 sections compare
+    against 0 and show up as additions, not errors).
+    """
     with open(path) as fh:
         payload = json.load(fh)
     schema = payload.get("schema")
-    if schema != METRICS_SCHEMA:
+    if schema not in SUPPORTED_SCHEMAS:
         raise ValueError(
-            f"{path}: schema {schema!r} != expected {METRICS_SCHEMA!r}"
+            f"{path}: schema {schema!r} not in supported {SUPPORTED_SCHEMAS!r}"
         )
     return payload
 

@@ -1,0 +1,225 @@
+"""Emulated hardware counters and per-array traffic attribution.
+
+The cost model tags every byte term with the array that generated it
+(:class:`repro.gpusim.cost.ArrayTraffic`); this module is the analysis
+layer that turns those tags into the counter surface an ``nvprof`` /
+``ncu`` run would show:
+
+* :func:`kernel_array_attribution` — the per-kernel x per-array table
+  (the paper's Fig. 1 decomposition: which structure moved how many
+  DRAM vs PCIe sectors);
+* :func:`emulated_counters` — per-kernel derived counters: sectors,
+  transactions, coalescing efficiency (requested vs moved bytes at
+  sector granularity), warp execution efficiency, cache-hit bytes;
+* :func:`verify_attribution` — the exactness invariant: per-array
+  moved bytes sum to each launch's byte columns with no loss and no
+  double count;
+* :func:`top_array` / :func:`arrays_since` — helpers the roofline and
+  the traversal drivers use to label what bound a kernel or a level.
+
+Everything is derived from the immutable launch records, so two runs
+with the same seed produce byte-identical counter tables.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gpusim.cost import ArrayTraffic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.engine import SimEngine
+
+__all__ = [
+    "kernel_array_attribution",
+    "emulated_counters",
+    "verify_attribution",
+    "top_array",
+    "arrays_since",
+    "counters_report",
+]
+
+#: Byte-column each residency's traffic lands in (the disjointness the
+#: attribution invariant checks).
+_RESIDENCY_COLUMN = {
+    "device": "device_bytes",
+    "host": "host_bytes",
+    "cache": "cached_bytes",
+}
+
+
+def kernel_array_attribution(
+    engine: "SimEngine", start: int = 0
+) -> dict[str, dict[str, ArrayTraffic]]:
+    """Per-kernel x per-array traffic table for launches from ``start``.
+
+    Returns ``{kernel_name: {array: ArrayTraffic}}`` aggregated over the
+    timeline slice ``engine.records[start:]``.
+    """
+    out: dict[str, dict[str, ArrayTraffic]] = {}
+    for record in engine.records[start:]:
+        table = out.setdefault(record.name, {})
+        for array, traffic in record.cost.traffic.items():
+            entry = table.get(array)
+            if entry is None:
+                table[array] = traffic.copy()
+            else:
+                entry.merge(traffic)
+    return out
+
+
+def emulated_counters(
+    engine: "SimEngine", start: int = 0
+) -> dict[str, dict[str, float]]:
+    """nvprof-style derived counters per kernel name.
+
+    * ``dram_bytes`` / ``pcie_bytes`` / ``cache_hit_bytes`` — moved
+      bytes per residency (sum exactly to the launch byte columns);
+    * ``dram_sectors`` / ``pcie_sectors`` — transfer units moved (the
+      transaction counts, at 32 B sector / 128 B cacheline granularity);
+    * ``dram_requested_bytes`` / ``pcie_requested_bytes`` — bytes the
+      lanes logically demanded;
+    * ``coalescing_efficiency`` — requested / moved over DRAM + PCIe;
+      > 1 when broadcasts or the coalescing window merged requests;
+    * ``warp_efficiency`` — active-lane fraction recorded via
+      :meth:`~repro.gpusim.kernel.KernelLaunch.warp_occupancy` (1.0
+      when the kernel recorded no per-lane work distribution).
+    """
+    out: dict[str, dict[str, float]] = {}
+    lanes: dict[str, list[float]] = {}
+    for record in engine.records[start:]:
+        row = out.setdefault(
+            record.name,
+            {
+                "dram_bytes": 0.0,
+                "dram_sectors": 0.0,
+                "dram_requested_bytes": 0.0,
+                "pcie_bytes": 0.0,
+                "pcie_sectors": 0.0,
+                "pcie_requested_bytes": 0.0,
+                "cache_hit_bytes": 0.0,
+            },
+        )
+        active, slots = lanes.setdefault(record.name, [0.0, 0.0])
+        lanes[record.name] = [
+            active + record.cost.active_lanes,
+            slots + record.cost.lane_slots,
+        ]
+        for traffic in record.cost.traffic.values():
+            if traffic.residency == "device":
+                row["dram_bytes"] += traffic.moved_bytes
+                row["dram_sectors"] += traffic.sectors
+                row["dram_requested_bytes"] += traffic.requested_bytes
+            elif traffic.residency == "host":
+                row["pcie_bytes"] += traffic.moved_bytes
+                row["pcie_sectors"] += traffic.sectors
+                row["pcie_requested_bytes"] += traffic.requested_bytes
+            else:
+                row["cache_hit_bytes"] += traffic.moved_bytes
+    for name, row in out.items():
+        moved = row["dram_bytes"] + row["pcie_bytes"]
+        requested = row["dram_requested_bytes"] + row["pcie_requested_bytes"]
+        row["coalescing_efficiency"] = requested / moved if moved else 1.0
+        active, slots = lanes[name]
+        row["warp_efficiency"] = active / slots if slots else 1.0
+    return out
+
+
+def verify_attribution(engine: "SimEngine") -> None:
+    """Assert per-array bytes sum exactly to every launch's byte terms.
+
+    Exact equality is safe: every charge path records integer-valued
+    byte amounts, so the sums are float-exact.  Raises
+    ``AssertionError`` naming the first launch that loses or
+    double-counts a byte.
+    """
+    for index, record in enumerate(engine.records):
+        sums = {"device_bytes": 0.0, "host_bytes": 0.0, "cached_bytes": 0.0}
+        for traffic in record.cost.traffic.values():
+            column = _RESIDENCY_COLUMN[traffic.residency]
+            sums[column] += traffic.moved_bytes
+        for column, total in sums.items():
+            recorded = getattr(record.cost, column)
+            if total != recorded:
+                raise AssertionError(
+                    f"launch {index} ({record.name}): attributed {column} "
+                    f"{total} != recorded {recorded}"
+                )
+
+
+def top_array(
+    table: dict[str, ArrayTraffic], residency: str | None = None
+) -> str:
+    """Name of the array that moved the most bytes (optionally filtered).
+
+    Ties break alphabetically so the answer is deterministic; returns
+    ``""`` when nothing matches.
+    """
+    best = ""
+    best_bytes = -1.0
+    for array in sorted(table):
+        traffic = table[array]
+        if residency is not None and traffic.residency != residency:
+            continue
+        if traffic.moved_bytes > best_bytes:
+            best, best_bytes = array, traffic.moved_bytes
+    return best
+
+
+def arrays_since(engine: "SimEngine", start: int) -> dict[str, object]:
+    """Span annotations for the launches recorded since ``start``.
+
+    Traversal drivers call this at the end of each level span with the
+    ``engine.num_launches`` captured before the level ran; the returned
+    ``arrays`` dict (array -> moved bytes) and ``top_array`` land as
+    span attributes, giving the per-level story its array axis.
+    """
+    totals: dict[str, float] = {}
+    merged: dict[str, ArrayTraffic] = {}
+    for table in kernel_array_attribution(engine, start).values():
+        for array, traffic in table.items():
+            totals[array] = totals.get(array, 0.0) + traffic.moved_bytes
+            entry = merged.get(array)
+            if entry is None:
+                merged[array] = traffic.copy()
+            else:
+                entry.merge(traffic)
+    return {
+        "arrays": dict(sorted(totals.items())),
+        "top_array": top_array(merged),
+    }
+
+
+def counters_report(engine: "SimEngine") -> str:
+    """Text table of the emulated counters and the attribution split."""
+    counters = emulated_counters(engine)
+    attribution = kernel_array_attribution(engine)
+    lines = [
+        f"{'kernel':24s} {'dram MB':>9s} {'sectors':>10s} {'pcie MB':>9s} "
+        f"{'lines':>8s} {'cache MB':>9s} {'coal':>6s} {'warp':>6s}"
+    ]
+    for name in sorted(counters):
+        row = counters[name]
+        lines.append(
+            f"{name[:24]:24s} {row['dram_bytes'] / 1e6:9.3f} "
+            f"{int(row['dram_sectors']):10d} "
+            f"{row['pcie_bytes'] / 1e6:9.3f} {int(row['pcie_sectors']):8d} "
+            f"{row['cache_hit_bytes'] / 1e6:9.3f} "
+            f"{row['coalescing_efficiency']:6.2f} "
+            f"{row['warp_efficiency']:6.2f}"
+        )
+    lines.append(
+        f"{'kernel / array':36s} {'res':>6s} {'moved MB':>9s} "
+        f"{'req MB':>9s} {'sectors':>10s}"
+    )
+    for name in sorted(attribution):
+        for array in sorted(attribution[name]):
+            traffic = attribution[name][array]
+            lines.append(
+                f"{(name + ' / ' + array)[:36]:36s} "
+                f"{traffic.residency:>6s} "
+                f"{traffic.moved_bytes / 1e6:9.3f} "
+                f"{traffic.requested_bytes / 1e6:9.3f} "
+                f"{int(traffic.sectors):10d}"
+            )
+    return "\n".join(lines)

@@ -89,7 +89,11 @@ def counter_events(engine: "SimEngine") -> list[dict]:
       size, cache hit rate, ...) becomes its own counter track;
     * ``cumulative_bytes`` is derived from the launch records — total
       device+host bytes moved, sampled at each launch completion — so
-      any run with at least one launch gets at least one counter track.
+      any run with at least one launch gets at least one counter track;
+    * one ``bytes:<array>`` track per attributed array (cumulative
+      moved bytes, sampled when a launch touched that array) — the
+      per-data-structure traffic curves behind the paper's Fig. 1
+      regions.
     """
     events: list[dict] = []
 
@@ -109,9 +113,16 @@ def counter_events(engine: "SimEngine") -> list[dict]:
         for t_s, value in series:
             emit(name, t_s, value)
     cumulative = 0.0
+    per_array: dict[str, float] = {}
     for record in engine.records:
         cumulative += record.cost.device_bytes + record.cost.host_bytes
-        emit("cumulative_bytes", record.start_s + record.seconds, cumulative)
+        end = record.start_s + record.seconds
+        emit("cumulative_bytes", end, cumulative)
+        for array in sorted(record.cost.traffic):
+            traffic = record.cost.traffic[array]
+            total = per_array.get(array, 0.0) + traffic.moved_bytes
+            per_array[array] = total
+            emit(f"bytes:{array}", end, total)
     return events
 
 

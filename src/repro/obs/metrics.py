@@ -16,8 +16,10 @@ byte-identical dumps (no wall-clock anywhere), which is what lets
 
 from __future__ import annotations
 
+import functools
 import json
 import math
+import subprocess
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -25,16 +27,48 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 __all__ = [
     "METRICS_SCHEMA",
+    "SUPPORTED_SCHEMAS",
     "Histogram",
     "MetricsRegistry",
     "bytes_per_edge",
+    "git_sha",
     "run_metrics",
     "dump_metrics",
 ]
 
 #: Version tag of the metrics JSON layout.  Bump on breaking changes;
-#: ``repro compare`` refuses to diff dumps with different schemas.
-METRICS_SCHEMA = "repro.metrics/1"
+#: ``repro compare`` refuses to diff dumps with unknown schemas.
+#: ``/2`` adds per-array attribution (``arrays``), emulated hardware
+#: counters (``hw_counters``), sector totals, ``bound_array`` roofline
+#: labels, and self-describing ``meta.git_sha`` / ``meta.schema_versions``
+#: stamps.  ``/1`` dumps remain readable (see :data:`SUPPORTED_SCHEMAS`).
+METRICS_SCHEMA = "repro.metrics/2"
+
+#: Schemas the readers (``load_metrics`` / ``repro compare``) accept.
+#: ``/2`` is a superset of ``/1`` — every v1 key survives unchanged —
+#: so old dumps stay loadable and comparable key-by-key.
+SUPPORTED_SCHEMAS = ("repro.metrics/1", "repro.metrics/2")
+
+
+@functools.lru_cache(maxsize=1)
+def git_sha() -> str:
+    """Current repository commit (short), or ``"unknown"`` outside git.
+
+    Cached for the process lifetime: the working tree cannot change
+    mid-run, and caching keeps repeated :func:`run_metrics` calls in
+    one process byte-identical and subprocess-free.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
 
 
 class Histogram:
@@ -123,13 +157,17 @@ def run_metrics(engine: "SimEngine", meta: dict | None = None) -> dict:
     """Serialise one finished run to the stable metrics schema.
 
     ``meta`` entries (algorithm name, graph, format, ...) land under
-    ``"meta"`` and are reported but never diffed by ``repro compare``.
-    Everything else — totals, per-kernel rows, registry contents,
-    roofline — is numeric and comparable.
+    ``"meta"`` and are reported but never diffed by ``repro compare``;
+    ``meta.git_sha`` and ``meta.schema_versions`` are stamped
+    automatically so every dump is self-describing.  Everything else —
+    totals, per-kernel rows, registry contents, per-array attribution,
+    emulated hardware counters, roofline — is numeric and comparable.
     """
+    from repro.obs.counters import emulated_counters, kernel_array_attribution
     from repro.obs.roofline import kernel_rooflines
 
     summary = engine.kernel_summary()
+    hw_counters = emulated_counters(engine)
     totals = {
         "elapsed_seconds": engine.elapsed_seconds,
         "launches": float(engine.num_launches),
@@ -137,6 +175,8 @@ def run_metrics(engine: "SimEngine", meta: dict | None = None) -> dict:
         "host_bytes": sum(r["host_bytes"] for r in summary.values()),
         "cached_bytes": sum(r["cached_bytes"] for r in summary.values()),
         "instructions": sum(r["instructions"] for r in summary.values()),
+        "dram_sectors": sum(r["dram_sectors"] for r in hw_counters.values()),
+        "pcie_sectors": sum(r["pcie_sectors"] for r in hw_counters.values()),
     }
     roofline = {
         r.name: {
@@ -146,12 +186,22 @@ def run_metrics(engine: "SimEngine", meta: dict | None = None) -> dict:
             "link_frac_of_peak": r.link_frac,
             "compute_frac_of_peak": r.compute_frac,
             "bound": r.bound,
+            "bound_array": r.bound_array,
         }
         for r in kernel_rooflines(engine)
     }
+    # Per-kernel x per-array traffic, keyed "kernel/array" so the flat
+    # dotted-key diff in repro compare addresses each cell directly.
+    arrays = {
+        f"{kernel}/{array}": traffic.to_dict()
+        for kernel, table in sorted(kernel_array_attribution(engine).items())
+        for array, traffic in sorted(table.items())
+    }
+    full_meta = {"git_sha": git_sha(), **(meta or {})}
+    full_meta["schema_versions"] = {"metrics": METRICS_SCHEMA}
     payload = {
         "schema": METRICS_SCHEMA,
-        "meta": dict(sorted((meta or {}).items())),
+        "meta": dict(sorted(full_meta.items())),
         "device": {
             "name": engine.device.name,
             "dram_bandwidth": engine.device.dram_bandwidth,
@@ -162,6 +212,11 @@ def run_metrics(engine: "SimEngine", meta: dict | None = None) -> dict:
         "kernels": {name: dict(sorted(row.items()))
                     for name, row in sorted(summary.items())},
         **engine.metrics.to_dict(),
+        "arrays": arrays,
+        "hw_counters": {
+            name: dict(sorted(row.items()))
+            for name, row in sorted(hw_counters.items())
+        },
         "roofline": roofline,
     }
     return payload

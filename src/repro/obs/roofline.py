@@ -79,6 +79,13 @@ class KernelRoofline:
     link_frac: float = 0.0
     compute_frac: float = 0.0
 
+    #: Array that dominated the binding byte term (per-array traffic
+    #: attribution): for a ``pcie``-bound kernel, the host-resident
+    #: array whose cachelines bind it; for ``memory``/``cache`` bounds
+    #: likewise per residency; otherwise the top array overall.  Empty
+    #: when the kernel recorded no attributed traffic.
+    bound_array: str = ""
+
 
 @dataclass(frozen=True)
 class LevelRoofline:
@@ -148,9 +155,33 @@ def _analyze(
     )
 
 
+#: Which traffic residency a bound label points at, for bound_array.
+_BOUND_RESIDENCY = {"memory": "device", "pcie": "host", "cache": "cache"}
+
+
+def _bound_array(
+    attribution: dict[str, dict], name: str, bound: str
+) -> str:
+    """Array responsible for the binding byte term of kernel ``name``."""
+    from repro.obs.counters import top_array
+
+    table = attribution.get(name, {})
+    residency = _BOUND_RESIDENCY.get(bound)
+    if residency is not None:
+        picked = top_array(table, residency)
+        if picked:
+            return picked
+    # compute/latency/overhead bound (or nothing moved in the binding
+    # residency): report the heaviest array overall for context.
+    return top_array(table)
+
+
 def kernel_rooflines(engine: "SimEngine") -> list[KernelRoofline]:
     """Per-kernel utilization rows, sorted by descending time."""
+    from repro.obs.counters import kernel_array_attribution
+
     dev = engine.device
+    attribution = kernel_array_attribution(engine)
     out: list[KernelRoofline] = []
     for name, row in engine.kernel_summary().items():
         (bound, dram_t, link_t, cache_t, compute_t, overhead_t,
@@ -193,6 +224,7 @@ def kernel_rooflines(engine: "SimEngine") -> list[KernelRoofline]:
                     row["instructions"] / seconds / effective_issue
                     if seconds > 0 else 0.0
                 ),
+                bound_array=_bound_array(attribution, name, bound),
             )
         )
     out.sort(key=lambda r: (-r.seconds, r.name))
@@ -251,6 +283,7 @@ def roofline_report(engine: "SimEngine", max_levels: int = 40) -> str:
         f"link {dev.link_bandwidth / 1e9:.1f} GB/s, "
         f"issue {dev.instruction_throughput * engine.params.simt_efficiency / 1e9:.1f} Ginstr/s (derated)",
         f"{'kernel':24s} {'time(ms)':>9s} {'%':>5s} {'bound':>8s} "
+        f"{'by array':>14s} "
         f"{'DRAM GB/s':>10s} {'%pk':>5s} {'PCIe GB/s':>10s} {'%pk':>5s} "
         f"{'Ginstr/s':>9s} {'%pk':>5s}",
     ]
@@ -258,6 +291,7 @@ def roofline_report(engine: "SimEngine", max_levels: int = 40) -> str:
         lines.append(
             f"{_fmt_name(r.name, 24)} {r.seconds * 1e3:9.3f} "
             f"{100 * r.seconds / total:5.1f} {r.bound:>8s} "
+            f"{_fmt_name(r.bound_array or '-', 14).strip():>14s} "
             f"{r.achieved_dram_bw / 1e9:10.2f} {100 * r.dram_frac:5.1f} "
             f"{r.achieved_link_bw / 1e9:10.2f} {100 * r.link_frac:5.1f} "
             f"{r.achieved_instr_rate / 1e9:9.2f} {100 * r.compute_frac:5.1f}"
@@ -267,17 +301,20 @@ def roofline_report(engine: "SimEngine", max_levels: int = 40) -> str:
         lines.append("")
         lines.append(
             f"{'level':24s} {'time(ms)':>9s} {'bound':>8s} {'launches':>8s} "
-            f"{'MB moved':>9s} {'frontier':>9s} {'edges':>10s}"
+            f"{'MB moved':>9s} {'frontier':>9s} {'edges':>10s} "
+            f"{'top array':>14s}"
         )
         shown = levels[:max_levels]
         for lv in shown:
             moved = (lv.device_bytes + lv.host_bytes) / 1e6
             frontier = lv.attrs.get("frontier_size", "")
             edges = lv.attrs.get("edges_expanded", "")
+            top = lv.attrs.get("top_array", "") or "-"
             lines.append(
                 f"{_fmt_name(f'{lv.algorithm}/{lv.name}', 24)} "
                 f"{lv.seconds * 1e3:9.3f} {lv.bound:>8s} {lv.launches:8d} "
-                f"{moved:9.3f} {frontier!s:>9s} {edges!s:>10s}"
+                f"{moved:9.3f} {frontier!s:>9s} {edges!s:>10s} "
+                f"{_fmt_name(str(top), 14).strip():>14s}"
             )
         if len(levels) > len(shown):
             lines.append(f"... {len(levels) - len(shown)} more levels")

@@ -205,9 +205,9 @@ class GraphBackend(abc.ABC):
             )
 
         engine = self.engine
-        engine.record_counter("listcache:hits", int(hit_pos.size))
-        engine.record_counter("listcache:misses", int(miss_pos.size))
-        engine.record_counter(
+        engine.metrics.inc("listcache:hits", int(hit_pos.size))
+        engine.metrics.inc("listcache:misses", int(miss_pos.size))
+        engine.metrics.inc(
             "listcache:evictions", cache.stats.evictions - evictions_before
         )
         # Running hit rate as a time series — becomes a Perfetto counter
@@ -239,7 +239,7 @@ class GraphBackend(abc.ABC):
         stats.hit_edges += num_edges
         stats.bytes_saved += saved_bytes
         stats.instr_saved += saved_instr
-        self.engine.record_counter("listcache:bytes_saved", saved_bytes)
+        self.engine.metrics.inc("listcache:bytes_saved", saved_bytes)
 
     @abc.abstractmethod
     def _decode(self, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -279,6 +279,9 @@ class GraphBackend(abc.ABC):
             (BASE_INSTR_PER_EDGE + self._decode_instr_per_edge())
             * float(scanned.sum())
         )
+        # Divergence from the *scanned* distribution: a lane that exits
+        # after one probe idles while its warp's deepest scan finishes.
+        kernel.warp_occupancy(scanned)
 
     def _decode_instr_per_edge(self) -> float:
         """Extra decode instructions per edge for this format."""
@@ -367,6 +370,7 @@ class CSRBackend(GraphBackend):
         kernel.read_stream("vlist", frontier, 8)
         kernel.read_stream("elist", edge_idx, 4)
         kernel.instructions(BASE_INSTR_PER_EDGE * nbrs.shape[0])
+        kernel.warp_occupancy(self.degrees[frontier])
 
 
 @dataclass(init=False)
@@ -430,6 +434,9 @@ class EFGBackend(GraphBackend):
         kernel.instructions(
             (BASE_INSTR_PER_EDGE + EFG_DECODE_INSTR_PER_EDGE) * nbrs.shape[0]
         )
+        # Lane-per-list decode: warp runtime is the longest list in the
+        # warp, so skewed degrees in one warp show up as divergence.
+        kernel.warp_occupancy(self.degrees[frontier])
 
 
 @dataclass(init=False)
@@ -496,6 +503,8 @@ class CGRBackend(GraphBackend):
         if steps.size:
             kernel.serial_floor(CGR_DEP_LATENCY_CYCLES * float(steps.max()))
         kernel.instructions(BASE_INSTR_PER_EDGE * nbrs.shape[0])
+        # One lane walks each chain; divergence follows chain lengths.
+        kernel.warp_occupancy(steps)
 
 
 @dataclass(init=False)
@@ -555,3 +564,6 @@ class LigraBackend(GraphBackend):
         kernel.read_stream("lg_data", payload_idx, 1)
         kernel.serial_work(LIGRA_CYCLES_PER_BYTE * float(list_bytes.sum()))
         kernel.instructions(BASE_INSTR_PER_EDGE * nbrs.shape[0])
+        # warp_width is 1 on the CPU device, so this records full
+        # efficiency — divergence is a SIMT-only effect.
+        kernel.warp_occupancy(list_bytes)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.frontier import Frontier
+from repro.obs.counters import arrays_since
 from repro.obs.metrics import bytes_per_edge
 from repro.primitives.compact import atomic_or_claim
 from repro.traversal.backends import GraphBackend
@@ -101,6 +102,7 @@ def bfs(
     while not frontier.is_empty and depth < cap:
         engine.metrics.observe("bfs.frontier_size", len(frontier))
         engine.sample("frontier_size", len(frontier))
+        level_start = engine.num_launches
         with engine.span(
             f"level:{depth}", "level", level=depth, frontier_size=len(frontier)
         ) as sp:
@@ -142,6 +144,7 @@ def bfs(
             sp.annotate(
                 edges_expanded=int(nbrs.shape[0]),
                 claimed=int(next_vertices.shape[0]),
+                **arrays_since(engine, level_start),
             )
     engine.metrics.set_gauge(
         "bfs.bytes_per_edge", bytes_per_edge(engine, edges_traversed)

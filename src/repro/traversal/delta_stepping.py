@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.counters import arrays_since
 from repro.obs.metrics import bytes_per_edge
 from repro.traversal.backends import GraphBackend
 
@@ -159,6 +160,7 @@ def delta_stepping_sssp(
             continue
         engine.metrics.observe("delta_stepping.bucket_size", in_bucket.size)
         engine.sample("frontier_size", in_bucket.size)
+        level_start = engine.num_launches
         with engine.span(
             f"bucket:{current}", "level",
             level=current, frontier_size=int(in_bucket.size),
@@ -181,6 +183,7 @@ def delta_stepping_sssp(
             sp.annotate(
                 light_phases=light_phases - phases_before,
                 edges_expanded=edges_relaxed - edges_before,
+                **arrays_since(engine, level_start),
             )
     engine.metrics.set_gauge(
         "delta_stepping.bytes_per_edge", bytes_per_edge(engine, edges_relaxed)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.counters import arrays_since
 from repro.primitives.compact import atomic_or_claim
 from repro.traversal.backends import GraphBackend
 
@@ -107,6 +108,7 @@ def bfs_direction_optimizing(
         engine.metrics.observe("dobfs.frontier_size", frontier.size)
         engine.metrics.inc(f"dobfs.levels_{direction}")
         engine.sample("frontier_size", frontier.size)
+        level_start = engine.num_launches
         with engine.span(
             f"level:{depth}", "level",
             level=depth, frontier_size=int(frontier.size), direction=direction,
@@ -141,7 +143,10 @@ def bfs_direction_optimizing(
             depth += 1
             levels[next_vertices] = depth
             frontier = next_vertices
-            sp.annotate(claimed=int(next_vertices.shape[0]))
+            sp.annotate(
+                claimed=int(next_vertices.shape[0]),
+                **arrays_since(engine, level_start),
+            )
     engine.tracer.close(engine.elapsed_seconds)
 
     return DirectionOptimizingResult(

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.listcache import CacheStats
+from repro.obs.counters import arrays_since
 from repro.obs.metrics import bytes_per_edge
 from repro.primitives.bitops import popcount_u64
 from repro.traversal.backends import GraphBackend
@@ -171,6 +172,7 @@ def msbfs(
         engine.metrics.observe("msbfs.union_frontier_size", active.size)
         engine.sample("frontier_size", active.size)
 
+        level_start = engine.num_launches
         with engine.span(
             f"level:{depth}", "level",
             level=depth, frontier_size=int(active.size),
@@ -213,6 +215,7 @@ def msbfs(
                 edges_expanded=int(nbrs.shape[0]),
                 source_edges=level_edges,
                 claimed=int(changed.shape[0]),
+                **arrays_since(engine, level_start),
             )
     engine.metrics.set_gauge(
         "msbfs.bytes_per_edge", bytes_per_edge(engine, edges_traversed)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.counters import arrays_since
 from repro.obs.metrics import bytes_per_edge
 from repro.traversal.backends import GraphBackend
 
@@ -79,6 +80,7 @@ def pagerank(
     )
     it = 0
     for it in range(1, max_iterations + 1):
+        level_start = engine.num_launches
         with engine.span(f"iteration:{it}", "level", level=it) as sp:
             with engine.launch("pr_push") as k:
                 if cached is None:
@@ -109,7 +111,9 @@ def pagerank(
                 k.write("work:rank2", nv, 4)
                 k.instructions(4.0 * nv)
             sp.annotate(
-                edges_expanded=int(nbrs.shape[0]), rank_delta=delta
+                edges_expanded=int(nbrs.shape[0]),
+                rank_delta=delta,
+                **arrays_since(engine, level_start),
             )
             engine.sample("rank_delta", delta)
         if delta < tolerance:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.counters import arrays_since
 from repro.obs.metrics import bytes_per_edge
 from repro.primitives.compact import scatter_bitmap_to_indices
 from repro.traversal.backends import GraphBackend
@@ -84,6 +85,7 @@ def sssp(
     while frontier.size and iterations < cap:
         engine.metrics.observe("sssp.frontier_size", frontier.size)
         engine.sample("frontier_size", frontier.size)
+        level_start = engine.num_launches
         with engine.span(
             f"iteration:{iterations}", "level",
             level=iterations, frontier_size=int(frontier.size),
@@ -119,7 +121,9 @@ def sssp(
                 k.instructions(float(nv))
             iterations += 1
             sp.annotate(
-                edges_expanded=int(nbrs.shape[0]), improved=improved_count
+                edges_expanded=int(nbrs.shape[0]),
+                improved=improved_count,
+                **arrays_since(engine, level_start),
             )
     engine.metrics.set_gauge(
         "sssp.bytes_per_edge", bytes_per_edge(engine, edges_relaxed)

@@ -1,0 +1,147 @@
+"""Tests for the pinned bench suite and the BENCH_<n>.json trajectory."""
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    BENCH_SCHEMA,
+    BenchConfig,
+    bench_payload,
+    compare_bench,
+    load_bench,
+    next_seq,
+    run_bench_suite,
+    write_bench,
+)
+
+# One shrunk suite per module: the real pinned config is exercised by
+# the CLI smoke in CI; these tests only need the machinery.
+SMALL = BenchConfig(rmat_scale=7, edge_factor=4, seed=3)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return run_bench_suite(SMALL)
+
+
+@pytest.fixture(scope="module")
+def payload(workloads):
+    return bench_payload(workloads, seq=1, config=SMALL)
+
+
+class TestSuite:
+    def test_all_nine_workloads(self, workloads):
+        assert sorted(workloads) == sorted(
+            f"{algo}/{fmt}"
+            for algo in ("bfs", "sssp", "pagerank")
+            for fmt in ("csr", "efg", "cgr")
+        )
+
+    def test_workloads_are_full_metrics_dumps(self, workloads):
+        for name, metrics in workloads.items():
+            assert metrics["schema"] == "repro.metrics/2"
+            assert metrics["meta"]["bench_workload"] == name
+            assert metrics["totals"]["elapsed_seconds"] > 0
+            assert metrics["arrays"]
+            assert metrics["hw_counters"]
+
+    def test_suite_deterministic(self, workloads):
+        again = run_bench_suite(SMALL)
+        assert json.dumps(workloads, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+
+class TestPayload:
+    def test_meta_block(self, payload):
+        assert payload["schema"] == BENCH_SCHEMA
+        meta = payload["meta"]
+        assert meta["seq"] == 1
+        assert meta["git_sha"]
+        assert meta["schema_versions"] == {
+            "bench": BENCH_SCHEMA,
+            "metrics": "repro.metrics/2",
+        }
+        assert meta["suite"]["rmat_scale"] == SMALL.rmat_scale
+
+    def test_write_load_roundtrip(self, payload, tmp_path):
+        path = write_bench(payload, str(tmp_path))
+        assert path.endswith("BENCH_1.json")
+        assert load_bench(path) == payload
+        # A directory resolves to its highest-sequence entry.
+        write_bench(bench_payload({}, seq=3, config=SMALL), str(tmp_path))
+        assert load_bench(str(tmp_path))["meta"]["seq"] == 3
+
+    def test_write_is_byte_deterministic(self, payload, tmp_path):
+        a = write_bench(payload, str(tmp_path / "a"))
+        b = write_bench(payload, str(tmp_path / "b"))
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "BENCH_9.json"
+        bad.write_text(json.dumps({"schema": "other/9"}))
+        with pytest.raises(ValueError, match="other/9"):
+            load_bench(str(bad))
+
+    def test_load_rejects_empty_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_bench(str(tmp_path))
+
+
+class TestNextSeq:
+    def test_continues_highest(self, payload, tmp_path):
+        write_bench(bench_payload({}, seq=4, config=SMALL), str(tmp_path))
+        write_bench(bench_payload({}, seq=11, config=SMALL), str(tmp_path))
+        assert next_seq(str(tmp_path)) == 12
+
+    def test_changes_md_fallback(self, tmp_path):
+        (tmp_path / "CHANGES.md").write_text("PR 1: a\nPR 2: b\n\n")
+        assert next_seq(str(tmp_path)) == 2
+
+    def test_last_resort_is_one(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert next_seq(str(tmp_path / "missing")) == 1
+
+
+class TestCompare:
+    def test_self_compare_zero_deltas(self, payload):
+        cmp = compare_bench(payload, payload)
+        assert cmp.ok
+        assert not cmp.changed
+        assert cmp.rows  # nine workloads' worth of keys
+
+    def test_keys_carry_workload_prefix(self, payload):
+        cmp = compare_bench(payload, payload)
+        assert all(r.key.startswith("workloads.") for r in cmp.rows)
+        assert any("bfs/efg" in r.key for r in cmp.rows)
+
+    def test_perturbed_cost_term_rejected(self, payload):
+        tampered = json.loads(json.dumps(payload))
+        row = tampered["workloads"]["bfs/efg"]["totals"]
+        row["device_bytes"] += 64.0
+        cmp = compare_bench(payload, tampered)
+        assert not cmp.ok
+        keys = [r.key for r in cmp.regressions]
+        assert "workloads.bfs/efg.totals.device_bytes" in keys
+
+    def test_meta_differences_ignored(self, payload):
+        other = json.loads(json.dumps(payload))
+        other["meta"]["git_sha"] = "different"
+        for metrics in other["workloads"].values():
+            metrics["meta"]["git_sha"] = "different"
+        assert compare_bench(payload, other).ok
+
+    def test_missing_workload_compares_against_zero(self, payload):
+        partial = json.loads(json.dumps(payload))
+        del partial["workloads"]["pagerank/cgr"]
+        cmp = compare_bench(payload, partial)
+        assert not cmp.ok
+        assert any("pagerank/cgr" in r.key for r in cmp.regressions)
+
+    def test_threshold_tolerates_small_drift(self, payload):
+        drifted = json.loads(json.dumps(payload))
+        row = drifted["workloads"]["bfs/csr"]["totals"]
+        row["elapsed_seconds"] *= 1.005
+        assert not compare_bench(payload, drifted, threshold=0.0).ok
+        assert compare_bench(payload, drifted, threshold=0.01).ok

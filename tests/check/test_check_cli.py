@@ -39,7 +39,7 @@ class TestCheckCommand:
              "--metrics", str(metrics)]
         ) == 0
         payload = json.loads(metrics.read_text())
-        assert payload["schema"] == "repro.metrics/1"
+        assert payload["schema"] == "repro.metrics/2"
         assert payload["failures"]["silent_corruption"] == 0
         assert payload["failures"]["foreign_exceptions"] == 0
         assert payload["gauges"]["check.differential.disagreements"] == 0.0

@@ -102,7 +102,7 @@ class TestReport:
 
     def test_report_schema_and_failures(self, campaign):
         report = check_report(campaign, meta={"suite": "unit"})
-        assert report["schema"] == "repro.metrics/1"
+        assert report["schema"] == "repro.metrics/2"
         assert report["failures"] == {
             "silent_corruption": 0,
             "foreign_exceptions": 0,

@@ -161,24 +161,105 @@ class TestCachedAndBitmaskHooks:
 
 class TestCounters:
     def test_record_and_read(self, engine):
-        engine.record_counter("listcache:hits", 3)
-        engine.record_counter("listcache:hits", 2)
+        engine.metrics.inc("listcache:hits", 3)
+        engine.metrics.inc("listcache:hits", 2)
         assert engine.counters["listcache:hits"] == 5
 
     def test_counters_property_is_a_copy(self, engine):
-        engine.record_counter("x", 1)
+        engine.metrics.inc("x", 1)
         engine.counters["x"] = 99
         assert engine.counters["x"] == 1
 
     def test_reset_clears_counters(self, engine):
-        engine.record_counter("x", 1)
+        engine.metrics.inc("x", 1)
         engine.reset_timeline()
         assert engine.counters == {}
 
     def test_profile_report_lists_counters(self, engine):
         with engine.launch("k") as k:
             k.read("arr", 10, 4)
-        engine.record_counter("listcache:hits", 7)
+        engine.metrics.inc("listcache:hits", 7)
         report = engine.profile_report()
         assert "listcache:hits" in report
         assert "7" in report
+
+    def test_record_counter_shim_warns_and_still_counts(self, engine):
+        with pytest.warns(DeprecationWarning, match="record_counter"):
+            engine.record_counter("legacy", 4)
+        assert engine.counters["legacy"] == 4
+
+
+class TestCachedBytesSingleColumn:
+    """Regression: cached reads must never double-count as DRAM bytes."""
+
+    def test_cached_bytes_excluded_from_dram_column(self, engine):
+        with engine.launch("mix") as k:
+            k.read("arr", 100, 4)  # 400 B DRAM
+            k.cached_read("lists", 50, 4)  # 200 B cache, 0 B DRAM
+        row = engine.kernel_summary()["mix"]
+        assert row["device_bytes"] == 400
+        assert row["cached_bytes"] == 200
+        (record,) = engine.records
+        # The breakdown separates the two with the cache: prefix, and
+        # each column is exactly the sum of its own breakdown terms.
+        dram = sum(
+            v
+            for key, v in record.cost.breakdown.items()
+            if not key.startswith("cache:")
+        )
+        cache = sum(
+            v
+            for key, v in record.cost.breakdown.items()
+            if key.startswith("cache:")
+        )
+        assert dram == row["device_bytes"] + row["host_bytes"]
+        assert cache == row["cached_bytes"]
+
+    def test_profile_report_shows_disjoint_byte_columns(self, engine):
+        with engine.launch("mix") as k:
+            k.read("arr", 100, 4)
+            k.cached_read("lists", 50, 4)
+        report = engine.profile_report()
+        assert "dram MB" in report
+        assert "cache MB" in report
+
+
+class TestWarpOccupancy:
+    def test_uniform_lists_full_efficiency(self, engine):
+        with engine.launch("k") as k:
+            k.warp_occupancy(np.full(64, 5))
+        (record,) = engine.records
+        assert record.cost.warp_efficiency == 1.0
+
+    def test_skewed_warp_diverges(self, engine):
+        # One hub of 320 among 31 leaves of 10: warp runs 320 steps.
+        degrees = np.full(32, 10)
+        degrees[0] = 320
+        with engine.launch("k") as k:
+            k.warp_occupancy(degrees)
+        (record,) = engine.records
+        expected = (31 * 10 + 320) / (32 * 320)
+        assert record.cost.warp_efficiency == pytest.approx(expected)
+
+    def test_partial_warp_padded(self, engine):
+        with engine.launch("k") as k:
+            k.warp_occupancy([8])  # one lane, 31 padded idle lanes
+        (record,) = engine.records
+        assert record.cost.active_lanes == 8
+        assert record.cost.lane_slots == 32 * 8
+
+    def test_empty_and_negative(self, engine):
+        with engine.launch("k") as k:
+            k.warp_occupancy([])
+            assert k.cost.lane_slots == 0
+        with pytest.raises(ValueError):
+            with engine.launch("bad") as k:
+                k.warp_occupancy([-1])
+
+    def test_summary_aggregates_lanes(self, engine):
+        for _ in range(2):
+            with engine.launch("same") as k:
+                k.warp_occupancy(np.full(32, 3))
+        row = engine.kernel_summary()["same"]
+        assert row["active_lanes"] == 2 * 32 * 3
+        assert row["lane_slots"] == 2 * 32 * 3

@@ -43,6 +43,35 @@ class TestTimelineEvents:
         assert events[0]["tid"] == events[2]["tid"]
         assert events[0]["tid"] != events[1]["tid"]
 
+    def test_track_assignment_stable(self, engine):
+        # Tracks are numbered by first appearance, so repeated export of
+        # the same engine (or the same launch order in another run)
+        # yields identical tids.
+        first = timeline_events(engine)
+        second = timeline_events(engine)
+        assert [e["tid"] for e in first] == [e["tid"] for e in second]
+        assert [e["tid"] for e in first] == [0, 1, 0]
+
+    def test_ts_uses_recorded_start_times(self, engine):
+        # Timestamps must come from each record's stored start_s, never
+        # from re-accumulating durations: events pick up a start-time
+        # perturbation even though every duration is unchanged.
+        events = timeline_events(engine)
+        for event, record in zip(events, engine.records):
+            assert event["ts"] == pytest.approx(record.start_s * 1e6)
+            assert event["dur"] == pytest.approx(record.seconds * 1e6)
+        shifted = engine.records[1]
+        engine.records[1] = type(shifted)(
+            **{**shifted.__dict__, "start_s": shifted.start_s + 1.0}
+        )
+        bumped = timeline_events(engine)
+        assert bumped[1]["ts"] == pytest.approx(events[1]["ts"] + 1e6)
+        assert bumped[2]["ts"] == pytest.approx(events[2]["ts"])
+
+    def test_empty_timeline(self):
+        eng = SimEngine.for_device(TITAN_XP)
+        assert timeline_events(eng) == []
+
 
 class TestWriteTrace:
     def test_valid_json(self, engine, tmp_path):

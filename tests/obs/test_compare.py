@@ -94,3 +94,20 @@ class TestLoad:
         path.write_text(json.dumps({"schema": "other/9"}))
         with pytest.raises(ValueError, match="schema"):
             load_metrics(str(path))
+
+    def test_v1_baseline_still_accepted(self, metrics_payload, tmp_path):
+        # /2 is a strict superset of /1; a pre-bump baseline must load
+        # and diff cleanly against a /2 run on the shared keys.
+        v1 = copy.deepcopy(metrics_payload)
+        v1["schema"] = "repro.metrics/1"
+        for section in ("arrays", "hw_counters"):
+            v1.pop(section, None)
+        path = tmp_path / "v1.json"
+        dump_metrics(v1, str(path))
+        loaded = load_metrics(str(path))
+        cmp = compare_metrics(loaded, metrics_payload)
+        shared = flatten_metrics(loaded)
+        assert all(
+            r.delta == 0.0 for r in cmp.rows if r.key in shared
+        )
+        assert any(r.key.startswith("hw_counters.") for r in cmp.rows)

@@ -95,8 +95,17 @@ class TestProfile:
         events = json.loads(trace.read_text())["traceEvents"]
         assert any(e["ph"] == "C" for e in events)
         payload = json.loads(metrics.read_text())
-        assert payload["schema"] == "repro.metrics/1"
+        assert payload["schema"] == "repro.metrics/2"
         assert payload["meta"]["algo"] == "bfs"
+        assert any(e["name"].startswith("bytes:") for e in events)
+
+    def test_counters_flag_prints_tables(self, capsys):
+        assert main([
+            "profile", "bfs", "--rmat-scale", "6", "--counters",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coal" in out and "warp" in out
+        assert "kernel / array" in out
 
     def test_profile_graph_file(self, graph_file, capsys):
         assert main(["profile", "bfs", graph_file, "--format", "efg"]) == 0
@@ -138,6 +147,52 @@ class TestCompare:
         payload["totals"]["elapsed_seconds"] *= 1.001
         path.write_text(json.dumps(payload))
         assert main(["compare", a, str(path), "--threshold", "5"]) == 0
+
+
+class TestBench:
+    # Shrunk suite flags so each invocation stays fast.
+    SMALL = ["--rmat-scale", "6", "--edge-factor", "4"]
+
+    def test_writes_bench_file(self, tmp_path, capsys):
+        assert main([
+            "bench", "--out-dir", str(tmp_path), "--seq", "1", *self.SMALL,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "9 workloads" in out
+        assert (tmp_path / "BENCH_1.json").exists()
+
+    def test_against_self_exits_zero(self, tmp_path, capsys):
+        assert main([
+            "bench", "--out-dir", str(tmp_path), "--seq", "1", *self.SMALL,
+        ]) == 0
+        assert main([
+            "bench", "--no-write", "--against", str(tmp_path), *self.SMALL,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrically identical" in out
+
+    def test_perturbed_baseline_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        assert main([
+            "bench", "--out-dir", str(tmp_path), "--seq", "1", *self.SMALL,
+        ]) == 0
+        path = tmp_path / "BENCH_1.json"
+        payload = json.loads(path.read_text())
+        payload["workloads"]["bfs/efg"]["totals"]["device_bytes"] += 64.0
+        path.write_text(json.dumps(payload))
+        assert main([
+            "bench", "--no-write", "--against", str(path), *self.SMALL,
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "bfs/efg" in out
+
+    def test_no_write_leaves_dir_untouched(self, tmp_path, capsys):
+        assert main([
+            "bench", "--out-dir", str(tmp_path), "--no-write", *self.SMALL,
+        ]) == 0
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestSuite:
