@@ -1,11 +1,16 @@
 """Continuous benchmark trajectory: ``BENCH_<n>.json`` producer + gate.
 
 Each entry in the trajectory is one run of a **pinned workload suite**
-(BFS / SSSP / PageRank x csr / efg / cgr on a fixed seeded RMAT graph),
-serialised as the full :func:`repro.obs.metrics.run_metrics` payload per
-workload — emulated hardware counters, per-array attribution and
-simulated times included — plus a self-describing ``meta`` block (git
-sha, sequence number, schema versions, suite parameters).
+(BFS / SSSP / PageRank x csr / efg / cgr on a fixed seeded RMAT graph,
+plus distributed BFS over a two-tier 2 nodes x 4 GPUs cluster with the
+raw and Elias-Fano wire codecs), serialised as the full
+:func:`repro.obs.metrics.run_metrics` /
+:func:`repro.dist.report.dist_run_metrics` payload per workload —
+emulated hardware counters, per-array attribution and simulated times
+included — plus a self-describing ``meta`` block (git sha, sequence
+number, schema versions, suite parameters) and a ``crossover`` summary
+locating where frontier compression pays: the raw-over-ef exchange-time
+ratio on the slow inter-node tier vs the fast intra-node tier.
 
 The suite is deterministic end to end: same seed, same graph, same
 traversal order, same counters — so ``repro bench --against`` can gate
@@ -35,6 +40,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchConfig",
     "run_bench_suite",
+    "crossover_summary",
     "bench_payload",
     "next_seq",
     "bench_path",
@@ -66,6 +72,18 @@ class BenchConfig:
     device_scale: float = 2048.0
     algos: tuple[str, ...] = ("bfs", "sssp", "pagerank")
     formats: tuple[str, ...] = ("csr", "efg", "cgr")
+    #: Distributed workloads: dist BFS per wire codec on a two-tier
+    #: cluster (empty tuple disables the dist leg of the suite).
+    dist_wires: tuple[str, ...] = ("raw", "ef")
+    dist_nodes: int = 2
+    dist_gpus_per_node: int = 4
+    dist_schedule: str = "hierarchical"
+    #: NVLink-class intra-node links vs a 1 GB/s inter-node fabric: the
+    #: fast tier is latency-dominated (raw competitive), the slow tier
+    #: bandwidth-dominated (Elias-Fano wins) — the crossover the
+    #: ``crossover`` payload section locates.
+    dist_link_gbs: float = 300.0
+    dist_inter_gbs: float = 1.0
 
     def suite_meta(self) -> dict:
         return {
@@ -75,6 +93,12 @@ class BenchConfig:
             "device_scale": self.device_scale,
             "algos": list(self.algos),
             "formats": list(self.formats),
+            "dist_wires": list(self.dist_wires),
+            "dist_nodes": self.dist_nodes,
+            "dist_gpus_per_node": self.dist_gpus_per_node,
+            "dist_schedule": self.dist_schedule,
+            "dist_link_gbs": self.dist_link_gbs,
+            "dist_inter_gbs": self.dist_inter_gbs,
         }
 
 
@@ -137,7 +161,73 @@ def run_bench_suite(
                 meta={"bench_workload": f"{algo}/{fmt}"},
             )
             workloads[f"{algo}/{fmt}"] = run.metrics
+    for wire in config.dist_wires:
+        workloads[f"dist_bfs/{wire}"] = _run_dist_workload(
+            config, graph, device, source, wire
+        )
     return workloads
+
+
+def _run_dist_workload(
+    config: BenchConfig, graph, device, source: int, wire: str
+) -> dict:
+    """One distributed-BFS workload on the pinned two-tier cluster."""
+    from repro.dist import ShardedCluster, distributed_bfs
+    from repro.dist.report import dist_run_metrics, verify_dist_attribution
+    from repro.dist.topology import LinkTopology
+
+    topology = LinkTopology.two_tier(
+        num_nodes=config.dist_nodes,
+        gpus_per_node=config.dist_gpus_per_node,
+        link_bandwidth=config.dist_link_gbs * 1e9,
+        inter_bandwidth=config.dist_inter_gbs * 1e9,
+        message_latency_s=device.launch_overhead_s,
+    )
+    cluster = ShardedCluster.build(
+        graph,
+        config.dist_nodes * config.dist_gpus_per_node,
+        device,
+        wire=wire,
+        schedule=config.dist_schedule,
+        topology=topology,
+        overlap=True,
+    )
+    distributed_bfs(cluster, source)
+    verify_dist_attribution(cluster)
+    return dist_run_metrics(
+        cluster, meta={"bench_workload": f"dist_bfs/{wire}"}
+    )
+
+
+def crossover_summary(workloads: dict[str, dict]) -> dict:
+    """Where frontier compression pays: per-tier raw-over-ef ratios.
+
+    Reads the per-tier fabric seconds (transfer + latency) of the
+    ``dist_bfs/raw`` and ``dist_bfs/ef`` workloads and reports, per
+    tier, the ratio of raw exchange time over ef exchange time — above
+    1 means the Elias-Fano wire is faster on that fabric.  Empty when
+    either workload is missing from the suite.
+    """
+    raw = workloads.get("dist_bfs/raw")
+    ef = workloads.get("dist_bfs/ef")
+    if raw is None or ef is None:
+        return {}
+    out: dict = {}
+    for tier in ("intra", "inter"):
+        row: dict = {}
+        for name, payload in (("raw", raw), ("ef", ef)):
+            tiers = payload.get("tiers", {}).get(tier, {})
+            row[f"{name}_bytes"] = tiers.get("bytes", 0.0)
+            row[f"{name}_seconds"] = (
+                tiers.get("transfer_seconds", 0.0)
+                + tiers.get("latency_seconds", 0.0)
+            )
+        row["raw_over_ef"] = (
+            row["raw_seconds"] / row["ef_seconds"]
+            if row["ef_seconds"] > 0 else 0.0
+        )
+        out[tier] = row
+    return out
 
 
 def bench_payload(
@@ -156,6 +246,7 @@ def bench_payload(
             },
             "suite": config.suite_meta(),
         },
+        "crossover": crossover_summary(workloads),
         "workloads": {name: workloads[name] for name in sorted(workloads)},
     }
 
@@ -238,16 +329,17 @@ def compare_bench(
 
     Flattens each workload's metrics dump with the same rules as
     ``repro compare`` (identity sections skipped, numeric leaves only)
-    under a ``workloads.<name>.`` prefix; workloads present on only one
-    side compare against 0.  The returned
+    under a ``workloads.<name>.`` prefix.  Workloads present only in
+    the *baseline* compare against 0 (a removed workload is a
+    regression); workloads present only in the *current* entry are
+    skipped — the suite grows over time and a new workload has no
+    history to regress against.  The returned
     :class:`~repro.obs.compare.Comparison` applies ``threshold`` as a
     relative gate, so ``threshold=0`` demands byte-level equality of
     every counter.
     """
     rows: list[DeltaRow] = []
-    names = sorted(
-        set(baseline.get("workloads", {})) | set(current.get("workloads", {}))
-    )
+    names = sorted(baseline.get("workloads", {}))
     for name in names:
         flat_a = flatten_metrics(baseline.get("workloads", {}).get(name, {}))
         flat_b = flatten_metrics(current.get("workloads", {}).get(name, {}))

@@ -19,11 +19,15 @@ Commands
     Perfetto trace with nested spans + counter tracks and a
     stable-schema metrics JSON.  Without a graph a deterministic RMAT
     graph is generated, so two invocations are byte-identical.
-``dist <algo> [graph] [--gpus N] [--fmt csr|efg] [--wire CODEC]
-[--schedule flat|butterfly]``
+``dist <algo> [graph] [--gpus N] [--nodes M] [--fmt csr|efg]
+[--wire CODEC] [--schedule flat|butterfly|hierarchical] [--overlap]``
     Sharded traversal (bfs/sssp/pagerank) over N simulated GPUs with a
     compressed frontier exchange; prints the per-level exchange
     breakdown and optionally writes a stable-schema metrics JSON.
+    ``--nodes M`` splits the GPUs across M nodes (two-tier topology:
+    fast intra-node links, slow ``--inter-gbs`` fabric), ``--wire ef``
+    picks the Elias-Fano frontier codec, and ``--overlap`` turns on
+    the async exchange/compute pipeline in the cost model.
 ``compare <a.json> <b.json> [--threshold PCT]``
     Diff two metrics dumps per kernel and per cost term; exits
     non-zero when any key moved more than the threshold (CI perf gate).
@@ -305,6 +309,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"seed={config.seed})")
     for name in sorted(totals):
         print(f"  {name:16s} {totals[name] * 1e3:9.4f} ms simulated")
+    crossover = payload.get("crossover") or {}
+    for tier in sorted(crossover):
+        row = crossover[tier]
+        print(
+            f"  {tier} tier: raw {row['raw_bytes']:,.0f} B / "
+            f"ef {row['ef_bytes']:,.0f} B, raw/ef exchange time "
+            f"{row['raw_over_ef']:.2f}x"
+        )
     if not args.no_write:
         path = write_bench(payload, args.out_dir)
         print(f"wrote {path}")
@@ -333,7 +345,7 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         distributed_sssp,
     )
     from repro.dist.report import dist_report, dist_run_metrics
-    from repro.dist.topology import LinkTopology
+    from repro.dist.topology import TIERS, LinkTopology
     from repro.gpusim.device import TITAN_XP
     from repro.obs.metrics import dump_metrics
 
@@ -352,18 +364,35 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         )
     if args.gpus < 1:
         raise SystemExit(f"--gpus must be >= 1, got {args.gpus}")
+    if args.nodes < 1:
+        raise SystemExit(f"--nodes must be >= 1, got {args.nodes}")
     device = TITAN_XP.scaled(args.device_scale)
-    topology = LinkTopology(
-        num_gpus=args.gpus,
-        link_bandwidth=args.link_gbs * 1e9,
-        contention=args.contention,
-        message_latency_s=device.launch_overhead_s,
-    )
+    if args.nodes > 1:
+        if args.gpus % args.nodes:
+            raise SystemExit(
+                f"--gpus {args.gpus} not divisible by --nodes {args.nodes}"
+            )
+        topology = LinkTopology.two_tier(
+            num_nodes=args.nodes,
+            gpus_per_node=args.gpus // args.nodes,
+            link_bandwidth=args.link_gbs * 1e9,
+            inter_bandwidth=args.inter_gbs * 1e9,
+            contention=args.contention,
+            message_latency_s=device.launch_overhead_s,
+        )
+    else:
+        topology = LinkTopology(
+            num_gpus=args.gpus,
+            link_bandwidth=args.link_gbs * 1e9,
+            contention=args.contention,
+            message_latency_s=device.launch_overhead_s,
+        )
     needs_weights = args.algo == "sssp"
     cluster = ShardedCluster.build(
         graph, args.gpus, device,
         fmt=args.fmt, wire=args.wire, schedule=args.schedule,
         topology=topology, with_weights=needs_weights,
+        overlap=args.overlap,
     )
     source = args.source
     if args.algo != "pagerank" and graph.degrees[source] == 0:
@@ -385,12 +414,29 @@ def _cmd_dist(args: argparse.Namespace) -> int:
             f"{result.iterations} iterations"
             f"{' (converged)' if result.converged else ''}"
         )
+    layout = (
+        f"{args.nodes} nodes x {args.gpus // args.nodes} GPUs"
+        if args.nodes > 1 else f"{args.gpus} GPUs"
+    )
     print(
-        f"{args.fmt} dist-{args.algo} on {args.gpus} GPUs "
-        f"(wire={args.wire}, schedule={args.schedule}): "
+        f"{args.fmt} dist-{args.algo} on {layout} "
+        f"(wire={args.wire}, schedule={args.schedule}"
+        f"{', overlap' if args.overlap else ''}): "
         f"{result.runtime_ms:.3f} ms simulated, {result.gteps:.2f} GTEPS, "
         f"{summary}, {result.exchanged_bytes:,} wire bytes"
     )
+    if args.nodes > 1:
+        counters = cluster.metrics.counters
+        split = ", ".join(
+            f"{tier} {int(counters.get(f'dist.tier.{tier}.bytes', 0)):,} B"
+            for tier in TIERS
+        )
+        print(f"tier split: {split}")
+    if args.overlap:
+        print(
+            f"overlapped: {result.overlapped_seconds * 1e3:.3f} ms of "
+            f"exchange hidden under compute"
+        )
     print()
     print(dist_report(cluster))
     if args.metrics:
@@ -605,17 +651,22 @@ def main(argv: list[str] | None = None) -> int:
         "graph", nargs="?", default=None,
         help="graph file; omit to generate a deterministic RMAT graph",
     )
+    from repro.dist.exchange import SCHEDULES as _schedules
+    from repro.dist.wire import WIRE_CODECS as _wire_codecs
+
     p.add_argument("--gpus", type=int, default=4,
                    help="number of simulated devices (default 4)")
+    p.add_argument("--nodes", type=int, default=1,
+                   help="nodes the GPUs are split across (default 1; "
+                   ">1 builds a two-tier topology)")
     p.add_argument("--fmt", choices=("csr", "efg"), default="csr",
                    help="shard storage format (default csr)")
-    p.add_argument("--wire",
-                   choices=("raw", "raw64", "bitmap", "varint", "auto"),
-                   default="auto",
+    p.add_argument("--wire", choices=_wire_codecs, default="auto",
                    help="frontier wire codec (default auto)")
-    p.add_argument("--schedule", choices=("flat", "butterfly"),
-                   default="flat",
+    p.add_argument("--schedule", choices=_schedules, default="flat",
                    help="exchange schedule (default flat)")
+    p.add_argument("--overlap", action="store_true",
+                   help="overlap exchange with compute in the cost model")
     p.add_argument("--source", type=int, default=0)
     p.add_argument("--seed", type=int, default=1,
                    help="seed for generated graphs and weights")
@@ -626,7 +677,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--device-scale", type=float, default=2048,
                    help="shrink the Titan Xp by this factor (default 2048)")
     p.add_argument("--link-gbs", type=float, default=10.0,
-                   help="per-link bandwidth in GB/s (default 10)")
+                   help="per-link intra-node bandwidth in GB/s (default 10)")
+    p.add_argument("--inter-gbs", type=float, default=1.0,
+                   help="inter-node fabric bandwidth in GB/s, used when "
+                   "--nodes > 1 (default 1)")
     p.add_argument("--contention", type=float, default=0.5,
                    help="shared-fabric contention in [0,1] (default 0.5)")
     p.add_argument("--metrics", metavar="PATH",

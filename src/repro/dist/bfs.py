@@ -40,6 +40,8 @@ class DistBFSResult:
     exchanged_bytes: int
     #: Share of :attr:`sim_seconds` spent in the exchange.
     exchange_seconds: float
+    #: Exchange time hidden under expansion by the overlap pipeline.
+    overlapped_seconds: float
     sim_seconds: float
     num_gpus: int
     wire: str
@@ -102,6 +104,7 @@ def distributed_bfs(
     edges_traversed = 0
     exchanged_bytes = 0
     exchange_seconds = 0.0
+    overlapped_seconds = 0.0
     messages = 0
     cluster.open_algorithm(
         "dist_bfs", source=int(source), partial_sort=partial_sort
@@ -181,7 +184,11 @@ def distributed_bfs(
                     claim_seconds, engine.elapsed_seconds - before
                 )
             frontiers = next_frontiers
-            cluster.advance(expand_seconds + ex.seconds + claim_seconds)
+            level_total, overlapped = cluster.level_seconds(
+                expand_seconds, ex, claim_seconds
+            )
+            overlapped_seconds += overlapped
+            cluster.advance(level_total)
             sp.annotate(
                 edges_expanded=level_edges,
                 claimed=int(sum(f.shape[0] for f in next_frontiers)),
@@ -189,6 +196,11 @@ def distributed_bfs(
                 exchange_seconds=ex.seconds,
                 claim_seconds=claim_seconds,
                 wire_bytes=ex.wire_bytes,
+                intra_bytes=ex.tier_bytes["intra"],
+                inter_bytes=ex.tier_bytes["inter"],
+                overlap_ratio=(
+                    overlapped / ex.seconds if ex.seconds > 0 else 0.0
+                ),
                 messages=ex.messages,
                 bound=cluster.level_bound(expand_seconds, ex, claim_seconds),
             )
@@ -202,6 +214,7 @@ def distributed_bfs(
         edges_traversed=edges_traversed,
         exchanged_bytes=exchanged_bytes,
         exchange_seconds=exchange_seconds,
+        overlapped_seconds=overlapped_seconds,
         sim_seconds=cluster.clock,
         num_gpus=num_gpus,
         wire=cluster.codec.name,

@@ -80,6 +80,7 @@ class ShardedCluster:
         codec: WireCodec,
         schedule: str,
         fmt: str,
+        overlap: bool = False,
     ) -> None:
         self.graph = graph
         self.partition = partition
@@ -88,6 +89,7 @@ class ShardedCluster:
         self.codec = codec
         self.schedule = schedule
         self.fmt = fmt
+        self.overlap = overlap
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.clock = 0.0
@@ -104,8 +106,15 @@ class ShardedCluster:
         schedule: str = "flat",
         topology: LinkTopology | None = None,
         with_weights: bool = False,
+        overlap: bool = False,
     ) -> "ShardedCluster":
-        """Partition ``graph`` and stand up one backend per shard."""
+        """Partition ``graph`` and stand up one backend per shard.
+
+        ``overlap=True`` turns on the async exchange/compute pipeline
+        in the cost model: each level's expand phase hides behind the
+        exchange (or vice versa), so the level costs
+        ``max(expand, exchange)`` plus the unoverlapped claim.
+        """
         if schedule not in SCHEDULES:
             raise ValueError(
                 f"unknown schedule {schedule!r}; pick from {SCHEDULES}"
@@ -130,6 +139,7 @@ class ShardedCluster:
             codec=get_codec(wire),
             schedule=schedule,
             fmt=fmt,
+            overlap=overlap,
         )
 
     # -- run lifecycle ----------------------------------------------------
@@ -262,6 +272,19 @@ class ShardedCluster:
         m.inc("dist.sent_ids", stats.sent_ids)
         for name, count in stats.codec_messages.items():
             m.inc(f"dist.codec.{name}", count)
+        for name, instr in stats.codec_instructions.items():
+            m.inc(f"dist.codec_instr.{name}", instr)
+        for tier in stats.tier_bytes:
+            m.inc(f"dist.tier.{tier}.bytes", stats.tier_bytes[tier])
+            m.inc(f"dist.tier.{tier}.messages", stats.tier_messages[tier])
+            m.inc(
+                f"dist.tier.{tier}.transfer_seconds",
+                stats.tier_transfer_seconds[tier],
+            )
+            m.inc(
+                f"dist.tier.{tier}.latency_seconds",
+                stats.tier_latency_seconds[tier],
+            )
         m.observe("dist.level_wire_bytes", stats.wire_bytes)
         return incoming, in_vals, stats
 
@@ -270,6 +293,28 @@ class ShardedCluster:
         received = int(stats.received_ids_per_gpu[gpu])
         if received:
             kernel.instructions(self.codec.decode_instr_per_id * received)
+
+    def level_seconds(
+        self,
+        expand_seconds: float,
+        stats: ExchangeStats,
+        claim_seconds: float,
+    ) -> tuple[float, float]:
+        """``(total, overlapped)`` seconds of one bulk-synchronous level.
+
+        Serial cost model (default): the three phases queue one after
+        another.  With :attr:`overlap` the exchange streams buckets
+        while expansion is still producing them (double-buffered
+        pipeline), so the level pays ``max(expand, exchange)`` plus the
+        claim that needs the full incoming set; ``overlapped`` is the
+        time hidden under the longer phase.
+        """
+        if not self.overlap:
+            return expand_seconds + stats.seconds + claim_seconds, 0.0
+        overlapped = min(expand_seconds, stats.seconds)
+        total = max(expand_seconds, stats.seconds) + claim_seconds
+        self.metrics.inc("dist.overlapped_seconds", overlapped)
+        return total, overlapped
 
     @staticmethod
     def level_bound(
@@ -291,6 +336,8 @@ class ShardedCluster:
         m = self.metrics
         m.set_gauge("dist.sim_seconds", self.clock)
         m.set_gauge("dist.num_gpus", float(self.num_gpus))
+        m.set_gauge("dist.num_nodes", float(self.topology.num_nodes))
+        m.set_gauge("dist.overlap", float(self.overlap))
         if self.clock > 0:
             m.set_gauge(f"{algorithm}.gteps", edges / self.clock / 1e9)
         wire = self.metrics.counters.get("dist.wire_bytes", 0.0)

@@ -3,7 +3,7 @@
 One bulk-synchronous exchange takes each GPU's per-owner buckets of
 discovered vertices (sorted, deduplicated — the pack kernel's job) and
 delivers to every GPU the union of what the others found in its range.
-Two schedules:
+Three schedules:
 
 * ``flat`` — the textbook single-step all-to-all: every GPU posts one
   message per peer; per-link time is the busiest link's serialization
@@ -12,16 +12,32 @@ Two schedules:
   (PAPERS.md): in round ``k`` each GPU exchanges one message with the
   partner whose id differs in bit ``k``, forwarding everything whose
   final owner lives on the partner's side of that bit.  Messages per
-  GPU drop from P-1 to log2 P (the latency win) while forwarded items
+  GPU drop from P-1 to ~log2 P (the latency win) while forwarded items
   are re-aggregated and deduplicated at every hop (the bandwidth win on
   dense frontiers, paid for by items travelling up to log2 P links).
+  Non-power-of-two counts fold the trailing GPUs onto hypercube
+  proxies first and unfold after the rounds (one extra step each way).
+* ``hierarchical`` — the two-tier schedule for node-grouped topologies:
+  buckets bound for a remote node are first gathered (and
+  ``_combine``-deduplicated) on one intra-node leader per destination
+  node, then a single message per ordered node pair crosses the slow
+  inter-node fabric, and the receiving gateway scatters by owner over
+  its fast local links.  The slow tier carries at most
+  ``nodes * (nodes - 1)`` messages whose duplicate ids across a node's
+  G senders have already been folded — the up-to-G× message shrink
+  that makes inter-node compression pay.
 
 Optionally each id carries a fixed-width value (SSSP distances,
 PageRank partial sums).  Values ride uncompressed — the id stream is
 what the codecs compress, mirroring the paper's "weights are not
 compressed" stance — and duplicates met along the way are folded with
 the caller's combiner (min for distances, sum for rank mass), which is
-exactly the aggregation that makes the butterfly competitive.
+exactly the aggregation that makes the multi-hop schedules competitive.
+
+Every message is attributed to the link tier it crosses
+(:data:`repro.dist.topology.TIERS`); per-tier byte totals in
+:class:`ExchangeStats` sum exactly to ``wire_bytes``, the invariant
+``repro.dist.report.verify_dist_attribution`` enforces.
 """
 
 from __future__ import annotations
@@ -31,13 +47,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.dist.partition import VertexPartition
-from repro.dist.topology import LinkTopology
+from repro.dist.topology import TIERS, LinkTopology
 from repro.dist.wire import MESSAGE_HEADER_BYTES, AutoCodec, WireCodec
 
 __all__ = ["SCHEDULES", "ExchangeStats", "exchange"]
 
 #: Exchange schedules the drivers accept.
-SCHEDULES = ("flat", "butterfly")
+SCHEDULES = ("flat", "butterfly", "hierarchical")
+
+
+def _tier_zeros() -> dict[str, int]:
+    return {tier: 0 for tier in TIERS}
+
+
+def _tier_fzeros() -> dict[str, float]:
+    return {tier: 0.0 for tier in TIERS}
 
 
 @dataclass
@@ -64,10 +88,25 @@ class ExchangeStats:
     transfer_seconds: float = 0.0
     #: Fixed per-message share of :attr:`seconds`.
     latency_seconds: float = 0.0
-    #: Schedule rounds (1 for flat, log2 P for butterfly).
+    #: Schedule rounds (1 for flat, ~log2 P for butterfly, up to 3 for
+    #: hierarchical).
     rounds: int = 0
     #: Messages per concrete codec actually used (auto resolves here).
     codec_messages: dict[str, int] = field(default_factory=dict)
+    #: Encode instructions per concrete codec (sender-side ALU work).
+    codec_instructions: dict[str, float] = field(default_factory=dict)
+    #: Wire bytes per link tier; sums exactly to :attr:`wire_bytes`.
+    tier_bytes: dict[str, int] = field(default_factory=_tier_zeros)
+    #: Messages per link tier; sums exactly to :attr:`messages`.
+    tier_messages: dict[str, int] = field(default_factory=_tier_zeros)
+    #: Per-tier transfer seconds (each tier drains independently).
+    tier_transfer_seconds: dict[str, float] = field(
+        default_factory=_tier_fzeros
+    )
+    #: Per-tier latency seconds.
+    tier_latency_seconds: dict[str, float] = field(
+        default_factory=_tier_fzeros
+    )
     #: Per-GPU wire ids encoded / decoded (pack/unpack kernel inputs).
     sent_ids_per_gpu: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64)
@@ -77,7 +116,11 @@ class ExchangeStats:
     )
 
     def add_message(
-        self, codec_name: str, id_nbytes: int, value_nbytes: int
+        self,
+        codec_name: str,
+        id_nbytes: int,
+        value_nbytes: int,
+        tier: str = "intra",
     ) -> int:
         """Record one posted message; returns its total wire bytes."""
         total = id_nbytes + value_nbytes + MESSAGE_HEADER_BYTES
@@ -86,10 +129,65 @@ class ExchangeStats:
         self.value_bytes += value_nbytes
         self.header_bytes += MESSAGE_HEADER_BYTES
         self.messages += 1
+        self.tier_bytes[tier] += total
+        self.tier_messages[tier] += 1
         self.codec_messages[codec_name] = (
             self.codec_messages.get(codec_name, 0) + 1
         )
         return total
+
+
+class _Step:
+    """Per-tier byte/message accumulator for one bulk-synchronous step.
+
+    Each tier is an independent fabric, so a step in which both tiers
+    carry traffic finishes when the slower one drains — the step time
+    is the ``max`` over tiers of ``transfer + latency``, while the
+    per-tier breakdowns accumulate into the stats for attribution.
+    """
+
+    def __init__(self, topology: LinkTopology) -> None:
+        self.topology = topology
+        n = topology.num_gpus
+        self.egress = {t: np.zeros(n, dtype=np.float64) for t in TIERS}
+        self.ingress = {t: np.zeros(n, dtype=np.float64) for t in TIERS}
+        self.posted = {t: np.zeros(n, dtype=np.int64) for t in TIERS}
+
+    def tier_of(self, src: int, dst: int) -> str:
+        return self.topology.tier(src, dst)
+
+    def add(self, src: int, dst: int, nbytes: int) -> None:
+        tier = self.tier_of(src, dst)
+        self.egress[tier][src] += nbytes
+        self.ingress[tier][dst] += nbytes
+        self.posted[tier][src] += 1
+
+    def finish(self, stats: ExchangeStats) -> float:
+        """Price the step; fold the breakdown into ``stats``.
+
+        Returns the step's wall-clock seconds and adds the binding
+        tier's transfer/latency split to the aggregate
+        ``transfer_seconds`` / ``latency_seconds`` (so those two keep
+        summing to ``stats.seconds``).
+        """
+        step_seconds = 0.0
+        binding = (0.0, 0.0)
+        for tier in TIERS:
+            if self.topology.num_gpus == 1:
+                continue
+            messages = int(self.posted[tier].max())
+            transfer, latency = self.topology.step_breakdown(
+                self.egress[tier], self.ingress[tier], messages, tier=tier
+            )
+            stats.tier_transfer_seconds[tier] += transfer
+            stats.tier_latency_seconds[tier] += latency
+            if transfer + latency > step_seconds:
+                step_seconds = transfer + latency
+                binding = (transfer, latency)
+        stats.transfer_seconds += binding[0]
+        stats.latency_seconds += binding[1]
+        stats.seconds += step_seconds
+        return step_seconds
 
 
 def _combine(
@@ -128,13 +226,22 @@ def _encode_message(
     num_values: int,
     value_width: int,
     stats: ExchangeStats,
+    tier: str = "intra",
 ) -> tuple[np.ndarray, int]:
     """Round-trip one message through the codec; returns (ids, bytes)."""
-    concrete = codec.choose(ids, lo, hi) if isinstance(codec, AutoCodec) else codec
-    payload = concrete.encode(ids, lo, hi)
+    if isinstance(codec, AutoCodec):
+        concrete, payload = codec.trial(ids, lo, hi)
+    else:
+        concrete = codec
+        payload = concrete.encode(ids, lo, hi)
     decoded = concrete.decode(payload, lo, hi)
     total = stats.add_message(
-        concrete.name, int(payload.shape[0]), value_width * num_values
+        concrete.name, int(payload.shape[0]), value_width * num_values,
+        tier=tier,
+    )
+    stats.codec_instructions[concrete.name] = (
+        stats.codec_instructions.get(concrete.name, 0.0)
+        + concrete.encode_instr_per_id * int(ids.shape[0])
     )
     stats.sent_ids += int(ids.shape[0])
     stats.received_ids += int(decoded.shape[0])
@@ -170,6 +277,11 @@ def exchange(
         raise ValueError(
             f"unknown schedule {schedule!r}; pick from {SCHEDULES}"
         )
+    if topology.num_gpus != num_gpus:
+        raise ValueError(
+            f"topology is for {topology.num_gpus} GPUs, partition for "
+            f"{num_gpus}"
+        )
     stats = ExchangeStats(
         sent_ids_per_gpu=np.zeros(num_gpus, dtype=np.int64),
         received_ids_per_gpu=np.zeros(num_gpus, dtype=np.int64),
@@ -179,13 +291,13 @@ def exchange(
             outgoing, partition, topology, codec, values, combine,
             value_width, stats,
         )
-    else:
-        if num_gpus & (num_gpus - 1):
-            raise ValueError(
-                f"butterfly schedule needs a power-of-two GPU count, "
-                f"got {num_gpus}"
-            )
+    elif schedule == "butterfly":
         incoming, in_vals = _exchange_butterfly(
+            outgoing, partition, topology, codec, values, combine,
+            value_width, stats,
+        )
+    else:
+        incoming, in_vals = _exchange_hierarchical(
             outgoing, partition, topology, codec, values, combine,
             value_width, stats,
         )
@@ -196,9 +308,7 @@ def _exchange_flat(
     outgoing, partition, topology, codec, values, combine, value_width, stats
 ):
     num_gpus = partition.num_gpus
-    egress = np.zeros(num_gpus, dtype=np.float64)
-    ingress = np.zeros(num_gpus, dtype=np.float64)
-    posted = np.zeros(num_gpus, dtype=np.int64)
+    step = _Step(topology)
     incoming: list[np.ndarray] = []
     in_vals: list[np.ndarray] | None = [] if values is not None else None
     for h in range(num_gpus):
@@ -212,10 +322,9 @@ def _exchange_flat(
             decoded, nbytes = _encode_message(
                 codec, ids, lo, hi, int(ids.shape[0]),
                 value_width if values is not None else 0, stats,
+                tier=step.tier_of(g, h),
             )
-            egress[g] += nbytes
-            ingress[h] += nbytes
-            posted[g] += 1
+            step.add(g, h, nbytes)
             stats.sent_ids_per_gpu[g] += ids.shape[0]
             stats.received_ids_per_gpu[h] += decoded.shape[0]
             ids_acc, vals_acc = _combine(
@@ -231,13 +340,37 @@ def _exchange_flat(
                 vals_acc = np.empty(0, dtype=np.float64)
             in_vals.append(vals_acc)
     stats.rounds = 1
-    transfer, latency = topology.step_breakdown(
-        egress, ingress, int(posted.max()) if num_gpus > 1 else 0
-    )
-    stats.transfer_seconds = transfer
-    stats.latency_seconds = latency
-    stats.seconds = transfer + latency
+    step.finish(stats)
     return incoming, in_vals
+
+
+def _send_state(
+    src: int,
+    dst: int,
+    send_ids: np.ndarray,
+    send_vals: np.ndarray | None,
+    owners: np.ndarray,
+    partition: VertexPartition,
+    codec: WireCodec,
+    values_on: bool,
+    value_width: int,
+    stats: ExchangeStats,
+    step: _Step,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Encode one in-flight state message spanning its owners' ranges."""
+    # The message spans every owner range of its items; bitmap/ef cost
+    # covers that whole span.
+    lo = int(partition.boundaries[int(owners.min())])
+    hi = int(partition.boundaries[int(owners.max()) + 1])
+    decoded, nbytes = _encode_message(
+        codec, send_ids, lo, hi, int(send_ids.shape[0]),
+        value_width if values_on else 0, stats,
+        tier=step.tier_of(src, dst),
+    )
+    step.add(src, dst, nbytes)
+    stats.sent_ids_per_gpu[src] += send_ids.shape[0]
+    stats.received_ids_per_gpu[dst] += decoded.shape[0]
+    return decoded, send_vals
 
 
 def _exchange_butterfly(
@@ -259,58 +392,259 @@ def _exchange_butterfly(
         ids_state.append(acc)
         vals_state.append(vacc)
 
-    rounds = num_gpus.bit_length() - 1
-    total_seconds = 0.0
-    for k in range(rounds):
+    values_on = values is not None
+    # Largest power of two <= P; GPUs past it fold onto proxy g - Q
+    # before the rounds and collect their items back afterwards.
+    hypercube = 1 << (num_gpus.bit_length() - 1)
+    proxy_mask = hypercube - 1
+    rounds = 0
+
+    if num_gpus > hypercube:
+        step = _Step(topology)
+        for g in range(hypercube, num_gpus):
+            owners = partition.owner(ids_state[g])
+            away = owners != g
+            send_ids = ids_state[g][away]
+            send_vals = vals_state[g][away] if values_on else None
+            keep_ids = ids_state[g][~away]
+            keep_vals = vals_state[g][~away] if values_on else None
+            ids_state[g], vals_state[g] = keep_ids, keep_vals
+            if send_ids.size:
+                decoded, send_vals = _send_state(
+                    g, g & proxy_mask, send_ids, send_vals, owners[away],
+                    partition, codec, values_on, value_width, stats, step,
+                )
+                proxy = g & proxy_mask
+                ids_state[proxy], vals_state[proxy] = _combine(
+                    ids_state[proxy], vals_state[proxy], decoded, send_vals,
+                    combine,
+                )
+        step.finish(stats)
+        rounds += 1
+
+    for k in range(hypercube.bit_length() - 1):
         bit = 1 << k
-        egress = np.zeros(num_gpus, dtype=np.float64)
-        ingress = np.zeros(num_gpus, dtype=np.float64)
+        step = _Step(topology)
         sends: list[tuple[np.ndarray, np.ndarray | None]] = []
         keeps: list[tuple[np.ndarray, np.ndarray | None]] = []
-        for g in range(num_gpus):
+        for g in range(hypercube):
             partner = g ^ bit
             owners = partition.owner(ids_state[g])
-            away = (owners & bit).astype(bool) != bool(g & bit)
+            # Route by the owner's hypercube proxy so folded GPUs'
+            # items travel the same wires as their proxy's own.
+            away = ((owners & proxy_mask) & bit).astype(bool) != bool(g & bit)
             send_ids = ids_state[g][away]
-            send_vals = (
-                vals_state[g][away] if vals_state[g] is not None else None
-            )
+            send_vals = vals_state[g][away] if values_on else None
             keeps.append((ids_state[g][~away],
-                          vals_state[g][~away]
-                          if vals_state[g] is not None else None))
+                          vals_state[g][~away] if values_on else None))
             sends.append((send_ids, send_vals))
             if send_ids.size:
-                # The message spans every owner range on the partner's
-                # side of bit k; bitmap cost covers that whole span.
-                lo = int(partition.boundaries[int(owners[away].min())])
-                hi = int(partition.boundaries[int(owners[away].max()) + 1])
-                decoded, nbytes = _encode_message(
-                    codec, send_ids, lo, hi, int(send_ids.shape[0]),
-                    value_width if values is not None else 0, stats,
+                sends[-1] = _send_state(
+                    g, partner, send_ids, send_vals, owners[away],
+                    partition, codec, values_on, value_width, stats, step,
                 )
-                sends[-1] = (decoded, send_vals)
-                egress[g] += nbytes
-                ingress[partner] += nbytes
-                stats.sent_ids_per_gpu[g] += send_ids.shape[0]
-                stats.received_ids_per_gpu[partner] += decoded.shape[0]
-        for g in range(num_gpus):
+        for g in range(hypercube):
             partner = g ^ bit
             ids_state[g], vals_state[g] = _combine(
                 keeps[g][0], keeps[g][1], sends[partner][0], sends[partner][1],
                 combine,
             )
-        transfer, latency = topology.step_breakdown(
-            egress, ingress, 1 if egress.any() else 0
-        )
-        stats.transfer_seconds += transfer
-        stats.latency_seconds += latency
-        total_seconds += transfer + latency
+        step.finish(stats)
+        rounds += 1
+
+    if num_gpus > hypercube:
+        step = _Step(topology)
+        for g in range(hypercube, num_gpus):
+            proxy = g & proxy_mask
+            owners = partition.owner(ids_state[proxy])
+            away = owners == g
+            send_ids = ids_state[proxy][away]
+            send_vals = vals_state[proxy][away] if values_on else None
+            keep_ids = ids_state[proxy][~away]
+            keep_vals = vals_state[proxy][~away] if values_on else None
+            ids_state[proxy], vals_state[proxy] = keep_ids, keep_vals
+            if send_ids.size:
+                decoded, send_vals = _send_state(
+                    proxy, g, send_ids, send_vals, owners[away],
+                    partition, codec, values_on, value_width, stats, step,
+                )
+                ids_state[g], vals_state[g] = _combine(
+                    ids_state[g], vals_state[g], decoded, send_vals, combine,
+                )
+        step.finish(stats)
+        rounds += 1
+
     stats.rounds = rounds
-    stats.seconds = total_seconds
     in_vals = None
-    if values is not None:
+    if values_on:
         in_vals = [
             v if v is not None else np.empty(0, dtype=np.float64)
             for v in vals_state
         ]
     return ids_state, in_vals
+
+
+def _exchange_hierarchical(
+    outgoing, partition, topology, codec, values, combine, value_width, stats
+):
+    """Gather per destination node, cross the slow tier once, scatter.
+
+    Phase A (intra): deliver same-node buckets directly, and gather
+    each GPU's remote-node buckets on that node's designated *leader*
+    (``node_base + dest_node % G`` — rotating so leadership spreads
+    over the node), folding duplicates across the node's senders.
+    Phase B (inter): one message per ordered node pair, leader to the
+    destination node's *gateway*, carrying the deduplicated union.
+    Phase C (intra): the gateway splits by owner and delivers locally.
+    Every (sender, destination) contribution travels exactly one of
+    the two paths, so min/sum folding stays exact.
+    """
+    num_gpus = partition.num_gpus
+    node_size = topology.node_size
+    num_nodes = topology.num_nodes
+    values_on = values is not None
+
+    def node_span(node: int) -> tuple[int, int]:
+        return (
+            int(partition.boundaries[node * node_size]),
+            int(partition.boundaries[(node + 1) * node_size]),
+        )
+
+    empty = np.empty(0, dtype=np.int64)
+    vempty = np.empty(0, dtype=np.float64)
+    final_ids: list[np.ndarray] = [outgoing[g][g] for g in range(num_gpus)]
+    final_vals: list[np.ndarray | None] = [
+        values[g][g] if values_on else None for g in range(num_gpus)
+    ]
+    # staged[(leader, dest_node)] — the union the leader will forward.
+    staged: dict[tuple[int, int], tuple[np.ndarray, np.ndarray | None]] = {}
+
+    # -- phase A: intra-node delivery + per-destination-node gather ------
+    step = _Step(topology)
+    for g in range(num_gpus):
+        node = g // node_size
+        for h in range(node * node_size, (node + 1) * node_size):
+            if h == g or outgoing[g][h].size == 0:
+                continue
+            lo, hi = partition.bounds(h)
+            ids = outgoing[g][h]
+            decoded, nbytes = _encode_message(
+                codec, ids, lo, hi, int(ids.shape[0]),
+                value_width if values_on else 0, stats,
+                tier=step.tier_of(g, h),
+            )
+            step.add(g, h, nbytes)
+            stats.sent_ids_per_gpu[g] += ids.shape[0]
+            stats.received_ids_per_gpu[h] += decoded.shape[0]
+            final_ids[h], final_vals[h] = _combine(
+                final_ids[h], final_vals[h], decoded,
+                values[g][h] if values_on else None, combine,
+            )
+        for dest in range(num_nodes):
+            if dest == node:
+                continue
+            members = range(dest * node_size, (dest + 1) * node_size)
+            chunks = [outgoing[g][h] for h in members if outgoing[g][h].size]
+            if not chunks:
+                continue
+            # Owner ranges are contiguous, so the concatenation of the
+            # destination node's buckets is already sorted and unique.
+            ids = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+            vals = None
+            if values_on:
+                vals = np.concatenate(
+                    [values[g][h] for h in members if outgoing[g][h].size]
+                )
+            leader = node * node_size + (dest % node_size)
+            if leader != g:
+                lo, hi = node_span(dest)
+                ids, nbytes = _encode_message(
+                    codec, ids, lo, hi, int(ids.shape[0]),
+                    value_width if values_on else 0, stats,
+                    tier=step.tier_of(g, leader),
+                )
+                step.add(g, leader, nbytes)
+                stats.sent_ids_per_gpu[g] += int(ids.shape[0])
+                stats.received_ids_per_gpu[leader] += int(ids.shape[0])
+            have = staged.get((leader, dest), (empty, vempty if values_on else None))
+            staged[(leader, dest)] = _combine(
+                have[0], have[1], ids, vals, combine
+            )
+    step.finish(stats)
+    rounds = 1
+
+    # -- phase B: one inter-node message per ordered node pair ------------
+    gathered: list[tuple[np.ndarray, np.ndarray | None]] = [
+        (empty, vempty if values_on else None) for _ in range(num_gpus)
+    ]
+    if num_nodes > 1:
+        step = _Step(topology)
+        for node in range(num_nodes):
+            for dest in range(num_nodes):
+                if dest == node:
+                    continue
+                leader = node * node_size + (dest % node_size)
+                ids, vals = staged.get(
+                    (leader, dest), (empty, vempty if values_on else None)
+                )
+                if ids.size == 0:
+                    continue
+                gateway = dest * node_size + (node % node_size)
+                lo, hi = node_span(dest)
+                decoded, nbytes = _encode_message(
+                    codec, ids, lo, hi, int(ids.shape[0]),
+                    value_width if values_on else 0, stats,
+                    tier=step.tier_of(leader, gateway),
+                )
+                step.add(leader, gateway, nbytes)
+                stats.sent_ids_per_gpu[leader] += ids.shape[0]
+                stats.received_ids_per_gpu[gateway] += decoded.shape[0]
+                gathered[gateway] = _combine(
+                    gathered[gateway][0], gathered[gateway][1],
+                    decoded, vals, combine,
+                )
+        step.finish(stats)
+        rounds += 1
+
+        # -- phase C: gateway scatters to owners over the fast tier ------
+        step = _Step(topology)
+        for gw in range(num_gpus):
+            ids, vals = gathered[gw]
+            if ids.size == 0:
+                continue
+            node = gw // node_size
+            members = range(node * node_size, (node + 1) * node_size)
+            cuts = np.searchsorted(
+                ids, [partition.bounds(h)[0] for h in members]
+                + [node_span(node)[1]]
+            )
+            for i, h in enumerate(members):
+                part_ids = ids[cuts[i]:cuts[i + 1]]
+                part_vals = vals[cuts[i]:cuts[i + 1]] if values_on else None
+                if part_ids.size == 0:
+                    continue
+                if h != gw:
+                    lo, hi = partition.bounds(h)
+                    part_ids, nbytes = _encode_message(
+                        codec, part_ids, lo, hi, int(part_ids.shape[0]),
+                        value_width if values_on else 0, stats,
+                        tier=step.tier_of(gw, h),
+                    )
+                    step.add(gw, h, nbytes)
+                    stats.sent_ids_per_gpu[gw] += int(part_ids.shape[0])
+                    stats.received_ids_per_gpu[h] += int(part_ids.shape[0])
+                final_ids[h], final_vals[h] = _combine(
+                    final_ids[h], final_vals[h], part_ids, part_vals, combine,
+                )
+        step.finish(stats)
+        rounds += 1
+
+    stats.rounds = rounds
+    incoming = [np.asarray(ids, dtype=np.int64) for ids in final_ids]
+    in_vals = None
+    if values_on:
+        in_vals = [
+            v if v is not None else np.empty(0, dtype=np.float64)
+            for v in final_vals
+        ]
+    return incoming, in_vals

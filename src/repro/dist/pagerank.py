@@ -43,6 +43,8 @@ class DistPageRankResult:
     edges_processed: int
     exchanged_bytes: int
     exchange_seconds: float
+    #: Exchange time hidden under the push phase by the overlap pipeline.
+    overlapped_seconds: float
     sim_seconds: float
     converged: bool
     num_gpus: int
@@ -93,6 +95,7 @@ def distributed_pagerank(
     edges_processed = 0
     exchanged_bytes = 0
     exchange_seconds = 0.0
+    overlapped_seconds = 0.0
     messages = 0
     converged = False
     cached: list[tuple[np.ndarray, np.ndarray] | None] = [None] * num_gpus
@@ -179,10 +182,12 @@ def distributed_pagerank(
                     finalize_seconds, engine.elapsed_seconds - before
                 )
             ranks = new_ranks
-            cluster.advance(
-                push_seconds + ex.seconds + finalize_seconds
-                + allreduce_seconds
+            level_total, overlapped = cluster.level_seconds(
+                push_seconds, ex, finalize_seconds
             )
+            overlapped_seconds += overlapped
+            # The scalar allreduce needs the finalized ranks: serial.
+            cluster.advance(level_total + allreduce_seconds)
             sp.annotate(
                 edges_expanded=level_edges,
                 rank_delta=delta,
@@ -190,6 +195,11 @@ def distributed_pagerank(
                 exchange_seconds=ex.seconds,
                 claim_seconds=finalize_seconds,
                 wire_bytes=ex.wire_bytes,
+                intra_bytes=ex.tier_bytes["intra"],
+                inter_bytes=ex.tier_bytes["inter"],
+                overlap_ratio=(
+                    overlapped / ex.seconds if ex.seconds > 0 else 0.0
+                ),
                 messages=ex.messages,
                 bound=cluster.level_bound(
                     push_seconds, ex, finalize_seconds
@@ -207,6 +217,7 @@ def distributed_pagerank(
         edges_processed=edges_processed,
         exchanged_bytes=exchanged_bytes,
         exchange_seconds=exchange_seconds,
+        overlapped_seconds=overlapped_seconds,
         sim_seconds=cluster.clock,
         converged=converged,
         num_gpus=num_gpus,

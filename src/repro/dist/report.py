@@ -9,16 +9,25 @@ dumps, so ``repro compare`` gates distributed workloads exactly like
 single-GPU ones.
 
 :func:`dist_report` renders the per-level story as a table: frontier
-size, wire bytes, the expand/exchange/claim split, and which term bound
-each level.
+size, wire bytes (split intra/inter on two-tier topologies), the
+expand/exchange/claim split, and which term bound each level.
+
+:func:`verify_dist_attribution` extends the single-GPU attribution
+invariant (:func:`repro.obs.counters.verify_attribution`) to cluster
+runs: every shard engine's per-array bytes must sum exactly to its
+launch columns, and the cluster's wire counters must decompose exactly
+— ``id + value + header == wire`` and ``intra + inter == wire`` — with
+the per-level span annotations summing back to the counters.
 """
 
 from __future__ import annotations
 
 from repro.dist.cluster import ShardedCluster
+from repro.dist.topology import TIERS
+from repro.obs.counters import verify_attribution
 from repro.obs.metrics import METRICS_SCHEMA, git_sha
 
-__all__ = ["dist_run_metrics", "dist_report"]
+__all__ = ["dist_run_metrics", "dist_report", "verify_dist_attribution"]
 
 #: Kernel-summary fields summed across the per-GPU engines.
 _KERNEL_FIELDS = (
@@ -36,11 +45,17 @@ _LEVEL_FIELDS = (
     "frontier_size",
     "edges_expanded",
     "wire_bytes",
+    "intra_bytes",
+    "inter_bytes",
+    "overlap_ratio",
     "messages",
     "expand_seconds",
     "exchange_seconds",
     "claim_seconds",
 )
+
+#: Per-tier counter suffixes exported in the ``tiers`` section.
+_TIER_FIELDS = ("bytes", "messages", "transfer_seconds", "latency_seconds")
 
 
 def _level_spans(cluster: ShardedCluster) -> list:
@@ -78,15 +93,28 @@ def dist_run_metrics(cluster: ShardedCluster, meta: dict | None = None) -> dict:
             for field in _LEVEL_FIELDS
         }
     device = cluster.backends[0].engine.device
+    topology = cluster.topology
     base_meta = {
         "num_gpus": cluster.num_gpus,
+        "num_nodes": topology.num_nodes,
+        "gpus_per_node": topology.node_size,
         "fmt": cluster.fmt,
         "wire": cluster.codec.name,
         "schedule": cluster.schedule,
-        "link_bandwidth": cluster.topology.link_bandwidth,
-        "contention": cluster.topology.contention,
+        "overlap": cluster.overlap,
+        "link_bandwidth": topology.link_bandwidth,
+        "inter_bandwidth": topology.tier_params("inter")[0],
+        "contention": topology.contention,
         "git_sha": git_sha(),
         "schema_versions": {"metrics": METRICS_SCHEMA},
+    }
+    counters = cluster.metrics.counters
+    tiers = {
+        tier: {
+            field: counters.get(f"dist.tier.{tier}.{field}", 0.0)
+            for field in _TIER_FIELDS
+        }
+        for tier in TIERS
     }
     return {
         "schema": METRICS_SCHEMA,
@@ -103,6 +131,7 @@ def dist_run_metrics(cluster: ShardedCluster, meta: dict | None = None) -> dict:
             for name, row in sorted(kernels.items())
         },
         **cluster.metrics.to_dict(),
+        "tiers": tiers,
         "levels": levels,
     }
 
@@ -110,31 +139,125 @@ def dist_run_metrics(cluster: ShardedCluster, meta: dict | None = None) -> dict:
 def dist_report(cluster: ShardedCluster) -> str:
     """Per-level table of one finished cluster run."""
     spans = _level_spans(cluster)
+    tiered = cluster.topology.num_nodes > 1
     header = (
         f"{'level':14s} {'frontier':>9s} {'edges':>9s} {'wire B':>9s} "
-        f"{'expand us':>10s} {'exch us':>9s} {'claim us':>9s} {'bound':>8s}"
     )
+    if tiered:
+        header += f"{'inter B':>9s} "
+    header += (
+        f"{'expand us':>10s} {'exch us':>9s} {'claim us':>9s} "
+        f"{'ovl':>5s} {'bound':>8s}"
+    )
+    topo_note = ""
+    if tiered:
+        topo_note = (
+            f", {cluster.topology.num_nodes} nodes x "
+            f"{cluster.topology.node_size} GPUs"
+        )
     lines = [
-        f"distributed run: {cluster.num_gpus} GPUs, fmt={cluster.fmt}, "
-        f"wire={cluster.codec.name}, schedule={cluster.schedule}",
+        f"distributed run: {cluster.num_gpus} GPUs{topo_note}, "
+        f"fmt={cluster.fmt}, wire={cluster.codec.name}, "
+        f"schedule={cluster.schedule}"
+        + (", overlap" if cluster.overlap else ""),
         header,
     ]
     for span in spans:
         a = span.attrs
-        lines.append(
+        row = (
             f"{span.name:14s} "
             f"{int(a.get('frontier_size', 0)):9d} "
             f"{int(a.get('edges_expanded', 0)):9d} "
             f"{int(a.get('wire_bytes', 0)):9d} "
+        )
+        if tiered:
+            row += f"{int(a.get('inter_bytes', 0)):9d} "
+        row += (
             f"{1e6 * float(a.get('expand_seconds', 0.0)):10.2f} "
             f"{1e6 * float(a.get('exchange_seconds', 0.0)):9.2f} "
             f"{1e6 * float(a.get('claim_seconds', 0.0)):9.2f} "
+            f"{float(a.get('overlap_ratio', 0.0)):5.2f} "
             f"{str(a.get('bound', '-')):>8s}"
         )
-    wire = cluster.metrics.counters.get("dist.wire_bytes", 0.0)
-    msgs = cluster.metrics.counters.get("dist.messages", 0.0)
+        lines.append(row)
+    counters = cluster.metrics.counters
+    wire = counters.get("dist.wire_bytes", 0.0)
+    msgs = counters.get("dist.messages", 0.0)
     lines.append(
         f"total: {cluster.clock * 1e3:.4f} ms simulated, "
         f"{int(wire)} wire bytes in {int(msgs)} messages"
     )
+    if tiered:
+        for tier in TIERS:
+            tb = counters.get(f"dist.tier.{tier}.bytes", 0.0)
+            tm = counters.get(f"dist.tier.{tier}.messages", 0.0)
+            ts = counters.get(
+                f"dist.tier.{tier}.transfer_seconds", 0.0
+            ) + counters.get(f"dist.tier.{tier}.latency_seconds", 0.0)
+            lines.append(
+                f"tier {tier}: {int(tb)} bytes in {int(tm)} messages, "
+                f"{ts * 1e3:.4f} ms on the fabric"
+            )
+    hidden = counters.get("dist.overlapped_seconds", 0.0)
+    if cluster.overlap:
+        lines.append(
+            f"overlap: {hidden * 1e3:.4f} ms of exchange hidden under compute"
+        )
     return "\n".join(lines)
+
+
+def verify_dist_attribution(cluster: ShardedCluster) -> None:
+    """Assert the byte accounting of a finished cluster run is exact.
+
+    Three layers, all exact equalities (every charge path records
+    integer byte amounts, so float sums are exact):
+
+    1. every shard engine passes the single-GPU per-array attribution
+       invariant (:func:`repro.obs.counters.verify_attribution`);
+    2. the wire counters decompose without loss or double count —
+       ``id_bytes + value_bytes + header_bytes == wire_bytes`` and
+       ``sum(tier bytes) == wire_bytes``;
+    3. the per-level span annotations sum back to the counters, both in
+       aggregate and per tier.
+
+    Raises ``AssertionError`` naming the first violated equality.
+    """
+    for g, backend in enumerate(cluster.backends):
+        try:
+            verify_attribution(backend.engine)
+        except AssertionError as exc:
+            raise AssertionError(f"gpu {g}: {exc}") from exc
+    counters = cluster.metrics.counters
+    wire = counters.get("dist.wire_bytes", 0.0)
+    parts = (
+        counters.get("dist.id_bytes", 0.0)
+        + counters.get("dist.value_bytes", 0.0)
+        + counters.get("dist.header_bytes", 0.0)
+    )
+    if parts != wire:
+        raise AssertionError(
+            f"id+value+header bytes {parts} != wire bytes {wire}"
+        )
+    tier_total = sum(
+        counters.get(f"dist.tier.{tier}.bytes", 0.0) for tier in TIERS
+    )
+    if tier_total != wire:
+        raise AssertionError(
+            f"per-tier bytes {tier_total} != wire bytes {wire}"
+        )
+    span_wire = 0.0
+    span_tier = {tier: 0.0 for tier in TIERS}
+    for span in _level_spans(cluster):
+        span_wire += float(span.attrs.get("wire_bytes", 0))
+        span_tier["intra"] += float(span.attrs.get("intra_bytes", 0))
+        span_tier["inter"] += float(span.attrs.get("inter_bytes", 0))
+    if span_wire != wire:
+        raise AssertionError(
+            f"span wire bytes {span_wire} != counter {wire}"
+        )
+    for tier in TIERS:
+        counted = counters.get(f"dist.tier.{tier}.bytes", 0.0)
+        if span_tier[tier] != counted:
+            raise AssertionError(
+                f"span {tier} bytes {span_tier[tier]} != counter {counted}"
+            )

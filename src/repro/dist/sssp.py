@@ -41,6 +41,8 @@ class DistSSSPResult:
     edges_relaxed: int
     exchanged_bytes: int
     exchange_seconds: float
+    #: Exchange time hidden under relaxation by the overlap pipeline.
+    overlapped_seconds: float
     sim_seconds: float
     num_gpus: int
     wire: str
@@ -123,6 +125,7 @@ def distributed_sssp(
     edges_relaxed = 0
     exchanged_bytes = 0
     exchange_seconds = 0.0
+    overlapped_seconds = 0.0
     messages = 0
     iterations = 0
     cap = max_iterations if max_iterations is not None else nv
@@ -206,7 +209,11 @@ def distributed_sssp(
                 )
             frontiers = next_frontiers
             iterations += 1
-            cluster.advance(relax_seconds + ex.seconds + update_seconds)
+            level_total, overlapped = cluster.level_seconds(
+                relax_seconds, ex, update_seconds
+            )
+            overlapped_seconds += overlapped
+            cluster.advance(level_total)
             sp.annotate(
                 edges_expanded=level_edges,
                 improved=improved_total,
@@ -214,6 +221,11 @@ def distributed_sssp(
                 exchange_seconds=ex.seconds,
                 claim_seconds=update_seconds,
                 wire_bytes=ex.wire_bytes,
+                intra_bytes=ex.tier_bytes["intra"],
+                inter_bytes=ex.tier_bytes["inter"],
+                overlap_ratio=(
+                    overlapped / ex.seconds if ex.seconds > 0 else 0.0
+                ),
                 messages=ex.messages,
                 bound=cluster.level_bound(relax_seconds, ex, update_seconds),
             )
@@ -227,6 +239,7 @@ def distributed_sssp(
         edges_relaxed=edges_relaxed,
         exchanged_bytes=exchanged_bytes,
         exchange_seconds=exchange_seconds,
+        overlapped_seconds=overlapped_seconds,
         sim_seconds=cluster.clock,
         num_gpus=num_gpus,
         wire=cluster.codec.name,

@@ -17,6 +17,13 @@ latency per message each GPU must post.
 per-link switch (NVLink-style point-to-point), ``1`` reproduces the old
 single-pipe model (every byte crosses one shared bus — the workstation
 PCIe tree the paper's Titan Xp lives on is closer to this end).
+
+Two-tier topologies add a second, slower fabric: ``gpus_per_node``
+groups the GPUs into nodes whose members talk over the fast intra-node
+links, while traffic between nodes crosses the inter-node fabric
+(``inter_bandwidth`` / ``inter_contention`` / ``inter_latency_s``).
+This is the paper's PCIe-vs-HBM bandwidth cliff replayed one level up —
+the crossing where frontier compression pays again.
 """
 
 from __future__ import annotations
@@ -27,14 +34,26 @@ import numpy as np
 
 from repro.gpusim.device import DeviceSpec
 
-__all__ = ["DEFAULT_PEER_BANDWIDTH", "LinkTopology"]
+__all__ = [
+    "DEFAULT_PEER_BANDWIDTH",
+    "DEFAULT_INTER_BANDWIDTH",
+    "TIERS",
+    "LinkTopology",
+]
 
 #: PCIe peer-to-peer bandwidth between GPUs (no NVLink on a Titan Xp
 #: class workstation; both directions share the host links).
 DEFAULT_PEER_BANDWIDTH = 10e9
 
+#: Inter-node fabric bandwidth (network-class: ~10x slower than the
+#: intra-node PCIe peer links).
+DEFAULT_INTER_BANDWIDTH = 1e9
+
 #: Fixed cost of posting one peer-to-peer message (driver + DMA setup).
 DEFAULT_MESSAGE_LATENCY_S = 5e-6
+
+#: Link tiers a message can cross.
+TIERS = ("intra", "inter")
 
 
 @dataclass(frozen=True)
@@ -46,18 +65,31 @@ class LinkTopology:
     num_gpus:
         Devices on the fabric.
     link_bandwidth:
-        Bytes/s each GPU's own link sustains in one direction.
+        Bytes/s each GPU's own link sustains in one direction
+        (the intra-node tier on a two-tier topology).
     contention:
         Fraction of the exchange's *total* bytes that serialize on the
         shared fabric (0 = independent links, 1 = one shared pipe).
     message_latency_s:
         Fixed cost per message a GPU posts in one step.
+    gpus_per_node:
+        Group size of the fast tier.  ``None`` (default) means every
+        GPU shares one node — a flat single-tier fabric.  Must divide
+        ``num_gpus``.
+    inter_bandwidth / inter_contention / inter_latency_s:
+        The slow tier's parameters; each falls back to its intra-node
+        counterpart when ``None``.  Ignored unless ``gpus_per_node``
+        makes the topology multi-node.
     """
 
     num_gpus: int
     link_bandwidth: float = DEFAULT_PEER_BANDWIDTH
     contention: float = 0.5
     message_latency_s: float = DEFAULT_MESSAGE_LATENCY_S
+    gpus_per_node: int | None = None
+    inter_bandwidth: float | None = None
+    inter_contention: float | None = None
+    inter_latency_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -72,6 +104,30 @@ class LinkTopology:
             )
         if self.message_latency_s < 0:
             raise ValueError("message latency must be >= 0")
+        if self.gpus_per_node is not None:
+            if not 1 <= self.gpus_per_node <= self.num_gpus:
+                raise ValueError(
+                    f"gpus_per_node must be in [1, {self.num_gpus}], "
+                    f"got {self.gpus_per_node}"
+                )
+            if self.num_gpus % self.gpus_per_node:
+                raise ValueError(
+                    f"gpus_per_node {self.gpus_per_node} does not divide "
+                    f"{self.num_gpus} GPUs into whole nodes"
+                )
+        if self.inter_bandwidth is not None and self.inter_bandwidth <= 0:
+            raise ValueError(
+                f"inter bandwidth must be positive, got {self.inter_bandwidth}"
+            )
+        if self.inter_contention is not None and not (
+            0.0 <= self.inter_contention <= 1.0
+        ):
+            raise ValueError(
+                f"inter contention must be in [0, 1], "
+                f"got {self.inter_contention}"
+            )
+        if self.inter_latency_s is not None and self.inter_latency_s < 0:
+            raise ValueError("inter latency must be >= 0")
 
     @classmethod
     def for_device(
@@ -94,24 +150,104 @@ class LinkTopology:
             message_latency_s=device.launch_overhead_s,
         )
 
+    @classmethod
+    def two_tier(
+        cls,
+        num_nodes: int,
+        gpus_per_node: int,
+        link_bandwidth: float = DEFAULT_PEER_BANDWIDTH,
+        inter_bandwidth: float = DEFAULT_INTER_BANDWIDTH,
+        contention: float = 0.5,
+        inter_contention: float | None = None,
+        message_latency_s: float = DEFAULT_MESSAGE_LATENCY_S,
+        inter_latency_s: float | None = None,
+    ) -> "LinkTopology":
+        """``num_nodes`` nodes of ``gpus_per_node`` GPUs each.
+
+        GPU ``g`` lives on node ``g // gpus_per_node``; messages inside
+        a node use the intra parameters, messages between nodes the
+        (usually slower) inter parameters.
+        """
+        if num_nodes < 1:
+            raise ValueError(f"need at least one node, got {num_nodes}")
+        return cls(
+            num_gpus=num_nodes * gpus_per_node,
+            link_bandwidth=link_bandwidth,
+            contention=contention,
+            message_latency_s=message_latency_s,
+            gpus_per_node=gpus_per_node,
+            inter_bandwidth=inter_bandwidth,
+            inter_contention=inter_contention,
+            inter_latency_s=inter_latency_s,
+        )
+
+    # -- node structure ---------------------------------------------------
+
+    @property
+    def node_size(self) -> int:
+        """GPUs per node (``num_gpus`` on a single-tier topology)."""
+        return self.gpus_per_node or self.num_gpus
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes the GPUs are grouped into."""
+        return self.num_gpus // self.node_size
+
+    def node_of(self, gpu: int) -> int:
+        """Node index a GPU belongs to."""
+        return gpu // self.node_size
+
+    def tier(self, src: int, dst: int) -> str:
+        """``"intra"`` or ``"inter"`` for a ``src -> dst`` message."""
+        return "intra" if self.node_of(src) == self.node_of(dst) else "inter"
+
+    def tier_params(self, tier: str) -> tuple[float, float, float]:
+        """``(bandwidth, contention, latency)`` of one tier; the inter
+        tier falls back to the intra values field by field."""
+        if tier == "intra":
+            return self.link_bandwidth, self.contention, self.message_latency_s
+        if tier == "inter":
+            return (
+                self.inter_bandwidth
+                if self.inter_bandwidth is not None
+                else self.link_bandwidth,
+                self.inter_contention
+                if self.inter_contention is not None
+                else self.contention,
+                self.inter_latency_s
+                if self.inter_latency_s is not None
+                else self.message_latency_s,
+            )
+        raise ValueError(f"unknown tier {tier!r}; pick from {TIERS}")
+
     def scaled_bandwidth(self, factor: float) -> "LinkTopology":
-        """Same fabric with every link's bandwidth multiplied by ``factor``."""
+        """Same fabric with every tier's bandwidth multiplied by ``factor``."""
         if factor <= 0:
             raise ValueError(f"factor must be positive, got {factor}")
-        return replace(self, link_bandwidth=self.link_bandwidth * factor)
+        return replace(
+            self,
+            link_bandwidth=self.link_bandwidth * factor,
+            inter_bandwidth=(
+                self.inter_bandwidth * factor
+                if self.inter_bandwidth is not None
+                else None
+            ),
+        )
 
     def step_breakdown(
         self,
         egress_bytes: np.ndarray,
         ingress_bytes: np.ndarray,
         messages_per_gpu: int,
+        tier: str = "intra",
     ) -> tuple[float, float]:
         """``(transfer, latency)`` seconds of one exchange step.
 
         ``egress_bytes[g]`` / ``ingress_bytes[g]`` are the bytes GPU
         ``g`` sends/receives in this step; ``messages_per_gpu`` the
         number of messages each GPU posts (P-1 for a flat all-to-all,
-        1 per butterfly round).
+        1 per butterfly round).  ``tier`` selects which fabric's
+        bandwidth/contention/latency price the step.
         """
         egress = np.asarray(egress_bytes, dtype=np.float64)
         ingress = np.asarray(ingress_bytes, dtype=np.float64)
@@ -122,21 +258,23 @@ class LinkTopology:
             )
         if self.num_gpus == 1:
             return 0.0, 0.0
-        link_time = float(np.maximum(egress, ingress).max()) / self.link_bandwidth
-        fabric_time = self.contention * float(egress.sum()) / self.link_bandwidth
+        bandwidth, contention, latency_s = self.tier_params(tier)
+        link_time = float(np.maximum(egress, ingress).max()) / bandwidth
+        fabric_time = contention * float(egress.sum()) / bandwidth
         transfer = max(link_time, fabric_time)
         if transfer == 0.0:
             return 0.0, 0.0
-        return transfer, messages_per_gpu * self.message_latency_s
+        return transfer, messages_per_gpu * latency_s
 
     def step_seconds(
         self,
         egress_bytes: np.ndarray,
         ingress_bytes: np.ndarray,
         messages_per_gpu: int,
+        tier: str = "intra",
     ) -> float:
         """Total duration of one bulk-synchronous exchange step."""
         transfer, latency = self.step_breakdown(
-            egress_bytes, ingress_bytes, messages_per_gpu
+            egress_bytes, ingress_bytes, messages_per_gpu, tier=tier
         )
         return transfer + latency

@@ -15,9 +15,13 @@ model the standard menu:
   once frontier density crosses ~1/32 of the shard;
 * ``varint`` — delta-encode the sorted ids, LEB128-varint the gaps —
   the sparse-frontier compressor (gaps within a shard are small);
-* ``auto``   — per message, whichever of raw/bitmap/varint is smallest
-  (density-based selection, decided from the header the receiver reads
-  anyway).
+* ``ef``     — Elias-Fano over the sorted ids relative to the message
+  range, reusing the :mod:`repro.ef` substrate the storage format is
+  built on (a sorted-unique frontier is exactly the monotone sequence
+  EF wants);
+* ``auto``   — per message, whichever concrete codec trial-encodes
+  smallest (real payload sizes, not a density heuristic; the winner's
+  tag rides in the header the receiver reads anyway).
 
 Every codec really encodes and decodes (the drivers traverse what came
 off the wire), so "levels bit-identical across codecs" is a property of
@@ -32,6 +36,11 @@ import abc
 
 import numpy as np
 
+from repro.core.errors import CorruptStreamError
+from repro.ef.bounds import ef_num_lower_bits, ef_upper_bits
+from repro.ef.encoding import EFSequence, ef_decode, ef_encode
+from repro.ef.forward import DEFAULT_QUANTUM, build_forward_pointers
+
 __all__ = [
     "FRONTIER_ID_BYTES",
     "MESSAGE_HEADER_BYTES",
@@ -41,6 +50,7 @@ __all__ = [
     "Raw64Codec",
     "BitmapCodec",
     "VarintCodec",
+    "EliasFanoCodec",
     "AutoCodec",
     "get_codec",
 ]
@@ -94,7 +104,9 @@ def _varint_decode(payload: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.uint64)
     ends = np.flatnonzero((data & 0x80) == 0)
     if ends.size == 0 or ends[-1] != data.size - 1:
-        raise ValueError("truncated varint stream")
+        # The last byte still has its continuation bit set: the stream
+        # was cut mid-value.  Typed per the repro.core.errors contract.
+        raise CorruptStreamError("truncated varint stream", fmt="wire")
     starts = np.empty(ends.size, dtype=np.int64)
     starts[0] = 0
     starts[1:] = ends[:-1] + 1
@@ -222,25 +234,134 @@ class VarintCodec(WireCodec):
         return np.cumsum(gaps.astype(np.int64)) + lo
 
 
-class AutoCodec(WireCodec):
-    """Per-message density-based selection among raw/bitmap/varint.
+class EliasFanoCodec(WireCodec):
+    """Elias-Fano over the sorted ids, relative to the message range.
 
-    The sender knows the id count and range, so the choice costs one
-    comparison; the winner's tag rides in the message header the
-    receiver parses anyway.  Functional decode delegates to the chosen
-    codec, recovered the same way.
+    The id stream rebased to ``[0, hi - lo)`` is a strictly increasing
+    sequence with a known universe — the textbook EF input — so the
+    payload is the EF lower/upper sections from :func:`repro.ef.
+    encoding.ef_encode` behind a 4-byte element count.  Both section
+    lengths are closed-form in ``(n, u)`` (the a-priori bound the
+    storage format advertises), so the count is the whole header and
+    any truncation or padding is detected as a length mismatch.
+    Forward pointers are rebuilt receiver-side rather than shipped:
+    wire bytes stay minimal and the rebuild cost is part of the decode
+    instruction charge.
+    """
+
+    name = "ef"
+    #: Lower/upper split, pack_bits store, unary stop-bit scatter.
+    encode_instr_per_id = 6.0
+    #: Forward-pointer rebuild + the Sec. VI-B select decomposition.
+    decode_instr_per_id = 8.0
+
+    @staticmethod
+    def _universe(lo: int, hi: int) -> int:
+        # Largest rebased value a valid message can carry.
+        return max(hi - lo - 1, 0)
+
+    def encode(self, ids: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        ids = _check_sorted_unique(ids)
+        if ids.size == 0:
+            return np.empty(0, dtype=np.uint8)
+        if int(ids[0]) < lo or int(ids[-1]) >= hi:
+            raise ValueError("ef codec: id outside message range")
+        seq = ef_encode(ids - lo, u=self._universe(lo, hi))
+        count = np.array([ids.shape[0]], dtype="<u4").view(np.uint8)
+        return np.concatenate([count, seq.lower, seq.upper])
+
+    def decode(self, payload: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        data = np.asarray(payload, dtype=np.uint8)
+        if data.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if data.size < 4:
+            raise CorruptStreamError(
+                f"ef wire payload of {data.size} bytes is shorter than "
+                "its 4-byte count header",
+                fmt="wire",
+            )
+        n = int(data[:4].view("<u4")[0])
+        if not 1 <= n <= hi - lo:
+            raise CorruptStreamError(
+                f"ef wire count {n} invalid for a range of {hi - lo} ids",
+                fmt="wire",
+            )
+        u = self._universe(lo, hi)
+        l = ef_num_lower_bits(n, u)
+        lower_len = (n * l + 7) >> 3
+        upper_len = (ef_upper_bits(n, u) + 7) >> 3
+        if data.size != 4 + lower_len + upper_len:
+            raise CorruptStreamError(
+                f"ef wire payload holds {data.size - 4} section bytes, "
+                f"{lower_len + upper_len} implied by count {n}",
+                fmt="wire",
+            )
+        upper = data[4 + lower_len :]
+        seq = EFSequence(
+            n=n,
+            u=u,
+            num_lower_bits=l,
+            lower=data[4 : 4 + lower_len],
+            upper=upper,
+            forward=build_forward_pointers(upper, n, DEFAULT_QUANTUM),
+        )
+        return ef_decode(seq) + lo
+
+    def encoded_nbytes(self, ids: np.ndarray, lo: int, hi: int) -> int:
+        n = int(np.asarray(ids).shape[0])
+        if n == 0:
+            return 0
+        u = self._universe(lo, hi)
+        l = ef_num_lower_bits(n, u)
+        return 4 + ((n * l + 7) >> 3) + ((ef_upper_bits(n, u) + 7) >> 3)
+
+
+class AutoCodec(WireCodec):
+    """Per-message selection by actual trial-encoded payload size.
+
+    Every concrete candidate (raw/bitmap/varint/ef) encodes the
+    message; the smallest real payload wins, with earlier candidates
+    breaking ties (raw first — the cheapest decode).  Candidates that
+    cannot represent the message (raw past 2^31) drop out of the trial.
+    The winner's tag rides in the message header the receiver parses
+    anyway.  Functional decode delegates to the chosen codec, recovered
+    the same way.
     """
 
     name = "auto"
 
     def __init__(self) -> None:
-        self._candidates = (RawCodec(), BitmapCodec(), VarintCodec())
+        self._candidates = (
+            RawCodec(),
+            BitmapCodec(),
+            VarintCodec(),
+            EliasFanoCodec(),
+        )
+
+    def trial(
+        self, ids: np.ndarray, lo: int, hi: int
+    ) -> tuple[WireCodec, np.ndarray]:
+        """``(winner, payload)`` — the smallest actual encoding."""
+        best: tuple[WireCodec, np.ndarray] | None = None
+        for candidate in self._candidates:
+            try:
+                payload = candidate.encode(ids, lo, hi)
+            except ValueError:
+                if candidate is self._candidates[0]:
+                    # Only representation limits are skippable; bad input
+                    # (unsorted/duplicate ids) fails every candidate, so
+                    # let the first one surface the error.
+                    _check_sorted_unique(ids)
+                continue
+            if best is None or payload.shape[0] < best[1].shape[0]:
+                best = (candidate, payload)
+        if best is None:
+            raise ValueError("no wire codec can represent this message")
+        return best
 
     def choose(self, ids: np.ndarray, lo: int, hi: int) -> WireCodec:
         """Smallest-payload candidate for this message."""
-        return min(
-            self._candidates, key=lambda c: c.encoded_nbytes(ids, lo, hi)
-        )
+        return self.trial(ids, lo, hi)[0]
 
     @property
     def encode_instr_per_id(self) -> float:  # type: ignore[override]
@@ -251,7 +372,7 @@ class AutoCodec(WireCodec):
         return max(c.decode_instr_per_id for c in self._candidates)
 
     def encode(self, ids: np.ndarray, lo: int, hi: int) -> np.ndarray:
-        return self.choose(ids, lo, hi).encode(ids, lo, hi)
+        return self.trial(ids, lo, hi)[1]
 
     def decode(self, payload: np.ndarray, lo: int, hi: int) -> np.ndarray:
         raise NotImplementedError(
@@ -259,15 +380,22 @@ class AutoCodec(WireCodec):
         )
 
     def encoded_nbytes(self, ids: np.ndarray, lo: int, hi: int) -> int:
-        return min(c.encoded_nbytes(ids, lo, hi) for c in self._candidates)
+        return int(self.trial(ids, lo, hi)[1].shape[0])
 
 
 #: CLI-facing codec names.
-WIRE_CODECS = ("raw", "raw64", "bitmap", "varint", "auto")
+WIRE_CODECS = ("raw", "raw64", "bitmap", "varint", "ef", "auto")
 
 _CODECS: dict[str, WireCodec] = {
     c.name: c
-    for c in (RawCodec(), Raw64Codec(), BitmapCodec(), VarintCodec(), AutoCodec())
+    for c in (
+        RawCodec(),
+        Raw64Codec(),
+        BitmapCodec(),
+        VarintCodec(),
+        EliasFanoCodec(),
+        AutoCodec(),
+    )
 }
 
 

@@ -31,20 +31,25 @@ def payload(workloads):
 
 
 class TestSuite:
-    def test_all_nine_workloads(self, workloads):
-        assert sorted(workloads) == sorted(
+    def test_all_eleven_workloads(self, workloads):
+        single = [
             f"{algo}/{fmt}"
             for algo in ("bfs", "sssp", "pagerank")
             for fmt in ("csr", "efg", "cgr")
-        )
+        ]
+        dist = [f"dist_bfs/{wire}" for wire in SMALL.dist_wires]
+        assert sorted(workloads) == sorted(single + dist)
 
     def test_workloads_are_full_metrics_dumps(self, workloads):
         for name, metrics in workloads.items():
             assert metrics["schema"] == "repro.metrics/2"
             assert metrics["meta"]["bench_workload"] == name
             assert metrics["totals"]["elapsed_seconds"] > 0
-            assert metrics["arrays"]
-            assert metrics["hw_counters"]
+            if name.startswith("dist_"):
+                assert metrics["tiers"]["inter"]["bytes"] > 0
+            else:
+                assert metrics["arrays"]
+                assert metrics["hw_counters"]
 
     def test_suite_deterministic(self, workloads):
         again = run_bench_suite(SMALL)
@@ -139,9 +144,65 @@ class TestCompare:
         assert not cmp.ok
         assert any("pagerank/cgr" in r.key for r in cmp.regressions)
 
+    def test_added_workload_is_not_a_regression(self, payload):
+        # The suite grows over time: a workload with no baseline history
+        # must not trip the gate (it has nothing to regress against).
+        shrunk = json.loads(json.dumps(payload))
+        del shrunk["workloads"]["dist_bfs/ef"]
+        cmp = compare_bench(shrunk, payload)
+        assert cmp.ok
+        assert not any("dist_bfs/ef" in r.key for r in cmp.rows)
+
     def test_threshold_tolerates_small_drift(self, payload):
         drifted = json.loads(json.dumps(payload))
         row = drifted["workloads"]["bfs/csr"]["totals"]
         row["elapsed_seconds"] *= 1.005
         assert not compare_bench(payload, drifted, threshold=0.0).ok
         assert compare_bench(payload, drifted, threshold=0.01).ok
+
+
+class TestCrossover:
+    def test_payload_carries_crossover_section(self, payload):
+        crossover = payload["crossover"]
+        for tier in ("intra", "inter"):
+            row = crossover[tier]
+            assert row["raw_bytes"] > 0 and row["ef_bytes"] > 0
+            assert row["raw_over_ef"] > 0
+
+    def test_ef_wins_the_slow_tier(self, payload):
+        # Frontier compression pays on the inter-node fabric: fewer
+        # bytes through the narrow pipe means proportionally less time.
+        inter = payload["crossover"]["inter"]
+        assert inter["ef_bytes"] < inter["raw_bytes"]
+        assert inter["raw_over_ef"] > 1.0
+
+    def test_empty_without_dist_workloads(self):
+        from repro.bench.trajectory import crossover_summary
+
+        assert crossover_summary({}) == {}
+
+
+class TestCommittedBaseline:
+    """The crossover claim must hold in the committed trajectory entry."""
+
+    @pytest.fixture(scope="class")
+    def committed(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..",
+            "benchmarks", "baselines", "BENCH_6.json",
+        )
+        if not os.path.exists(path):
+            pytest.skip("BENCH_6.json not committed yet")
+        return load_bench(path)
+
+    def test_inter_tier_crossover_at_least_1_3x(self, committed):
+        inter = committed["crossover"]["inter"]
+        assert inter["raw_over_ef"] >= 1.3
+
+    def test_raw_competitive_intra(self, committed):
+        # On the fast latency-dominated tier the codec choice barely
+        # matters — raw stays within 1.3x of ef.
+        intra = committed["crossover"]["intra"]
+        assert intra["raw_over_ef"] <= 1.3

@@ -1,11 +1,11 @@
-"""Tests for the bucketed frontier exchange (flat and butterfly)."""
+"""Tests for the bucketed frontier exchange (flat/butterfly/hierarchical)."""
 
 import numpy as np
 import pytest
 
 from repro.dist.exchange import exchange
 from repro.dist.partition import VertexPartition
-from repro.dist.topology import LinkTopology
+from repro.dist.topology import TIERS, LinkTopology
 from repro.dist.wire import MESSAGE_HEADER_BYTES, get_codec
 
 NV = 64
@@ -15,6 +15,18 @@ def _setup(num_gpus):
     return (
         VertexPartition.even(NV, num_gpus),
         LinkTopology(num_gpus=num_gpus, link_bandwidth=1e9),
+    )
+
+
+def _setup_two_tier(num_nodes, gpus_per_node):
+    return (
+        VertexPartition.even(NV, num_nodes * gpus_per_node),
+        LinkTopology.two_tier(
+            num_nodes=num_nodes,
+            gpus_per_node=gpus_per_node,
+            link_bandwidth=10e9,
+            inter_bandwidth=1e9,
+        ),
     )
 
 
@@ -189,9 +201,155 @@ class TestButterfly:
         )
         assert bfly.messages < flat.messages
 
-    def test_requires_power_of_two(self):
-        partition, topology = _setup(3)
-        outgoing = _bucketize(partition, [[], [], []])
-        with pytest.raises(ValueError):
-            exchange(outgoing, partition, topology, get_codec("raw"),
-                     schedule="butterfly")
+    @pytest.mark.parametrize("num_gpus", [3, 5, 6, 7])
+    @pytest.mark.parametrize("wire", ["raw", "varint", "auto"])
+    def test_non_power_of_two_matches_flat(self, rng, num_gpus, wire):
+        # GPUs beyond the largest power of two fold onto proxies for one
+        # pre/post round each; delivery must still equal the flat union.
+        partition, topology = _setup(num_gpus)
+        discovered = [rng.integers(0, NV, size=25) for _ in range(num_gpus)]
+        outgoing = _bucketize(partition, discovered)
+        flat, _, _ = exchange(
+            outgoing, partition, topology, get_codec(wire), schedule="flat"
+        )
+        bfly, _, stats = exchange(
+            outgoing, partition, topology, get_codec(wire),
+            schedule="butterfly",
+        )
+        for h in range(num_gpus):
+            assert np.array_equal(flat[h], bfly[h])
+        hypercube_rounds = (1 << (num_gpus.bit_length() - 1)).bit_length() - 1
+        assert stats.rounds == hypercube_rounds + 2
+
+    def test_non_power_of_two_value_min_matches_flat(self, rng):
+        partition, topology = _setup(6)
+        ids = [np.sort(rng.choice(NV, size=12, replace=False))
+               for _ in range(6)]
+        outgoing, values = [], []
+        for g in range(6):
+            cuts = np.searchsorted(ids[g], partition.boundaries)
+            vals = rng.uniform(0, 10, size=ids[g].shape[0])
+            outgoing.append([ids[g][cuts[h]:cuts[h + 1]] for h in range(6)])
+            values.append([vals[cuts[h]:cuts[h + 1]] for h in range(6)])
+        flat_ids, flat_vals, _ = exchange(
+            outgoing, partition, topology, get_codec("auto"),
+            values=values, combine="min", schedule="flat",
+        )
+        b_ids, b_vals, _ = exchange(
+            outgoing, partition, topology, get_codec("auto"),
+            values=values, combine="min", schedule="butterfly",
+        )
+        for h in range(6):
+            assert np.array_equal(flat_ids[h], b_ids[h])
+            assert np.array_equal(flat_vals[h], b_vals[h])
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize(
+        "num_nodes,gpus_per_node", [(2, 2), (2, 4), (3, 2), (2, 3), (4, 1)]
+    )
+    @pytest.mark.parametrize("wire", ["raw", "ef", "auto"])
+    def test_matches_flat_delivery(self, rng, num_nodes, gpus_per_node, wire):
+        partition, topology = _setup_two_tier(num_nodes, gpus_per_node)
+        num_gpus = num_nodes * gpus_per_node
+        discovered = [rng.integers(0, NV, size=25) for _ in range(num_gpus)]
+        outgoing = _bucketize(partition, discovered)
+        flat, _, _ = exchange(
+            outgoing, partition, topology, get_codec(wire), schedule="flat"
+        )
+        hier, _, stats = exchange(
+            outgoing, partition, topology, get_codec(wire),
+            schedule="hierarchical",
+        )
+        for h in range(num_gpus):
+            assert np.array_equal(flat[h], hier[h])
+        assert stats.rounds == 3
+
+    def test_single_node_is_one_intra_round(self, rng):
+        partition, topology = _setup_two_tier(1, 4)
+        discovered = [rng.integers(0, NV, size=20) for _ in range(4)]
+        outgoing = _bucketize(partition, discovered)
+        flat, _, _ = exchange(
+            outgoing, partition, topology, get_codec("raw"), schedule="flat"
+        )
+        hier, _, stats = exchange(
+            outgoing, partition, topology, get_codec("raw"),
+            schedule="hierarchical",
+        )
+        for h in range(4):
+            assert np.array_equal(flat[h], hier[h])
+        assert stats.rounds == 1
+        assert stats.tier_bytes["inter"] == 0
+
+    def test_value_min_matches_flat(self, rng):
+        partition, topology = _setup_two_tier(2, 3)
+        num_gpus = 6
+        ids = [np.sort(rng.choice(NV, size=12, replace=False))
+               for _ in range(num_gpus)]
+        outgoing, values = [], []
+        for g in range(num_gpus):
+            cuts = np.searchsorted(ids[g], partition.boundaries)
+            vals = rng.uniform(0, 10, size=ids[g].shape[0])
+            outgoing.append(
+                [ids[g][cuts[h]:cuts[h + 1]] for h in range(num_gpus)]
+            )
+            values.append(
+                [vals[cuts[h]:cuts[h + 1]] for h in range(num_gpus)]
+            )
+        for combine in ("min", "sum"):
+            flat_ids, flat_vals, _ = exchange(
+                outgoing, partition, topology, get_codec("auto"),
+                values=values, combine=combine, schedule="flat",
+            )
+            h_ids, h_vals, _ = exchange(
+                outgoing, partition, topology, get_codec("auto"),
+                values=values, combine=combine, schedule="hierarchical",
+            )
+            for h in range(num_gpus):
+                assert np.array_equal(flat_ids[h], h_ids[h])
+                assert np.allclose(flat_vals[h], h_vals[h])
+
+    def test_tier_bytes_sum_to_wire_bytes(self, rng):
+        partition, topology = _setup_two_tier(2, 4)
+        discovered = [rng.integers(0, NV, size=30) for _ in range(8)]
+        outgoing = _bucketize(partition, discovered)
+        _, _, stats = exchange(
+            outgoing, partition, topology, get_codec("varint"),
+            schedule="hierarchical",
+        )
+        assert sum(stats.tier_bytes[t] for t in TIERS) == stats.wire_bytes
+        assert sum(stats.tier_messages[t] for t in TIERS) == stats.messages
+        assert stats.tier_bytes["inter"] > 0
+
+    def test_crosses_slow_tier_once_per_node_pair(self):
+        # Dense frontier on every GPU: the flat all-to-all sends one
+        # message per cross-node GPU pair, hierarchical exactly one per
+        # ordered node pair.
+        partition, topology = _setup_two_tier(2, 4)
+        discovered = [np.arange(NV) for _ in range(8)]
+        outgoing = _bucketize(partition, discovered)
+        _, _, flat = exchange(
+            outgoing, partition, topology, get_codec("raw"), schedule="flat"
+        )
+        _, _, hier = exchange(
+            outgoing, partition, topology, get_codec("raw"),
+            schedule="hierarchical",
+        )
+        assert flat.tier_messages["inter"] == 2 * 4 * 4
+        assert hier.tier_messages["inter"] == 2
+        assert hier.tier_bytes["inter"] < flat.tier_bytes["inter"]
+
+    def test_flat_butterfly_tiers_also_sum(self, rng):
+        # The per-tier invariant holds for every schedule, not just the
+        # hierarchical one that motivated it.
+        partition, topology = _setup_two_tier(2, 2)
+        discovered = [rng.integers(0, NV, size=20) for _ in range(4)]
+        outgoing = _bucketize(partition, discovered)
+        for schedule in ("flat", "butterfly"):
+            _, _, stats = exchange(
+                outgoing, partition, topology, get_codec("raw"),
+                schedule=schedule,
+            )
+            assert (
+                sum(stats.tier_bytes[t] for t in TIERS) == stats.wire_bytes
+            )

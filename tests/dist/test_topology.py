@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dist.topology import LinkTopology
+from repro.dist.topology import TIERS, LinkTopology
 
 
 def _even(n, val):
@@ -104,3 +104,83 @@ class TestForDevice:
         topo = LinkTopology.for_device(device, 4)
         assert topo.message_latency_s == device.launch_overhead_s
         assert topo.num_gpus == 4
+
+
+class TestTwoTier:
+    def test_node_layout(self):
+        topo = LinkTopology.two_tier(num_nodes=2, gpus_per_node=4)
+        assert topo.num_gpus == 8
+        assert topo.num_nodes == 2
+        assert topo.node_size == 4
+        assert [topo.node_of(g) for g in range(8)] == [0] * 4 + [1] * 4
+        assert topo.tier(0, 3) == "intra"
+        assert topo.tier(3, 4) == "inter"
+        assert topo.tier(7, 0) == "inter"
+        assert TIERS == ("intra", "inter")
+
+    def test_single_tier_is_one_node(self):
+        topo = LinkTopology(num_gpus=4)
+        assert topo.num_nodes == 1
+        assert topo.node_size == 4
+        assert topo.tier(0, 3) == "intra"
+
+    def test_inter_params_fall_back_to_intra(self):
+        topo = LinkTopology.two_tier(
+            num_nodes=2, gpus_per_node=2,
+            link_bandwidth=5e9, inter_bandwidth=1e9,
+            contention=0.25, message_latency_s=2e-6,
+        )
+        assert topo.tier_params("intra") == (5e9, 0.25, 2e-6)
+        # Unset inter contention/latency inherit the intra values.
+        assert topo.tier_params("inter") == (1e9, 0.25, 2e-6)
+
+    def test_inter_overrides(self):
+        topo = LinkTopology.two_tier(
+            num_nodes=2, gpus_per_node=2,
+            inter_bandwidth=1e9, inter_contention=1.0, inter_latency_s=1e-3,
+        )
+        bw, cont, lat = topo.tier_params("inter")
+        assert (bw, cont, lat) == (1e9, 1.0, 1e-3)
+
+    def test_slow_tier_costs_more(self):
+        topo = LinkTopology.two_tier(
+            num_nodes=2, gpus_per_node=2,
+            link_bandwidth=10e9, inter_bandwidth=1e9,
+            message_latency_s=0.0,
+        )
+        egress = _even(4, 1e6)
+        fast = topo.step_seconds(egress, egress, 1, tier="intra")
+        slow = topo.step_seconds(egress, egress, 1, tier="inter")
+        assert slow == pytest.approx(10 * fast)
+
+    def test_scaled_bandwidth_scales_both_tiers(self):
+        topo = LinkTopology.two_tier(
+            num_nodes=2, gpus_per_node=2,
+            link_bandwidth=4e9, inter_bandwidth=2e9,
+        )
+        slow = topo.scaled_bandwidth(0.5)
+        assert slow.link_bandwidth == 2e9
+        assert slow.tier_params("inter")[0] == 1e9
+
+    def test_rejects_bad_gpus_per_node(self):
+        with pytest.raises(ValueError):
+            LinkTopology(num_gpus=6, gpus_per_node=4)
+        with pytest.raises(ValueError):
+            LinkTopology(num_gpus=4, gpus_per_node=0)
+
+    def test_rejects_bad_inter_params(self):
+        with pytest.raises(ValueError):
+            LinkTopology(num_gpus=4, gpus_per_node=2, inter_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            LinkTopology(num_gpus=4, gpus_per_node=2, inter_contention=2.0)
+        with pytest.raises(ValueError):
+            LinkTopology(num_gpus=4, gpus_per_node=2, inter_latency_s=-1.0)
+
+    def test_degenerate_one_gpu_per_node(self):
+        # Every link crosses nodes: the intra tier is never exercised.
+        topo = LinkTopology.two_tier(num_nodes=4, gpus_per_node=1)
+        assert topo.num_gpus == 4
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert topo.tier(a, b) == "inter"

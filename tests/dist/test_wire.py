@@ -3,18 +3,22 @@
 import numpy as np
 import pytest
 
+from repro.core.errors import CorruptStreamError
 from repro.dist.wire import (
     FRONTIER_ID_BYTES,
     WIRE_CODECS,
     AutoCodec,
     BitmapCodec,
+    EliasFanoCodec,
     RawCodec,
     Raw64Codec,
     VarintCodec,
     get_codec,
 )
 
-CONCRETE = [RawCodec(), Raw64Codec(), BitmapCodec(), VarintCodec()]
+CONCRETE = [
+    RawCodec(), Raw64Codec(), BitmapCodec(), VarintCodec(), EliasFanoCodec()
+]
 
 
 def _ids(rng, lo, hi, n):
@@ -113,6 +117,78 @@ class TestSizes:
         assert VarintCodec().encoded_nbytes(ids, 0, 1000) == 50
 
 
+class TestVarintEdges:
+    def test_empty_payload_decodes_empty(self):
+        back = VarintCodec().decode(np.empty(0, dtype=np.uint8), 10, 20)
+        assert back.shape == (0,)
+        assert back.dtype == np.int64
+
+    def test_single_id(self):
+        codec = VarintCodec()
+        ids = np.array([123], dtype=np.int64)
+        payload = codec.encode(ids, 100, 200)
+        assert payload.shape[0] == 1  # one sub-128 delta, one byte
+        assert np.array_equal(codec.decode(payload, 100, 200), ids)
+
+    def test_max_gap_near_2_63(self):
+        # A delta of ~2^63 needs the full 9-byte LEB128 chain; the
+        # continuation arithmetic must not overflow int64.
+        codec = VarintCodec()
+        hi = (1 << 63) - 1
+        ids = np.array([0, hi - 1], dtype=np.int64)
+        payload = codec.encode(ids, 0, hi)
+        assert np.array_equal(codec.decode(payload, 0, hi), ids)
+
+    def test_truncated_payload_is_typed_corruption(self):
+        codec = VarintCodec()
+        ids = np.array([5, 300, 4000], dtype=np.int64)
+        payload = codec.encode(ids, 0, 4096)
+        # Chop the terminating byte: the last varint never completes.
+        with pytest.raises(CorruptStreamError):
+            codec.decode(payload[:-1], 0, 4096)
+
+
+class TestEliasFano:
+    def test_count_header_plus_closed_form_sections(self, rng):
+        codec = EliasFanoCodec()
+        lo, hi = 512, 5000
+        ids = _ids(rng, lo, hi, 400)
+        payload = codec.encode(ids, lo, hi)
+        # 4-byte count, then lower/upper bitvectors sized by (n, u).
+        assert int.from_bytes(payload[:4].tobytes(), "little") == 400
+        assert payload.shape[0] == codec.encoded_nbytes(ids, lo, hi)
+
+    def test_sparse_frontier_ef_beats_raw_and_bitmap(self, rng):
+        lo, hi = 0, 1 << 20
+        ids = _ids(rng, lo, hi, 256)
+        ef = EliasFanoCodec().encoded_nbytes(ids, lo, hi)
+        assert ef < RawCodec().encoded_nbytes(ids, lo, hi)
+        assert ef < BitmapCodec().encoded_nbytes(ids, lo, hi)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            EliasFanoCodec().encode(np.array([20], dtype=np.int64), 0, 16)
+
+    def test_truncated_payload_is_typed_corruption(self, rng):
+        codec = EliasFanoCodec()
+        ids = _ids(rng, 0, 4096, 100)
+        payload = codec.encode(ids, 0, 4096)
+        with pytest.raises(CorruptStreamError):
+            codec.decode(payload[:-1], 0, 4096)
+        with pytest.raises(CorruptStreamError):
+            codec.decode(payload[:3], 0, 4096)
+
+    def test_absurd_count_is_typed_corruption(self):
+        codec = EliasFanoCodec()
+        ids = np.array([1, 2, 3], dtype=np.int64)
+        payload = codec.encode(ids, 0, 16).copy()
+        payload[:4] = np.frombuffer(
+            (1 << 20).to_bytes(4, "little"), dtype=np.uint8
+        )
+        with pytest.raises(CorruptStreamError):
+            codec.decode(payload, 0, 16)
+
+
 class TestAuto:
     def test_choose_picks_smallest(self, rng):
         auto = AutoCodec()
@@ -123,8 +199,7 @@ class TestAuto:
         ):
             chosen = auto.choose(ids, lo, hi)
             assert chosen.encoded_nbytes(ids, lo, hi) == min(
-                c.encoded_nbytes(ids, lo, hi)
-                for c in (RawCodec(), BitmapCodec(), VarintCodec())
+                c.encoded_nbytes(ids, lo, hi) for c in auto._candidates
             )
 
     def test_auto_decode_raises(self):
@@ -135,9 +210,54 @@ class TestAuto:
         ids = _ids(rng, 0, 2048, 200)
         auto = AutoCodec()
         assert auto.encoded_nbytes(ids, 0, 2048) == min(
-            c.encoded_nbytes(ids, 0, 2048)
-            for c in (RawCodec(), BitmapCodec(), VarintCodec())
+            c.encoded_nbytes(ids, 0, 2048) for c in auto._candidates
         )
+
+    def test_ef_is_a_candidate_and_wins_sparse_wide_ranges(self, rng):
+        auto = AutoCodec()
+        assert any(c.name == "ef" for c in auto._candidates)
+        lo, hi = 0, 1 << 20
+        ids = _ids(rng, lo, hi, 256)
+        assert auto.choose(ids, lo, hi).name == "ef"
+
+    @pytest.mark.parametrize(
+        "make_ids",
+        [
+            lambda rng: np.arange(0, 4096, 2, dtype=np.int64),
+            lambda rng: np.array([7], dtype=np.int64),
+            lambda rng: _ids(rng, 0, 4096, 100),
+            lambda rng: _ids(rng, 0, 4096, 2000),
+            lambda rng: np.empty(0, dtype=np.int64),
+        ],
+        ids=["dense", "single", "sparse", "heavy", "empty"],
+    )
+    def test_never_transmits_more_than_best_fixed_codec(self, rng, make_ids):
+        # The regression the trial-encode selection guarantees: for any
+        # frontier shape, auto's actual payload is <= every fixed codec
+        # that can represent the message.
+        auto = AutoCodec()
+        ids = make_ids(rng)
+        lo, hi = 0, 4096
+        nbytes = auto.encode(ids, lo, hi).shape[0]
+        for codec in CONCRETE:
+            assert nbytes <= codec.encode(ids, lo, hi).shape[0]
+
+    def test_wide_ids_skip_raw_but_still_encode(self):
+        # raw can't represent ids >= 2^31; auto must fall through to a
+        # candidate that can instead of raising.
+        auto = AutoCodec()
+        lo, hi = 0, 1 << 33
+        ids = np.array([5, 1 << 31, (1 << 32) + 17], dtype=np.int64)
+        chosen = auto.choose(ids, lo, hi)
+        assert chosen.name != "raw"
+        back = chosen.decode(auto.encode(ids, lo, hi), lo, hi)
+        assert np.array_equal(back, ids)
+
+    def test_bad_input_still_raises(self):
+        with pytest.raises(ValueError):
+            AutoCodec().encode(np.array([5, 3], dtype=np.int64), 0, 16)
+        with pytest.raises(ValueError):
+            AutoCodec().encode(np.array([3, 3], dtype=np.int64), 0, 16)
 
 
 class TestRegistry:

@@ -158,7 +158,8 @@ class TestBench:
             "bench", "--out-dir", str(tmp_path), "--seq", "1", *self.SMALL,
         ]) == 0
         out = capsys.readouterr().out
-        assert "9 workloads" in out
+        assert "11 workloads" in out
+        assert "raw/ef exchange time" in out
         assert (tmp_path / "BENCH_1.json").exists()
 
     def test_against_self_exits_zero(self, tmp_path, capsys):
@@ -245,3 +246,36 @@ class TestDist:
     def test_rejects_zero_gpus(self):
         with pytest.raises(SystemExit):
             main(["dist", "bfs", "--rmat-scale", "6", "--gpus", "0"])
+
+    def test_two_tier_hierarchical_ef_overlap(self, capsys):
+        assert main([
+            "dist", "bfs", "--rmat-scale", "7", "--gpus", "8",
+            "--nodes", "2", "--wire", "ef", "--schedule", "hierarchical",
+            "--overlap",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dist-bfs on 2 nodes x 4 GPUs" in out
+        assert "tier split: intra" in out
+        assert "overlapped:" in out
+        assert "tier inter:" in out
+
+    def test_two_tier_metrics_deterministic(self, tmp_path, capsys):
+        paths = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            assert main([
+                "dist", "bfs", "--rmat-scale", "7", "--gpus", "8",
+                "--nodes", "2", "--wire", "ef",
+                "--schedule", "hierarchical", "--overlap",
+                "--metrics", str(path),
+            ]) == 0
+            paths.append(str(path))
+        assert main(["compare", *paths]) == 0
+        assert "metrically identical" in capsys.readouterr().out
+
+    def test_rejects_indivisible_nodes(self):
+        with pytest.raises(SystemExit):
+            main([
+                "dist", "bfs", "--rmat-scale", "6",
+                "--gpus", "6", "--nodes", "4",
+            ])
