@@ -38,19 +38,25 @@ from repro.obs.metrics import METRICS_SCHEMA, git_sha
 
 __all__ = [
     "BENCH_SCHEMA",
+    "TRAJECTORY_SCHEMA",
     "BenchConfig",
     "run_bench_suite",
     "crossover_summary",
+    "whatif_targets",
     "bench_payload",
     "next_seq",
     "bench_path",
     "write_bench",
+    "write_trajectory_index",
     "load_bench",
     "compare_bench",
 ]
 
 #: Version tag of the bench-trajectory JSON layout.
 BENCH_SCHEMA = "repro.bench/1"
+
+#: Version tag of the ``TRAJECTORY.json`` index layout.
+TRAJECTORY_SCHEMA = "repro.bench.trajectory/1"
 
 _BENCH_FILE_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
@@ -230,6 +236,29 @@ def crossover_summary(workloads: dict[str, dict]) -> dict:
     return out
 
 
+def whatif_targets(workloads: dict[str, dict]) -> dict:
+    """Top predicted optimization target per workload.
+
+    Reads each workload's ``whatif`` metrics section (the ranked
+    scenario panel the what-if replay engine priced) and reports the
+    best predicted scenario — ties broken alphabetically so the digest
+    is deterministic.  Workloads without a ``whatif`` section (old
+    schema entries) are skipped.
+    """
+    out: dict = {}
+    for name in sorted(workloads):
+        section = workloads[name].get("whatif") or {}
+        best_name = None
+        best = 0.0
+        for scenario in sorted(section):
+            speedup = section[scenario].get("speedup", 0.0)
+            if best_name is None or speedup > best:
+                best_name, best = scenario, speedup
+        if best_name is not None:
+            out[name] = {"scenario": best_name, "speedup": best}
+    return out
+
+
 def bench_payload(
     workloads: dict[str, dict], seq: int, config: BenchConfig | None = None
 ) -> dict:
@@ -247,6 +276,7 @@ def bench_payload(
             "suite": config.suite_meta(),
         },
         "crossover": crossover_summary(workloads),
+        "whatif_targets": whatif_targets(workloads),
         "workloads": {name: workloads[name] for name in sorted(workloads)},
     }
 
@@ -297,6 +327,58 @@ def write_bench(payload: dict, out_dir: str) -> str:
     path = bench_path(out_dir, payload["meta"]["seq"])
     with open(path, "w") as fh:
         json.dump(payload, fh, sort_keys=True, indent=2)
+        fh.write("\n")
+    return path
+
+
+def write_trajectory_index(out_dir: str) -> str:
+    """Write/refresh ``TRAJECTORY.json``: the ordered trajectory digest.
+
+    Scans every ``BENCH_<n>.json`` in ``out_dir`` and writes one small
+    index — entries in sequence order, each with its file name, git
+    sha, and per-workload headline numbers (elapsed seconds plus the
+    top predicted what-if target) — so reading the whole perf history
+    doesn't require loading megabytes of full counter dumps.  Canonical
+    JSON like :func:`write_bench`: refreshing over unchanged entries is
+    byte-stable.
+    """
+    found = []
+    if os.path.isdir(out_dir):
+        for name in os.listdir(out_dir):
+            match = _BENCH_FILE_RE.match(name)
+            if match:
+                found.append((int(match.group(1)), name))
+    entries = []
+    for seq, name in sorted(found):
+        with open(os.path.join(out_dir, name)) as fh:
+            payload = json.load(fh)
+        targets = payload.get("whatif_targets") or whatif_targets(
+            payload.get("workloads", {})
+        )
+        works: dict = {}
+        for wname, metrics in sorted(payload.get("workloads", {}).items()):
+            row: dict = {
+                "elapsed_seconds": metrics.get("totals", {}).get(
+                    "elapsed_seconds", 0.0
+                )
+            }
+            target = targets.get(wname)
+            if target is not None:
+                row["top_whatif"] = target["scenario"]
+                row["top_speedup"] = target["speedup"]
+            works[wname] = row
+        entries.append(
+            {
+                "seq": int(seq),
+                "file": name,
+                "git_sha": payload.get("meta", {}).get("git_sha", ""),
+                "workloads": works,
+            }
+        )
+    index = {"schema": TRAJECTORY_SCHEMA, "entries": entries}
+    path = os.path.join(out_dir, "TRAJECTORY.json")
+    with open(path, "w") as fh:
+        json.dump(index, fh, sort_keys=True, indent=2)
         fh.write("\n")
     return path
 

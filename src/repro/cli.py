@@ -29,8 +29,19 @@ Commands
     picks the Elias-Fano frontier codec, and ``--overlap`` turns on
     the async exchange/compute pipeline in the cost model.
 ``compare <a.json> <b.json> [--threshold PCT]``
-    Diff two metrics dumps per kernel and per cost term; exits
-    non-zero when any key moved more than the threshold (CI perf gate).
+    Diff two metrics dumps per kernel and per cost term.  Exit codes:
+    0 = within threshold, 1 = regression past the threshold, 2 =
+    unreadable/invalid input (CI perf gate).
+``whatif <algo> [graph] [--set KEY=VALUE ...] [--rank]``
+    Critical-path + what-if replay on a recorded distributed run
+    (default: BFS on a pinned RMAT graph over 2 nodes x 4 GPUs,
+    hierarchical schedule, ef wire codec, overlap on).  Prints the
+    critical-path breakdown, re-prices the run under each ``--set``
+    scenario without re-running the traversal, and ``--rank`` prints
+    the standard scenario panel ordered by predicted speedup.
+    Bandwidth/latency/contention/overlap predictions are bit-exact
+    against an actual re-run; codec swaps are estimates from recorded
+    trial encodings.  Exit 2 on an unknown knob or malformed --set.
 ``bench [--out-dir D] [--against FILE|DIR] [--threshold PCT]``
     Run the pinned workload suite (BFS/SSSP/PageRank x csr/efg/cgr on
     a seeded RMAT graph) and append ``BENCH_<n>.json`` — full emulated
@@ -286,6 +297,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         next_seq,
         run_bench_suite,
         write_bench,
+        write_trajectory_index,
     )
     from repro.obs.compare import format_comparison
 
@@ -317,9 +329,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"ef {row['ef_bytes']:,.0f} B, raw/ef exchange time "
             f"{row['raw_over_ef']:.2f}x"
         )
+    targets = payload.get("whatif_targets") or {}
+    if targets:
+        print("top what-if targets:")
+        for name in sorted(targets):
+            row = targets[name]
+            print(
+                f"  {name:16s} {row['scenario']:24s} "
+                f"{row['speedup']:.4f}x predicted"
+            )
     if not args.no_write:
         path = write_bench(payload, args.out_dir)
         print(f"wrote {path}")
+        index_path = write_trajectory_index(args.out_dir)
+        print(f"wrote {index_path}")
     if args.against:
         baseline = load_bench(args.against)
         cmp = compare_bench(baseline, payload, threshold=args.threshold / 100.0)
@@ -450,6 +473,118 @@ def _cmd_dist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.dist import (
+        ShardedCluster,
+        distributed_bfs,
+        distributed_pagerank,
+        distributed_sssp,
+    )
+    from repro.dist.topology import LinkTopology
+    from repro.gpusim.device import TITAN_XP
+    from repro.obs.critpath import (
+        critpath_report_line,
+        extract_cluster_critical_path,
+        verify_critpath,
+    )
+    from repro.obs.whatif import (
+        parse_sets,
+        rank_cluster_whatifs,
+        whatif_cluster,
+    )
+
+    if args.graph is not None:
+        graph = _load(args.graph)
+    else:
+        from repro.datasets.rmat import rmat_graph
+
+        graph = rmat_graph(
+            scale=args.rmat_scale, edge_factor=args.edge_factor, seed=args.seed
+        )
+    if args.gpus < 1:
+        raise SystemExit(f"--gpus must be >= 1, got {args.gpus}")
+    if args.nodes < 1:
+        raise SystemExit(f"--nodes must be >= 1, got {args.nodes}")
+    if args.nodes > 1 and args.gpus % args.nodes:
+        raise SystemExit(
+            f"--gpus {args.gpus} not divisible by --nodes {args.nodes}"
+        )
+    device = TITAN_XP.scaled(args.device_scale)
+    if args.nodes > 1:
+        topology = LinkTopology.two_tier(
+            num_nodes=args.nodes,
+            gpus_per_node=args.gpus // args.nodes,
+            link_bandwidth=args.link_gbs * 1e9,
+            inter_bandwidth=args.inter_gbs * 1e9,
+            contention=args.contention,
+            message_latency_s=device.launch_overhead_s,
+        )
+    else:
+        topology = LinkTopology(
+            num_gpus=args.gpus,
+            link_bandwidth=args.link_gbs * 1e9,
+            contention=args.contention,
+            message_latency_s=device.launch_overhead_s,
+        )
+    overlap = not args.no_overlap
+    cluster = ShardedCluster.build(
+        graph, args.gpus, device,
+        fmt=args.fmt, wire=args.wire, schedule=args.schedule,
+        topology=topology, with_weights=args.algo == "sssp",
+        overlap=overlap, record_wire=True,
+    )
+    source = args.source
+    if args.algo != "pagerank" and graph.degrees[source] == 0:
+        source = int(np.argmax(graph.degrees))
+        print(f"source {args.source} has no out-edges; using {source}")
+    if args.algo == "bfs":
+        result = distributed_bfs(cluster, source)
+    elif args.algo == "sssp":
+        rng = np.random.default_rng(args.seed)
+        weights = rng.uniform(0.1, 1.0, size=graph.num_edges).astype(
+            np.float32
+        )
+        result = distributed_sssp(cluster, source, weights)
+    else:
+        result = distributed_pagerank(cluster)
+    layout = (
+        f"{args.nodes} nodes x {args.gpus // args.nodes} GPUs"
+        if args.nodes > 1 else f"{args.gpus} GPUs"
+    )
+    print(
+        f"{args.fmt} dist-{args.algo} on {layout} "
+        f"(wire={args.wire}, schedule={args.schedule}"
+        f"{', overlap' if overlap else ''}): "
+        f"{result.runtime_ms:.6f} ms simulated baseline"
+    )
+    path = extract_cluster_critical_path(cluster)
+    print(critpath_report_line(path))
+    verify_critpath(path)
+    print("verify_critpath: ok")
+    if args.set:
+        try:
+            scenario = whatif_cluster(cluster, parse_sets(args.set))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        kind = "exact" if scenario.exact else "estimate"
+        print(
+            f"\nwhat-if {scenario.name}: "
+            f"{scenario.predicted_seconds * 1e3:.6f} ms predicted, "
+            f"{scenario.speedup:.4f}x speedup ({kind})"
+        )
+    if args.rank:
+        print("\ntop optimization targets:")
+        print(f"{'scenario':28s} {'predicted ms':>14s} {'speedup':>9s} kind")
+        for r in rank_cluster_whatifs(cluster):
+            kind = "exact" if r.exact else "estimate"
+            print(
+                f"{r.name:28s} {r.predicted_seconds * 1e3:14.6f} "
+                f"{r.speedup:8.4f}x {kind}"
+            )
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.obs.compare import (
         compare_metrics,
@@ -459,8 +594,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
     if args.threshold < 0:
         raise SystemExit(f"--threshold must be >= 0, got {args.threshold}")
-    a = load_metrics(args.metrics_a)
-    b = load_metrics(args.metrics_b)
+    try:
+        a = load_metrics(args.metrics_a)
+        b = load_metrics(args.metrics_b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     cmp = compare_metrics(a, b, threshold=args.threshold / 100.0)
     print(format_comparison(cmp))
     if not cmp.ok:
@@ -686,6 +825,53 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--metrics", metavar="PATH",
                    help="write the stable-schema metrics JSON")
     p.set_defaults(func=_cmd_dist)
+
+    p = sub.add_parser(
+        "whatif",
+        help="critical-path + what-if replay on a recorded distributed run",
+    )
+    p.add_argument("algo", choices=("bfs", "sssp", "pagerank"))
+    p.add_argument(
+        "graph", nargs="?", default=None,
+        help="graph file; omit to generate a deterministic RMAT graph",
+    )
+    p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                   help="re-price the run under this knob (repeatable); "
+                   "knobs: intra_gbs, inter_gbs, bandwidth_x, contention, "
+                   "inter_contention, latency_us, inter_latency_us, "
+                   "overlap, wire")
+    p.add_argument("--rank", action="store_true",
+                   help="print the standard scenario panel ranked by "
+                   "predicted speedup")
+    p.add_argument("--gpus", type=int, default=8,
+                   help="number of simulated devices (default 8)")
+    p.add_argument("--nodes", type=int, default=2,
+                   help="nodes the GPUs are split across (default 2)")
+    p.add_argument("--fmt", choices=("csr", "efg"), default="csr",
+                   help="shard storage format (default csr)")
+    p.add_argument("--wire", choices=_wire_codecs, default="ef",
+                   help="frontier wire codec (default ef)")
+    p.add_argument("--schedule", choices=_schedules, default="hierarchical",
+                   help="exchange schedule (default hierarchical)")
+    p.add_argument("--no-overlap", action="store_true",
+                   help="price the baseline without the exchange/compute "
+                   "overlap pipeline")
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--seed", type=int, default=1,
+                   help="seed for generated graphs and weights")
+    p.add_argument("--rmat-scale", type=int, default=10,
+                   help="log2 |V| of the generated RMAT graph (default 10)")
+    p.add_argument("--edge-factor", type=int, default=8,
+                   help="edges per vertex of the generated graph (default 8)")
+    p.add_argument("--device-scale", type=float, default=2048,
+                   help="shrink the Titan Xp by this factor (default 2048)")
+    p.add_argument("--link-gbs", type=float, default=10.0,
+                   help="per-link intra-node bandwidth in GB/s (default 10)")
+    p.add_argument("--inter-gbs", type=float, default=1.0,
+                   help="inter-node fabric bandwidth in GB/s (default 1)")
+    p.add_argument("--contention", type=float, default=0.5,
+                   help="shared-fabric contention in [0,1] (default 0.5)")
+    p.set_defaults(func=_cmd_whatif)
 
     p = sub.add_parser(
         "compare", help="diff two metrics dumps; exit 1 past threshold"

@@ -184,26 +184,17 @@ def distributed_bfs(
                     claim_seconds, engine.elapsed_seconds - before
                 )
             frontiers = next_frontiers
-            level_total, overlapped = cluster.level_seconds(
-                expand_seconds, ex, claim_seconds
-            )
-            overlapped_seconds += overlapped
-            cluster.advance(level_total)
-            sp.annotate(
+            _, overlapped = cluster.finish_level(
+                sp,
+                expand_seconds,
+                ex,
+                claim_seconds,
+                expand_kernel="dist_expand",
+                claim_kernel="dist_claim",
                 edges_expanded=level_edges,
                 claimed=int(sum(f.shape[0] for f in next_frontiers)),
-                expand_seconds=expand_seconds,
-                exchange_seconds=ex.seconds,
-                claim_seconds=claim_seconds,
-                wire_bytes=ex.wire_bytes,
-                intra_bytes=ex.tier_bytes["intra"],
-                inter_bytes=ex.tier_bytes["inter"],
-                overlap_ratio=(
-                    overlapped / ex.seconds if ex.seconds > 0 else 0.0
-                ),
-                messages=ex.messages,
-                bound=cluster.level_bound(expand_seconds, ex, claim_seconds),
             )
+            overlapped_seconds += overlapped
     cluster.finish_run(edges_traversed, "dist_bfs")
     cluster.close_algorithm()
 

@@ -25,6 +25,7 @@ runs feed, so ``repro compare`` can gate distributed runs too.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterator
 
 import numpy as np
@@ -39,13 +40,36 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import Span, Tracer
 from repro.traversal.backends import CSRBackend, EFGBackend, GraphBackend
 
-__all__ = ["DIST_FORMATS", "ShardedCluster"]
+__all__ = ["DIST_FORMATS", "LevelCharge", "ShardedCluster"]
 
 #: Shard storage formats the cluster can build.
 DIST_FORMATS = ("csr", "efg")
 
 #: Pack-kernel bookkeeping per candidate id (sort pass + owner bucket).
 PACK_INSTR_PER_ID = 8.0
+
+
+@dataclass
+class LevelCharge:
+    """The recorded pricing inputs of one bulk-synchronous level.
+
+    The clock only ever advances through :meth:`ShardedCluster.
+    finish_level`, which appends one charge per level — so the
+    sequence is a complete replayable account of ``cluster.clock``:
+    the critical-path extractor and the what-if engine re-price these
+    records (no re-traversal) and reproduce the clock bit-exactly.
+    ``sync_record`` holds the step-record-shaped inputs of a serial
+    post-level synchronization (PageRank's scalar allreduce), when one
+    was priced into the level.
+    """
+
+    name: str
+    level: int
+    expand_seconds: float
+    claim_seconds: float
+    exchange: ExchangeStats
+    sync_seconds: float = 0.0
+    sync_record: dict | None = None
 
 
 def _make_shard_backend(
@@ -81,6 +105,7 @@ class ShardedCluster:
         schedule: str,
         fmt: str,
         overlap: bool = False,
+        record_wire: bool = False,
     ) -> None:
         self.graph = graph
         self.partition = partition
@@ -90,9 +115,11 @@ class ShardedCluster:
         self.schedule = schedule
         self.fmt = fmt
         self.overlap = overlap
+        self.record_wire = record_wire
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.clock = 0.0
+        self.charges: list[LevelCharge] = []
         self.reset()
 
     @classmethod
@@ -107,6 +134,7 @@ class ShardedCluster:
         topology: LinkTopology | None = None,
         with_weights: bool = False,
         overlap: bool = False,
+        record_wire: bool = False,
     ) -> "ShardedCluster":
         """Partition ``graph`` and stand up one backend per shard.
 
@@ -114,6 +142,12 @@ class ShardedCluster:
         in the cost model: each level's expand phase hides behind the
         exchange (or vice versa), so the level costs
         ``max(expand, exchange)`` plus the unoverlapped claim.
+
+        ``record_wire=True`` additionally trial-encodes every concrete
+        wire codec on every message, recording per-codec payload sizes
+        the what-if engine needs to predict codec swaps.  Off by
+        default: it multiplies functional encode work without changing
+        any priced charge.
         """
         if schedule not in SCHEDULES:
             raise ValueError(
@@ -140,6 +174,7 @@ class ShardedCluster:
             schedule=schedule,
             fmt=fmt,
             overlap=overlap,
+            record_wire=record_wire,
         )
 
     # -- run lifecycle ----------------------------------------------------
@@ -161,6 +196,7 @@ class ShardedCluster:
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.clock = 0.0
+        self.charges = []
 
     def advance(self, seconds: float) -> None:
         """Advance the cluster (bulk-synchronous) clock."""
@@ -262,6 +298,7 @@ class ShardedCluster:
             schedule=self.schedule,
             values=values,
             combine=combine,
+            record_trials=self.record_wire,
         )
         m = self.metrics
         m.inc("dist.wire_bytes", stats.wire_bytes)
@@ -314,6 +351,64 @@ class ShardedCluster:
         overlapped = min(expand_seconds, stats.seconds)
         total = max(expand_seconds, stats.seconds) + claim_seconds
         self.metrics.inc("dist.overlapped_seconds", overlapped)
+        return total, overlapped
+
+    def finish_level(
+        self,
+        span: Span,
+        expand_seconds: float,
+        stats: ExchangeStats,
+        claim_seconds: float,
+        *,
+        sync_seconds: float = 0.0,
+        sync_record: dict | None = None,
+        expand_kernel: str = "",
+        claim_kernel: str = "",
+        **annotations,
+    ) -> tuple[float, float]:
+        """Price one level, advance the clock, record and annotate it.
+
+        The shared tail of every driver's level: compute the level's
+        wall-clock via :meth:`level_seconds` (overlap-aware), advance
+        the cluster clock (plus any serial post-level ``sync_seconds``,
+        e.g. PageRank's scalar allreduce), append the
+        :class:`LevelCharge` the replay engines consume, and attach the
+        canonical annotations (:func:`repro.dist.report.
+        level_annotations`) plus any driver-specific ``annotations`` to
+        the level span.  Returns ``(total, overlapped)`` seconds.
+        """
+        # Function-level import: report imports this module at top level.
+        from repro.dist.report import level_annotations
+
+        total, overlapped = self.level_seconds(
+            expand_seconds, stats, claim_seconds
+        )
+        advance = total + sync_seconds if sync_seconds else total
+        self.advance(advance)
+        self.charges.append(
+            LevelCharge(
+                name=span.name,
+                level=int(span.attrs.get("level", len(self.charges))),
+                expand_seconds=expand_seconds,
+                claim_seconds=claim_seconds,
+                exchange=stats,
+                sync_seconds=sync_seconds,
+                sync_record=sync_record,
+            )
+        )
+        span.annotate(
+            **level_annotations(
+                expand_seconds,
+                stats,
+                claim_seconds,
+                overlapped,
+                self.level_bound(expand_seconds, stats, claim_seconds),
+                sync_seconds=sync_seconds,
+                expand_kernel=expand_kernel,
+                claim_kernel=claim_kernel,
+            ),
+            **annotations,
+        )
         return total, overlapped
 
     @staticmethod

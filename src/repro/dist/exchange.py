@@ -48,12 +48,23 @@ import numpy as np
 
 from repro.dist.partition import VertexPartition
 from repro.dist.topology import TIERS, LinkTopology
-from repro.dist.wire import MESSAGE_HEADER_BYTES, AutoCodec, WireCodec
+from repro.dist.wire import (
+    MESSAGE_HEADER_BYTES,
+    AutoCodec,
+    WireCodec,
+    get_codec,
+)
 
 __all__ = ["SCHEDULES", "ExchangeStats", "exchange"]
 
 #: Exchange schedules the drivers accept.
 SCHEDULES = ("flat", "butterfly", "hierarchical")
+
+#: Concrete codecs trial-sized per message when ``record_trials`` is on
+#: (the what-if engine's codec-swap inputs; ``auto`` is a selector).
+_TRIAL_CODECS = tuple(
+    get_codec(name) for name in ("raw", "raw64", "bitmap", "varint", "ef")
+)
 
 
 def _tier_zeros() -> dict[str, int]:
@@ -114,6 +125,25 @@ class ExchangeStats:
     received_ids_per_gpu: np.ndarray = field(
         default_factory=lambda: np.empty(0, dtype=np.int64)
     )
+    #: One entry per bulk-synchronous step, in pricing order: per-tier
+    #: ``{"link_bytes", "total_bytes", "messages"}`` — exactly the
+    #: inputs :meth:`repro.dist.topology.LinkTopology.step_breakdown`
+    #: consumed, so the what-if engine can re-price the exchange under
+    #: a different topology bit-exactly.
+    step_records: list[dict] = field(default_factory=list)
+    #: Encoded id bytes per tier (compressible share of ``tier_bytes``).
+    tier_id_bytes: dict[str, int] = field(default_factory=_tier_zeros)
+    #: Uncompressed value bytes per tier.
+    tier_value_bytes: dict[str, int] = field(default_factory=_tier_zeros)
+    #: Envelope bytes per tier.
+    tier_header_bytes: dict[str, int] = field(default_factory=_tier_zeros)
+    #: When True, every message is additionally trial-sized through all
+    #: concrete codecs (what-if codec-swap inputs).
+    record_trials: bool = False
+    #: Trial payload bytes per codec per tier (``record_trials`` only).
+    trial_id_bytes: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Codecs that could not represent some message of this exchange.
+    trial_invalid: set[str] = field(default_factory=set)
 
     def add_message(
         self,
@@ -131,6 +161,9 @@ class ExchangeStats:
         self.messages += 1
         self.tier_bytes[tier] += total
         self.tier_messages[tier] += 1
+        self.tier_id_bytes[tier] += id_nbytes
+        self.tier_value_bytes[tier] += value_nbytes
+        self.tier_header_bytes[tier] += MESSAGE_HEADER_BYTES
         self.codec_messages[codec_name] = (
             self.codec_messages.get(codec_name, 0) + 1
         )
@@ -172,10 +205,20 @@ class _Step:
         """
         step_seconds = 0.0
         binding = (0.0, 0.0)
+        record: dict[str, dict[str, float]] = {}
         for tier in TIERS:
             if self.topology.num_gpus == 1:
                 continue
             messages = int(self.posted[tier].max())
+            # The exact inputs step_breakdown consumes — the what-if
+            # replay re-prices from these and must match bit-for-bit.
+            record[tier] = {
+                "link_bytes": float(
+                    np.maximum(self.egress[tier], self.ingress[tier]).max()
+                ),
+                "total_bytes": float(self.egress[tier].sum()),
+                "messages": messages,
+            }
             transfer, latency = self.topology.step_breakdown(
                 self.egress[tier], self.ingress[tier], messages, tier=tier
             )
@@ -184,6 +227,7 @@ class _Step:
             if transfer + latency > step_seconds:
                 step_seconds = transfer + latency
                 binding = (transfer, latency)
+        stats.step_records.append(record)
         stats.transfer_seconds += binding[0]
         stats.latency_seconds += binding[1]
         stats.seconds += step_seconds
@@ -245,6 +289,22 @@ def _encode_message(
     )
     stats.sent_ids += int(ids.shape[0])
     stats.received_ids += int(decoded.shape[0])
+    if stats.record_trials:
+        for cand in _TRIAL_CODECS:
+            if cand.name in stats.trial_invalid:
+                continue
+            try:
+                size = cand.encoded_nbytes(ids, lo, hi)
+            except ValueError:
+                # Representation limit (raw past 2^31): the codec is
+                # not a valid swap target for this exchange at all.
+                stats.trial_invalid.add(cand.name)
+                stats.trial_id_bytes.pop(cand.name, None)
+                continue
+            tiers = stats.trial_id_bytes.setdefault(
+                cand.name, _tier_zeros()
+            )
+            tiers[tier] += size
     return decoded, total
 
 
@@ -257,6 +317,7 @@ def exchange(
     values: list[list[np.ndarray]] | None = None,
     combine: str | None = None,
     value_width: int = 4,
+    record_trials: bool = False,
 ) -> tuple[list[np.ndarray], list[np.ndarray] | None, ExchangeStats]:
     """Deliver every bucket to its owner; returns per-GPU incoming sets.
 
@@ -265,6 +326,8 @@ def exchange(
     ``values``, each id carries one ``value_width``-byte value and
     duplicates are folded with ``combine`` (``"min"`` or ``"sum"``).
     ``incoming[h]`` is the sorted unique union delivered to ``h``.
+    ``record_trials`` additionally sizes every message through every
+    concrete codec (what-if codec-swap inputs; no priced effect).
     """
     num_gpus = partition.num_gpus
     if len(outgoing) != num_gpus:
@@ -285,6 +348,7 @@ def exchange(
     stats = ExchangeStats(
         sent_ids_per_gpu=np.zeros(num_gpus, dtype=np.int64),
         received_ids_per_gpu=np.zeros(num_gpus, dtype=np.int64),
+        record_trials=record_trials,
     )
     if schedule == "flat" or num_gpus == 1:
         incoming, in_vals = _exchange_flat(

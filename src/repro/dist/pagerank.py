@@ -107,6 +107,15 @@ def distributed_pagerank(
     allreduce_seconds = topology.step_seconds(
         scalar_bytes, scalar_bytes, max(num_gpus - 1, 0)
     )
+    # Step-record-shaped pricing inputs so the what-if engine can
+    # re-price the allreduce under a different topology.
+    allreduce_record = {
+        "intra": {
+            "link_bytes": float(scalar_bytes.max()),
+            "total_bytes": float(scalar_bytes.sum()),
+            "messages": max(num_gpus - 1, 0),
+        }
+    }
 
     cluster.open_algorithm(
         "dist_pagerank", damping=damping, max_iterations=max_iterations
@@ -182,29 +191,21 @@ def distributed_pagerank(
                     finalize_seconds, engine.elapsed_seconds - before
                 )
             ranks = new_ranks
-            level_total, overlapped = cluster.level_seconds(
-                push_seconds, ex, finalize_seconds
-            )
-            overlapped_seconds += overlapped
-            # The scalar allreduce needs the finalized ranks: serial.
-            cluster.advance(level_total + allreduce_seconds)
-            sp.annotate(
+            # The scalar allreduce needs the finalized ranks: serial
+            # sync_seconds on top of the (possibly overlapped) level.
+            _, overlapped = cluster.finish_level(
+                sp,
+                push_seconds,
+                ex,
+                finalize_seconds,
+                sync_seconds=allreduce_seconds,
+                sync_record=allreduce_record,
+                expand_kernel="dist_pr_push",
+                claim_kernel="dist_pr_finalize",
                 edges_expanded=level_edges,
                 rank_delta=delta,
-                expand_seconds=push_seconds,
-                exchange_seconds=ex.seconds,
-                claim_seconds=finalize_seconds,
-                wire_bytes=ex.wire_bytes,
-                intra_bytes=ex.tier_bytes["intra"],
-                inter_bytes=ex.tier_bytes["inter"],
-                overlap_ratio=(
-                    overlapped / ex.seconds if ex.seconds > 0 else 0.0
-                ),
-                messages=ex.messages,
-                bound=cluster.level_bound(
-                    push_seconds, ex, finalize_seconds
-                ),
             )
+            overlapped_seconds += overlapped
         if delta < tolerance:
             converged = True
             break

@@ -27,7 +27,13 @@ from repro.dist.topology import TIERS
 from repro.obs.counters import verify_attribution
 from repro.obs.metrics import METRICS_SCHEMA, git_sha
 
-__all__ = ["dist_run_metrics", "dist_report", "verify_dist_attribution"]
+__all__ = [
+    "dist_run_metrics",
+    "dist_report",
+    "level_annotations",
+    "overlap_ratio",
+    "verify_dist_attribution",
+]
 
 #: Kernel-summary fields summed across the per-GPU engines.
 _KERNEL_FIELDS = (
@@ -52,10 +58,65 @@ _LEVEL_FIELDS = (
     "expand_seconds",
     "exchange_seconds",
     "claim_seconds",
+    "sync_seconds",
+    "intra_seconds",
+    "inter_seconds",
 )
 
 #: Per-tier counter suffixes exported in the ``tiers`` section.
 _TIER_FIELDS = ("bytes", "messages", "transfer_seconds", "latency_seconds")
+
+
+def overlap_ratio(
+    overlapped_seconds: float, exchange_seconds: float
+) -> float:
+    """Fraction of the exchange hidden under compute for one level.
+
+    Guarded against zero- (and degenerate negative-) duration exchanges
+    — the empty frontier on a traversal's last level produces a level
+    with no wire traffic, whose ratio is defined as 0.0 rather than a
+    division error.  The three drivers all annotate their level spans
+    through this one helper.
+    """
+    if exchange_seconds <= 0.0:
+        return 0.0
+    return overlapped_seconds / exchange_seconds
+
+
+def level_annotations(
+    expand_seconds: float,
+    ex,
+    claim_seconds: float,
+    overlapped_seconds: float,
+    bound: str,
+    sync_seconds: float = 0.0,
+    expand_kernel: str = "",
+    claim_kernel: str = "",
+) -> dict:
+    """The shared per-level span annotations all three drivers attach.
+
+    ``ex`` is the level's :class:`repro.dist.exchange.ExchangeStats`.
+    Numeric keys listed in :data:`_LEVEL_FIELDS` flow into the metrics
+    dump; the kernel names feed the critical-path extractor.
+    """
+    return {
+        "expand_seconds": expand_seconds,
+        "exchange_seconds": ex.seconds,
+        "claim_seconds": claim_seconds,
+        "sync_seconds": sync_seconds,
+        "wire_bytes": ex.wire_bytes,
+        "intra_bytes": ex.tier_bytes["intra"],
+        "inter_bytes": ex.tier_bytes["inter"],
+        "intra_seconds": ex.tier_transfer_seconds["intra"]
+        + ex.tier_latency_seconds["intra"],
+        "inter_seconds": ex.tier_transfer_seconds["inter"]
+        + ex.tier_latency_seconds["inter"],
+        "overlap_ratio": overlap_ratio(overlapped_seconds, ex.seconds),
+        "messages": ex.messages,
+        "bound": bound,
+        "expand_kernel": expand_kernel,
+        "claim_kernel": claim_kernel,
+    }
 
 
 def _level_spans(cluster: ShardedCluster) -> list:
@@ -116,6 +177,13 @@ def dist_run_metrics(cluster: ShardedCluster, meta: dict | None = None) -> dict:
         }
         for tier in TIERS
     }
+    from repro.obs.critpath import (
+        critical_path_section,
+        extract_cluster_critical_path,
+    )
+    from repro.obs.whatif import rank_cluster_whatifs, whatif_section
+
+    critpath = extract_cluster_critical_path(cluster)
     return {
         "schema": METRICS_SCHEMA,
         "meta": dict(sorted({**base_meta, **(meta or {})}.items())),
@@ -133,6 +201,8 @@ def dist_run_metrics(cluster: ShardedCluster, meta: dict | None = None) -> dict:
         **cluster.metrics.to_dict(),
         "tiers": tiers,
         "levels": levels,
+        "critical_path": critical_path_section(critpath),
+        "whatif": whatif_section(rank_cluster_whatifs(cluster)),
     }
 
 
@@ -203,6 +273,14 @@ def dist_report(cluster: ShardedCluster) -> str:
         lines.append(
             f"overlap: {hidden * 1e3:.4f} ms of exchange hidden under compute"
         )
+    from repro.obs.critpath import (
+        critpath_report_line,
+        extract_cluster_critical_path,
+    )
+
+    critpath = extract_cluster_critical_path(cluster)
+    if critpath.segments:
+        lines.append(critpath_report_line(critpath))
     return "\n".join(lines)
 
 

@@ -209,26 +209,17 @@ def distributed_sssp(
                 )
             frontiers = next_frontiers
             iterations += 1
-            level_total, overlapped = cluster.level_seconds(
-                relax_seconds, ex, update_seconds
-            )
-            overlapped_seconds += overlapped
-            cluster.advance(level_total)
-            sp.annotate(
+            _, overlapped = cluster.finish_level(
+                sp,
+                relax_seconds,
+                ex,
+                update_seconds,
+                expand_kernel="dist_relax",
+                claim_kernel="dist_update",
                 edges_expanded=level_edges,
                 improved=improved_total,
-                expand_seconds=relax_seconds,
-                exchange_seconds=ex.seconds,
-                claim_seconds=update_seconds,
-                wire_bytes=ex.wire_bytes,
-                intra_bytes=ex.tier_bytes["intra"],
-                inter_bytes=ex.tier_bytes["inter"],
-                overlap_ratio=(
-                    overlapped / ex.seconds if ex.seconds > 0 else 0.0
-                ),
-                messages=ex.messages,
-                bound=cluster.level_bound(relax_seconds, ex, update_seconds),
             )
+            overlapped_seconds += overlapped
     cluster.finish_run(edges_relaxed, "dist_sssp")
     cluster.close_algorithm()
 

@@ -263,4 +263,10 @@ class SimEngine:
             lines.append(f"{'counter':32s} {'value':>18s}")
             for name in sorted(counters):
                 lines.append(f"{self._fit_name(name)} {counters[name]:18,.0f}")
+        from repro.obs.critpath import (
+            critpath_report_line,
+            extract_critical_path,
+        )
+
+        lines.append(critpath_report_line(extract_critical_path(self)))
         return "\n".join(lines)

@@ -59,8 +59,15 @@ class Comparison:
 
     @property
     def regressions(self) -> list[DeltaRow]:
-        """Rows whose relative change exceeds the threshold."""
-        return [r for r in self.rows if abs(r.rel) > self.threshold]
+        """Rows past the threshold, worst relative change first.
+
+        Deterministically ordered: ties on ``|rel|`` (e.g. several
+        keys appearing on one side only, all ``inf``) break on the
+        key, so two runs of ``repro compare`` always print and gate
+        on the identical list.
+        """
+        rows = [r for r in self.rows if abs(r.rel) > self.threshold]
+        return sorted(rows, key=lambda r: (-abs(r.rel), r.key))
 
     @property
     def ok(self) -> bool:
@@ -119,8 +126,9 @@ def compare_metrics(a: dict, b: dict, threshold: float = 0.0) -> Comparison:
 
 
 def format_comparison(cmp: Comparison, max_rows: int = 40) -> str:
-    """Human-readable delta table (changed keys only, largest first)."""
-    changed = sorted(cmp.changed, key=lambda r: -abs(r.rel))
+    """Human-readable delta table (changed keys only, largest first;
+    ties on relative change break on the key for deterministic output)."""
+    changed = sorted(cmp.changed, key=lambda r: (-abs(r.rel), r.key))
     lines = [
         f"{len(cmp.rows)} keys compared, {len(changed)} changed, "
         f"{len(cmp.regressions)} past threshold "

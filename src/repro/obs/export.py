@@ -25,8 +25,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 __all__ = [
     "KERNEL_PID",
     "SPAN_PID",
+    "CRITPATH_PID",
     "span_events",
     "counter_events",
+    "critpath_events",
     "write_perfetto_trace",
 ]
 
@@ -36,6 +38,10 @@ KERNEL_PID = 0
 #: Process id of the nested span hierarchy (single track, events nest
 #: by time containment, exactly how Perfetto renders call stacks).
 SPAN_PID = 1
+
+#: Process id of the critical-path view: on-path segments on track 0,
+#: off-path (hidden-under-overlap) segments dimmed on track 1.
+CRITPATH_PID = 2
 
 
 def _jsonable(value):
@@ -126,15 +132,76 @@ def counter_events(engine: "SimEngine") -> list[dict]:
     return events
 
 
+def critpath_events(path) -> list[dict]:
+    """Critical-path highlight events from an extracted path.
+
+    ``path`` is a :class:`repro.obs.critpath.CriticalPath`.  On-path
+    segments render on their own track; segments hidden under overlap
+    land on a second, grey-dimmed track with their slack in the args —
+    the at-a-glance "where would an optimisation actually move the
+    finish line" view next to the raw timeline.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": CRITPATH_PID,
+            "tid": 0,
+            "args": {"name": "critical path"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": CRITPATH_PID,
+            "tid": 0,
+            "args": {"name": "on path"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": CRITPATH_PID,
+            "tid": 1,
+            "args": {"name": "off path (hidden by overlap)"},
+        },
+    ]
+    for seg in path.segments:
+        event = {
+            "name": f"{seg.phase}:{seg.level_name}" if seg.level_name
+            else seg.phase,
+            "cat": "critpath",
+            "ph": "X",
+            "ts": seg.start_s * 1e6,
+            "dur": seg.seconds * 1e6,
+            "pid": CRITPATH_PID,
+            "tid": 0 if seg.on_path else 1,
+            "args": {
+                "phase": seg.phase,
+                "level": seg.level,
+                "kernel": seg.kernel,
+                "array": seg.array,
+                "tier": seg.tier,
+                "on_path": seg.on_path,
+                "slack_us": seg.slack_seconds * 1e6,
+            },
+        }
+        if not seg.on_path:
+            event["cname"] = "grey"
+        events.append(event)
+    return events
+
+
 def write_perfetto_trace(engine: "SimEngine", path: str) -> None:
-    """Write the full trace: kernel tracks + span hierarchy + counters."""
+    """Write the full trace: kernel tracks + span hierarchy + counters
+    + the critical-path highlight track."""
     from repro.gpusim.trace import timeline_events
+    from repro.obs.critpath import extract_critical_path
 
     payload = {
         "traceEvents": (
             timeline_events(engine, pid=KERNEL_PID)
             + span_events(engine)
             + counter_events(engine)
+            + critpath_events(extract_critical_path(engine))
         ),
         "displayTimeUnit": "ms",
         "metadata": {"device": engine.device.name, "exporter": "repro.obs"},

@@ -219,6 +219,16 @@ def run_metrics(engine: "SimEngine", meta: dict | None = None) -> dict:
         },
         "roofline": roofline,
     }
+    from repro.obs.critpath import (
+        critical_path_section,
+        extract_critical_path,
+    )
+    from repro.obs.whatif import rank_engine_whatifs, whatif_section
+
+    payload["critical_path"] = critical_path_section(
+        extract_critical_path(engine)
+    )
+    payload["whatif"] = whatif_section(rank_engine_whatifs(engine))
     return payload
 
 

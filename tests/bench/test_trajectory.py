@@ -206,3 +206,83 @@ class TestCommittedBaseline:
         # matters — raw stays within 1.3x of ef.
         intra = committed["crossover"]["intra"]
         assert intra["raw_over_ef"] <= 1.3
+
+
+class TestWhatIfTargets:
+    def test_every_workload_has_a_target(self, workloads, payload):
+        from repro.bench.trajectory import whatif_targets
+
+        targets = whatif_targets(workloads)
+        # Every current-schema workload carries a whatif section.
+        assert sorted(targets) == sorted(workloads)
+        for row in targets.values():
+            assert row["scenario"]
+            assert row["speedup"] > 0.0
+        assert payload["whatif_targets"] == targets
+
+    def test_old_schema_workloads_skipped(self):
+        from repro.bench.trajectory import whatif_targets
+
+        workloads = {
+            "old/one": {"totals": {"elapsed_seconds": 1.0}},
+            "new/one": {
+                "whatif": {
+                    "b": {"speedup": 2.0},
+                    "a": {"speedup": 2.0},
+                }
+            },
+        }
+        targets = whatif_targets(workloads)
+        assert list(targets) == ["new/one"]
+        # Equal speedups break alphabetically for a stable digest.
+        assert targets["new/one"] == {"scenario": "a", "speedup": 2.0}
+
+
+class TestTrajectoryIndex:
+    def test_index_orders_entries_and_digests(self, payload, tmp_path):
+        from repro.bench.trajectory import (
+            TRAJECTORY_SCHEMA,
+            write_trajectory_index,
+        )
+
+        write_bench(payload, str(tmp_path))
+        later = bench_payload(
+            payload["workloads"], seq=4, config=SMALL
+        )
+        write_bench(later, str(tmp_path))
+        index_path = write_trajectory_index(str(tmp_path))
+        index = json.loads(open(index_path).read())
+        assert index["schema"] == TRAJECTORY_SCHEMA
+        assert [e["seq"] for e in index["entries"]] == [1, 4]
+        entry = index["entries"][0]
+        assert entry["file"] == "BENCH_1.json"
+        assert entry["git_sha"] == payload["meta"]["git_sha"]
+        for name, row in entry["workloads"].items():
+            totals = payload["workloads"][name]["totals"]
+            assert row["elapsed_seconds"] == totals["elapsed_seconds"]
+            assert row["top_whatif"]
+            assert row["top_speedup"] > 0.0
+
+    def test_refresh_is_byte_stable(self, payload, tmp_path):
+        from repro.bench.trajectory import write_trajectory_index
+
+        write_bench(payload, str(tmp_path))
+        first = open(write_trajectory_index(str(tmp_path)), "rb").read()
+        second = open(write_trajectory_index(str(tmp_path)), "rb").read()
+        assert first == second
+
+    def test_entries_without_whatif_sections(self, tmp_path):
+        from repro.bench.trajectory import write_trajectory_index
+
+        old = bench_payload(
+            {"old/one": {"totals": {"elapsed_seconds": 0.5}}},
+            seq=2,
+            config=SMALL,
+        )
+        write_bench(old, str(tmp_path))
+        index = json.loads(
+            open(write_trajectory_index(str(tmp_path))).read()
+        )
+        row = index["entries"][0]["workloads"]["old/one"]
+        assert row["elapsed_seconds"] == 0.5
+        assert "top_whatif" not in row

@@ -1,0 +1,52 @@
+"""Unit tests for the shared per-level report helpers."""
+
+import pytest
+
+from repro.dist.exchange import ExchangeStats
+from repro.dist.report import level_annotations, overlap_ratio
+
+
+class TestOverlapRatio:
+    def test_plain_fraction(self):
+        assert overlap_ratio(0.25, 1.0) == 0.25
+
+    def test_zero_duration_exchange_is_zero(self):
+        # The empty last-level frontier: no wire traffic, no division.
+        assert overlap_ratio(0.0, 0.0) == 0.0
+
+    def test_degenerate_negative_duration_is_zero(self):
+        assert overlap_ratio(0.1, -1.0) == 0.0
+
+    def test_fully_hidden(self):
+        assert overlap_ratio(2.0, 2.0) == 1.0
+
+
+class TestLevelAnnotations:
+    def test_single_helper_feeds_the_span(self):
+        ex = ExchangeStats()
+        annotations = level_annotations(
+            expand_seconds=1.0,
+            ex=ex,
+            claim_seconds=0.5,
+            overlapped_seconds=0.0,
+            bound="expand",
+            expand_kernel="bfs_expand",
+            claim_kernel="bfs_claim",
+        )
+        # The zero-duration guard flows through the shared helper.
+        assert annotations["overlap_ratio"] == 0.0
+        assert annotations["expand_kernel"] == "bfs_expand"
+        assert annotations["intra_bytes"] == 0
+        assert annotations["inter_bytes"] == 0
+
+    def test_ratio_uses_exchange_seconds(self):
+        ex = ExchangeStats()
+        ex.seconds = 2.0
+        annotations = level_annotations(
+            expand_seconds=1.0,
+            ex=ex,
+            claim_seconds=0.5,
+            overlapped_seconds=1.0,
+            bound="link",
+        )
+        assert annotations["overlap_ratio"] == pytest.approx(0.5)

@@ -1,0 +1,225 @@
+"""Critical-path extraction + exact verification tests.
+
+The load-bearing invariant: ``verify_critpath`` replays the on-path
+chain with the simulator's own accumulation order and must reproduce
+``elapsed_seconds`` **bit-for-bit** — on single-GPU timelines and on
+flat/hierarchical clusters, with the overlap pipeline on and off, for
+all three distributed drivers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.rmat import rmat_graph
+from repro.dist.bfs import distributed_bfs
+from repro.dist.cluster import ShardedCluster
+from repro.dist.pagerank import distributed_pagerank
+from repro.dist.sssp import distributed_sssp
+from repro.dist.topology import LinkTopology
+from repro.formats.csr import CSRGraph
+from repro.gpusim.device import TITAN_XP
+from repro.obs.critpath import (
+    critical_path_section,
+    critpath_report_line,
+    extract_cluster_critical_path,
+    extract_critical_path,
+    verify_critpath,
+)
+from repro.traversal.backends import CSRBackend
+from repro.traversal.bfs import bfs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(scale=8, edge_factor=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return TITAN_XP.scaled(2048)
+
+
+def _two_tier(gpus_per_node=4, inter_bw=1e9):
+    return LinkTopology.two_tier(
+        num_nodes=2, gpus_per_node=gpus_per_node, inter_bandwidth=inter_bw
+    )
+
+
+def _run_bfs_cluster(graph, device, *, overlap, hierarchical=True):
+    if hierarchical:
+        cluster = ShardedCluster.build(
+            graph, 8, device, topology=_two_tier(), wire="ef",
+            schedule="hierarchical", overlap=overlap,
+        )
+    else:
+        cluster = ShardedCluster.build(graph, 4, device, overlap=overlap)
+    distributed_bfs(cluster, 0)
+    return cluster
+
+
+class TestEnginePath:
+    def test_exact_on_single_gpu_run(self, graph, device):
+        backend = CSRBackend(CSRGraph.from_graph(graph), device)
+        bfs(backend, 0)
+        path = extract_critical_path(backend.engine)
+        verify_critpath(path)  # exact: raises on any ULP of drift
+        assert path.kind == "engine"
+        assert path.segments
+        assert path.hidden_seconds == 0.0
+
+    def test_every_kernel_launch_is_a_segment(self, graph, device):
+        backend = CSRBackend(CSRGraph.from_graph(graph), device)
+        bfs(backend, 0)
+        path = extract_critical_path(backend.engine)
+        assert len(path.segments) == backend.engine.num_launches
+
+    def test_segments_carry_level_and_array(self, graph, device):
+        backend = CSRBackend(CSRGraph.from_graph(graph), device)
+        bfs(backend, 0)
+        path = extract_critical_path(backend.engine)
+        in_levels = [s for s in path.segments if s.level >= 0]
+        assert in_levels
+        assert any(s.array for s in path.segments)
+        assert all(s.kernel for s in path.segments)
+
+    def test_empty_engine(self, device):
+        from repro.gpusim.engine import SimEngine
+
+        engine = SimEngine.for_device(device)
+        path = extract_critical_path(engine)
+        verify_critpath(path)
+        assert path.segments == []
+        assert critpath_report_line(path) == "critical path: (empty run)"
+
+    def test_tampered_segment_raises(self, graph, device):
+        backend = CSRBackend(CSRGraph.from_graph(graph), device)
+        bfs(backend, 0)
+        path = extract_critical_path(backend.engine)
+        path.segments[0].seconds += 1e-12
+        with pytest.raises(AssertionError, match="on-path replay"):
+            verify_critpath(path)
+
+
+class TestClusterPath:
+    @pytest.mark.parametrize("overlap", [True, False])
+    @pytest.mark.parametrize("hierarchical", [True, False])
+    def test_exact_bfs(self, graph, device, overlap, hierarchical):
+        cluster = _run_bfs_cluster(
+            graph, device, overlap=overlap, hierarchical=hierarchical
+        )
+        path = extract_cluster_critical_path(cluster)
+        verify_critpath(path)
+        assert path.elapsed_seconds == cluster.clock
+
+    @pytest.mark.parametrize("overlap", [True, False])
+    def test_exact_sssp(self, graph, device, overlap):
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0.1, 1.0, graph.num_edges).astype(np.float32)
+        cluster = ShardedCluster.build(
+            graph, 8, device, topology=_two_tier(), wire="ef",
+            schedule="hierarchical", with_weights=True, overlap=overlap,
+        )
+        distributed_sssp(cluster, 0, weights)
+        verify_critpath(extract_cluster_critical_path(cluster))
+
+    @pytest.mark.parametrize("overlap", [True, False])
+    def test_exact_pagerank_with_sync_segments(self, graph, device, overlap):
+        cluster = ShardedCluster.build(
+            graph, 8, device, topology=_two_tier(), wire="ef",
+            schedule="hierarchical", overlap=overlap,
+        )
+        distributed_pagerank(cluster, max_iterations=4)
+        path = extract_cluster_critical_path(cluster)
+        verify_critpath(path)
+        syncs = [s for s in path.segments if s.phase == "sync"]
+        assert len(syncs) == len(cluster.charges)
+        assert all(s.on_path for s in syncs)
+
+    def test_exact_single_gpu_cluster(self, graph, device):
+        cluster = ShardedCluster.build(graph, 1, device, overlap=True)
+        distributed_bfs(cluster, 0)
+        verify_critpath(extract_cluster_critical_path(cluster))
+
+    def test_overlap_hides_shorter_phase(self, graph, device):
+        cluster = _run_bfs_cluster(graph, device, overlap=True)
+        path = extract_cluster_critical_path(cluster)
+        for group in path.levels():
+            by_phase = {s.phase: s for s in group}
+            expand, exchange = by_phase["expand"], by_phase["exchange"]
+            longer, shorter = (
+                (expand, exchange)
+                if expand.seconds >= exchange.seconds
+                else (exchange, expand)
+            )
+            assert longer.on_path and not shorter.on_path
+            assert shorter.slack_seconds == longer.seconds - shorter.seconds
+            assert by_phase["claim"].on_path
+
+    def test_serial_everything_on_path(self, graph, device):
+        cluster = _run_bfs_cluster(graph, device, overlap=False)
+        path = extract_cluster_critical_path(cluster)
+        assert all(s.on_path for s in path.segments)
+        assert path.hidden_seconds == 0.0
+
+    def test_hidden_seconds_matches_overlapped(self, graph, device):
+        cluster = _run_bfs_cluster(graph, device, overlap=True)
+        path = extract_cluster_critical_path(cluster)
+        overlapped = sum(
+            min(c.expand_seconds, c.exchange.seconds)
+            for c in cluster.charges
+        )
+        assert path.hidden_seconds == pytest.approx(overlapped)
+
+    def test_exchange_segments_bind_a_tier(self, graph, device):
+        cluster = _run_bfs_cluster(graph, device, overlap=True)
+        path = extract_cluster_critical_path(cluster)
+        exchanges = [s for s in path.segments if s.phase == "exchange"]
+        assert exchanges
+        assert all(s.tier in ("intra", "inter") for s in exchanges)
+
+    def test_tampered_labels_raise(self, graph, device):
+        cluster = _run_bfs_cluster(graph, device, overlap=False)
+        path = extract_cluster_critical_path(cluster)
+        path.segments[1].on_path = False  # serial exchange forced hidden
+        with pytest.raises(AssertionError, match="on-path"):
+            verify_critpath(path)
+
+
+class TestSurfaces:
+    def test_section_is_numeric_and_consistent(self, graph, device):
+        cluster = _run_bfs_cluster(graph, device, overlap=True)
+        path = extract_cluster_critical_path(cluster)
+        section = critical_path_section(path)
+        assert section["elapsed_seconds"] == cluster.clock
+        assert section["segments"] >= section["on_path_segments"]
+        assert sum(section["phases"].values()) == pytest.approx(
+            sum(s.seconds for s in path.on_path)
+        )
+
+    def test_report_line_shape(self, graph, device):
+        cluster = _run_bfs_cluster(graph, device, overlap=True)
+        line = critpath_report_line(
+            extract_cluster_critical_path(cluster)
+        )
+        assert line.startswith("critical path: ")
+        assert "%" in line
+        assert "hidden" in line  # overlap always hides something here
+
+    def test_dist_report_carries_line(self, graph, device):
+        from repro.dist.report import dist_report
+
+        cluster = _run_bfs_cluster(graph, device, overlap=True)
+        assert "critical path: " in dist_report(cluster)
+
+    def test_profile_report_carries_line(self, graph, device):
+        backend = CSRBackend(CSRGraph.from_graph(graph), device)
+        bfs(backend, 0)
+        assert "critical path: " in backend.engine.profile_report()
+
+    def test_metrics_sections_present(self, graph, device):
+        from repro.dist.report import dist_run_metrics
+
+        cluster = _run_bfs_cluster(graph, device, overlap=True)
+        payload = dist_run_metrics(cluster)
+        assert payload["critical_path"]["elapsed_seconds"] == cluster.clock
+        assert payload["whatif"]

@@ -6,9 +6,11 @@ import pytest
 
 from repro.formats.csr import CSRGraph
 from repro.obs.export import (
+    CRITPATH_PID,
     KERNEL_PID,
     SPAN_PID,
     counter_events,
+    critpath_events,
     span_events,
     write_perfetto_trace,
 )
@@ -54,14 +56,20 @@ class TestTraceSchema:
         assert "frontier_size" in names
         assert "cumulative_bytes" in names
 
-    def test_only_x_and_c_phases(self, traced_run):
+    def test_only_x_c_and_metadata_phases(self, traced_run):
         _, payload = traced_run
-        assert {e["ph"] for e in payload["traceEvents"]} == {"X", "C"}
+        assert {e["ph"] for e in payload["traceEvents"]} == {"X", "C", "M"}
 
-    def test_kernel_and_span_tracks_separated(self, traced_run):
+    def test_kernel_span_and_critpath_tracks_separated(self, traced_run):
         _, payload = traced_run
         pids = {e["pid"] for e in payload["traceEvents"] if e["ph"] == "X"}
-        assert pids == {KERNEL_PID, SPAN_PID}
+        assert pids == {KERNEL_PID, SPAN_PID, CRITPATH_PID}
+
+    def test_metadata_names_only_on_critpath_track(self, traced_run):
+        _, payload = traced_run
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert meta
+        assert {e["pid"] for e in meta} == {CRITPATH_PID}
 
 
 class TestSpanEvents:
@@ -126,3 +134,59 @@ class TestCounterEvents:
         ]
         assert len(frontier) == len(levels)
         assert frontier[0]["args"]["value"] == 1  # source-only frontier
+
+
+class TestCritpathEvents:
+    def test_engine_path_all_on_path_track(self, traced_run):
+        engine, _ = traced_run
+        from repro.obs.critpath import extract_critical_path
+
+        events = [
+            e
+            for e in critpath_events(extract_critical_path(engine))
+            if e["ph"] == "X"
+        ]
+        assert events
+        # Single-GPU timelines are fully serial: everything is on-path.
+        assert {e["tid"] for e in events} == {0}
+        assert all(e["args"]["on_path"] for e in events)
+
+    def test_off_path_segments_dimmed(self, small_graph, scaled_device):
+        from repro.dist.cluster import ShardedCluster
+        from repro.dist.bfs import distributed_bfs
+        from repro.obs.critpath import extract_cluster_critical_path
+
+        cluster = ShardedCluster.build(
+            small_graph, 2, scaled_device, overlap=True
+        )
+        distributed_bfs(cluster, 0)
+        events = [
+            e
+            for e in critpath_events(
+                extract_cluster_critical_path(cluster)
+            )
+            if e["ph"] == "X" and not e["args"]["on_path"]
+        ]
+        assert events  # overlap hides at least one phase somewhere
+        for e in events:
+            assert e["tid"] == 1
+            assert e["cname"] == "grey"
+            assert e["args"]["slack_us"] >= 0.0
+
+
+class TestTraceDeterminism:
+    def test_two_identical_runs_byte_identical_trace(
+        self, small_graph, scaled_device, tmp_path
+    ):
+        """Track ids and event order are stable run-to-run: the same
+        workload twice must export the exact same bytes."""
+        paths = []
+        for i in range(2):
+            backend = CSRBackend(
+                CSRGraph.from_graph(small_graph), scaled_device
+            )
+            bfs(backend, 0)
+            path = tmp_path / f"trace_{i}.json"
+            write_perfetto_trace(backend.engine, str(path))
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()

@@ -1,0 +1,303 @@
+"""What-if replay tests.
+
+The headline acceptance criterion: for the bandwidth / latency /
+contention / overlap knobs, the replayed prediction equals an **actual
+re-run** under the changed parameters bit-for-bit.  Codec swaps and
+cache budgets are estimates with a stated tolerance, pinned here too.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.efg import efg_encode
+from repro.core.listcache import DecodedListCache
+from repro.datasets.rmat import rmat_graph
+from repro.dist.bfs import distributed_bfs
+from repro.dist.cluster import ShardedCluster
+from repro.dist.pagerank import distributed_pagerank
+from repro.dist.topology import LinkTopology
+from repro.formats.csr import CSRGraph
+from repro.gpusim.device import TITAN_XP
+from repro.obs.whatif import (
+    WhatIfResult,
+    parse_sets,
+    rank_cluster_whatifs,
+    rank_engine_whatifs,
+    replay_cluster_seconds,
+    replay_engine_seconds,
+    top_target,
+    whatif_cache,
+    whatif_cluster,
+    whatif_engine,
+    whatif_section,
+)
+from repro.traversal.backends import CSRBackend, EFGBackend
+from repro.traversal.bfs import bfs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(scale=8, edge_factor=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return TITAN_XP.scaled(2048)
+
+
+def _topology(inter_bw=1e9, **kw):
+    return LinkTopology.two_tier(
+        num_nodes=2, gpus_per_node=4, inter_bandwidth=inter_bw, **kw
+    )
+
+
+def _bfs_cluster(graph, device, *, overlap=True, topology=None, **kw):
+    cluster = ShardedCluster.build(
+        graph, 8, device,
+        topology=_topology() if topology is None else topology,
+        wire="ef", schedule="hierarchical", overlap=overlap, **kw,
+    )
+    distributed_bfs(cluster, 0)
+    return cluster
+
+
+class TestClusterExactness:
+    """Predicted == actual re-run, bit-for-bit, for the exact knobs."""
+
+    def test_replay_reproduces_own_clock(self, graph, device):
+        cluster = _bfs_cluster(graph, device)
+        assert replay_cluster_seconds(cluster) == cluster.clock
+
+    def test_replay_reproduces_own_clock_serial(self, graph, device):
+        cluster = _bfs_cluster(graph, device, overlap=False)
+        assert replay_cluster_seconds(cluster) == cluster.clock
+
+    def test_inter_bandwidth_prediction_matches_rerun(self, graph, device):
+        cluster = _bfs_cluster(graph, device)
+        result = whatif_cluster(cluster, {"inter_gbs": "2"})
+        actual = _bfs_cluster(graph, device, topology=_topology(2e9))
+        assert result.exact
+        assert result.predicted_seconds == actual.clock
+        assert result.baseline_seconds == cluster.clock
+
+    def test_overlap_toggle_prediction_matches_rerun(self, graph, device):
+        cluster = _bfs_cluster(graph, device, overlap=True)
+        result = whatif_cluster(cluster, {"overlap": "off"})
+        actual = _bfs_cluster(graph, device, overlap=False)
+        assert result.exact
+        assert result.predicted_seconds == actual.clock
+
+    def test_overlap_on_prediction_matches_rerun(self, graph, device):
+        cluster = _bfs_cluster(graph, device, overlap=False)
+        result = whatif_cluster(cluster, {"overlap": "on"})
+        actual = _bfs_cluster(graph, device, overlap=True)
+        assert result.predicted_seconds == actual.clock
+
+    def test_intra_bandwidth_exact_on_pagerank_syncs(self, graph, device):
+        """Pagerank levels carry sync records; intra re-pricing must
+        cover them too."""
+        def run(topology):
+            cluster = ShardedCluster.build(
+                graph, 8, device, topology=topology, wire="ef",
+                schedule="hierarchical", overlap=True,
+            )
+            distributed_pagerank(cluster, max_iterations=4)
+            return cluster
+
+        base_topo = _topology()
+        cluster = run(base_topo)
+        result = whatif_cluster(cluster, {"intra_gbs": "20"})
+        actual = run(
+            dataclasses.replace(base_topo, link_bandwidth=20e9)
+        )
+        assert result.predicted_seconds == actual.clock
+
+    def test_combined_knobs_exact(self, graph, device):
+        cluster = _bfs_cluster(graph, device, overlap=True)
+        result = whatif_cluster(
+            cluster, {"inter_gbs": "4", "overlap": "off"}
+        )
+        actual = ShardedCluster.build(
+            graph, 8, device, topology=_topology(4e9), wire="ef",
+            schedule="hierarchical", overlap=False,
+        )
+        distributed_bfs(actual, 0)
+        assert result.predicted_seconds == actual.clock
+
+    def test_unknown_knob_rejected(self, graph, device):
+        cluster = _bfs_cluster(graph, device)
+        with pytest.raises(ValueError, match="unknown knob"):
+            whatif_cluster(cluster, {"warp_size": "64"})
+
+
+class TestCodecSwap:
+    def test_requires_recorded_trials(self, graph, device):
+        cluster = _bfs_cluster(graph, device)  # record_wire off
+        with pytest.raises(ValueError, match="record_wire"):
+            whatif_cluster(cluster, {"wire": "varint"})
+
+    def test_swap_is_flagged_estimate(self, graph, device):
+        cluster = _bfs_cluster(graph, device, record_wire=True)
+        result = whatif_cluster(cluster, {"wire": "varint"})
+        assert not result.exact
+        assert result.predicted_seconds > 0.0
+
+    def test_swap_to_own_codec_close_to_baseline(self, graph, device):
+        """Re-pricing under the codec the run already used should move
+        the clock only by the tier-aggregation estimate error."""
+        cluster = _bfs_cluster(graph, device, record_wire=True)
+        result = whatif_cluster(cluster, {"wire": "ef"})
+        assert result.predicted_seconds == pytest.approx(
+            cluster.clock, rel=0.02
+        )
+
+
+class TestEngineExactness:
+    def _run(self, graph, device):
+        backend = CSRBackend(CSRGraph.from_graph(graph), device)
+        bfs(backend, 0)
+        return backend.engine
+
+    def test_replay_reproduces_own_elapsed(self, graph, device):
+        engine = self._run(graph, device)
+        assert replay_engine_seconds(engine) == engine.elapsed_seconds
+
+    def test_dram_prediction_matches_rerun(self, graph, device):
+        engine = self._run(graph, device)
+        gbs = engine.device.dram_bandwidth * 2.0 / 1e9
+        result = whatif_engine(engine, {"dram_gbs": str(gbs)})
+        fast = dataclasses.replace(
+            device, dram_bandwidth=device.dram_bandwidth * 2.0
+        )
+        actual = self._run(graph, fast)
+        assert result.exact
+        assert result.predicted_seconds == actual.elapsed_seconds
+
+    def test_launch_overhead_prediction_matches_rerun(self, graph, device):
+        engine = self._run(graph, device)
+        result = whatif_engine(engine, {"launch_us": "0"})
+        actual = self._run(
+            graph, dataclasses.replace(device, launch_overhead_s=0.0)
+        )
+        assert result.predicted_seconds == actual.elapsed_seconds
+
+    def test_unknown_knob_rejected(self, graph, device):
+        engine = self._run(graph, device)
+        with pytest.raises(ValueError, match="unknown knob"):
+            whatif_engine(engine, {"inter_gbs": "2"})
+
+
+class TestCacheWhatIf:
+    BUDGET = 1 << 16
+    SOURCES = (0, 1, 2, 5, 9, 17)
+
+    def _run(self, graph, device, budget, record=False):
+        backend = EFGBackend(efg_encode(graph), device)
+        cache = DecodedListCache(budget, record_reuse=record)
+        backend.attach_cache(cache)
+        for s in self.SOURCES:  # repeat queries so lists get reused
+            bfs(backend, s)
+        return backend.engine, cache
+
+    def test_requires_reuse_log(self, graph, device):
+        engine, cache = self._run(graph, device, self.BUDGET)
+        with pytest.raises(ValueError, match="record_reuse"):
+            whatif_cache(engine, cache, self.BUDGET * 2)
+
+    def test_self_replay_exact(self, graph, device):
+        engine, cache = self._run(
+            graph, device, self.BUDGET, record=True
+        )
+        assert cache.stats.hit_edges > 0  # scenario must exercise hits
+        result = whatif_cache(engine, cache, self.BUDGET)
+        assert result.predicted_seconds == engine.elapsed_seconds
+
+    def test_budget_growth_within_tolerance(self, graph, device):
+        engine, cache = self._run(
+            graph, device, self.BUDGET, record=True
+        )
+        result = whatif_cache(engine, cache, self.BUDGET * 4)
+        actual, _ = self._run(graph, device, self.BUDGET * 4)
+        assert not result.exact
+        assert result.predicted_seconds == pytest.approx(
+            actual.elapsed_seconds, rel=0.02
+        )
+
+    def test_budget_shrink_within_tolerance(self, graph, device):
+        engine, cache = self._run(
+            graph, device, self.BUDGET, record=True
+        )
+        result = whatif_cache(engine, cache, self.BUDGET // 4)
+        actual, _ = self._run(graph, device, self.BUDGET // 4)
+        assert result.predicted_seconds == pytest.approx(
+            actual.elapsed_seconds, rel=0.10
+        )
+
+
+class TestRanking:
+    def test_cluster_panel_ranked_and_deterministic(self, graph, device):
+        cluster = _bfs_cluster(graph, device, record_wire=True)
+        first = rank_cluster_whatifs(cluster)
+        second = rank_cluster_whatifs(cluster)
+        assert first == second
+        speedups = [r.speedup for r in first]
+        assert speedups == sorted(speedups, reverse=True)
+        names = {r.name for r in first}
+        assert "intra_bandwidth x2" in names
+        assert "inter_bandwidth x2" in names  # two nodes -> inter tier
+        assert "overlap off" in names
+        assert any(n.startswith("wire ") for n in names)
+
+    def test_flat_cluster_skips_inter_scenario(self, graph, device):
+        cluster = ShardedCluster.build(graph, 4, device, overlap=True)
+        distributed_bfs(cluster, 0)
+        names = {r.name for r in rank_cluster_whatifs(cluster)}
+        assert "inter_bandwidth x2" not in names
+        assert "overlap off" in names
+
+    def test_engine_panel(self, graph, device):
+        backend = CSRBackend(CSRGraph.from_graph(graph), device)
+        bfs(backend, 0)
+        results = rank_engine_whatifs(backend.engine)
+        assert {r.name for r in results} == {
+            "dram_bandwidth x2",
+            "pcie_bandwidth x2",
+            "cached_bw_ratio x2",
+            "zero launch overhead",
+        }
+        assert all(r.exact for r in results)
+
+    def test_top_target(self):
+        a = WhatIfResult("a", 2.0, 1.0, True)
+        b = WhatIfResult("b", 2.0, 1.0, True)
+        c = WhatIfResult("c", 2.0, 2.0, True)
+        assert top_target([c, b, a]).name == "a"  # tie -> name order
+        assert top_target([]) is None
+
+
+class TestSurfaces:
+    def test_parse_sets(self):
+        assert parse_sets(["inter_gbs=2", "overlap=off"]) == {
+            "inter_gbs": "2",
+            "overlap": "off",
+        }
+
+    @pytest.mark.parametrize("bad", ["inter_gbs", "=2", "inter_gbs=", ""])
+    def test_parse_sets_malformed(self, bad):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_sets([bad])
+
+    def test_whatif_section_numeric(self):
+        results = [WhatIfResult("x", 2.0, 1.0, True)]
+        section = whatif_section(results)
+        assert section == {
+            "x": {
+                "predicted_seconds": 1.0,
+                "speedup": 2.0,
+                "exact": 1.0,
+            }
+        }
+
+    def test_zero_prediction_speedup_is_zero(self):
+        assert WhatIfResult("x", 2.0, 0.0, True).speedup == 0.0

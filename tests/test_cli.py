@@ -279,3 +279,58 @@ class TestDist:
                 "dist", "bfs", "--rmat-scale", "6",
                 "--gpus", "6", "--nodes", "4",
             ])
+
+
+class TestCompareErrors:
+    def test_unreadable_input_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["compare", missing, missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_json_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["compare", str(path), str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestWhatIf:
+    SMALL = ["--rmat-scale", "7"]
+
+    def test_rank_table_and_verified_path(self, capsys):
+        assert main([
+            "whatif", "bfs", *self.SMALL, "--set", "inter_gbs=2", "--rank",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verify_critpath: ok" in out
+        assert "critical path: " in out
+        assert "what-if inter_gbs=2:" in out
+        assert "scenario" in out  # rank table header
+        assert "inter_bandwidth x2" in out
+
+    def test_deterministic_output(self, capsys):
+        outs = []
+        for _ in range(2):
+            assert main([
+                "whatif", "bfs", *self.SMALL, "--set", "overlap=off",
+            ]) == 0
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+
+    def test_unknown_knob_exits_two(self, capsys):
+        assert main([
+            "whatif", "bfs", *self.SMALL, "--set", "warp_size=64",
+        ]) == 2
+        assert "unknown knob" in capsys.readouterr().err
+
+    def test_malformed_set_exits_two(self, capsys):
+        assert main([
+            "whatif", "bfs", *self.SMALL, "--set", "inter_gbs",
+        ]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_wire_swap_reported_as_estimate(self, capsys):
+        assert main([
+            "whatif", "bfs", *self.SMALL, "--set", "wire=varint",
+        ]) == 0
+        assert "(estimate)" in capsys.readouterr().out
