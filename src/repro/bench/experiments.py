@@ -83,13 +83,14 @@ def exp_fig1(
     names: tuple[str, ...] = DEFAULT_FULL,
     num_sources: int = 3,
     device: DeviceSpec = SCALED_TITAN_XP,
+    source_seed: int = 42,
 ) -> list[dict]:
     """Fig. 1: CSR BFS GTEPS vs graph size with the three regions."""
     records = []
     for name in names:
         enc = encoded_suite_graph(name)
         backend = make_backend("csr", enc, device)
-        sources = pick_sources(enc.graph, num_sources)
+        sources = pick_sources(enc.graph, num_sources, seed=source_seed)
         stats = run_bfs_average(backend, sources)
         csr_bytes = enc.csr.nbytes
         efg_bytes = enc.efg.nbytes
@@ -138,6 +139,7 @@ def exp_tab2(
     num_sources: int = 3,
     formats: tuple[str, ...] = ("csr", "cgr", "efg", "ligra"),
     device: DeviceSpec = SCALED_TITAN_XP,
+    source_seed: int = 42,
 ) -> list[dict]:
     """Table II: per-graph size (bytes) and BFS runtime per format.
 
@@ -147,7 +149,7 @@ def exp_tab2(
     records = []
     for name in names:
         enc = encoded_suite_graph(name)
-        sources = pick_sources(enc.graph, num_sources)
+        sources = pick_sources(enc.graph, num_sources, seed=source_seed)
         row: dict = {"name": name, "num_nodes": enc.graph.num_nodes,
                      "num_edges": enc.graph.num_edges}
         for fmt in formats:
@@ -187,6 +189,7 @@ def exp_fig10(
     names: tuple[str, ...] = DEFAULT_MEDIUM,
     num_sources: int = 2,
     device: DeviceSpec = SCALED_TITAN_XP,
+    source_seed: int = 42,
 ) -> list[dict]:
     """Fig. 10: SSSP GTEPS for CSR and EFG with weight streaming.
 
@@ -197,7 +200,7 @@ def exp_fig10(
     for name in names:
         enc = encoded_suite_graph(name)
         weights = generate_edge_weights(enc.graph, seed=7)
-        sources = pick_sources(enc.graph, num_sources)
+        sources = pick_sources(enc.graph, num_sources, seed=source_seed)
         row: dict = {"name": name, "num_edges": enc.graph.num_edges}
         for fmt in ("csr", "efg"):
             backend = make_backend(fmt, enc, device, with_weights=True)
@@ -245,6 +248,7 @@ def exp_fig12(
     names: tuple[str, ...] = ("sk-05", "twitter", "urnd_26"),
     num_sources: int = 2,
     device: DeviceSpec = SCALED_TITAN_XP,
+    source_seed: int = 42,
 ) -> list[dict]:
     """Fig. 12: reordering impact on compression and BFS runtime.
 
@@ -268,7 +272,7 @@ def exp_fig12(
         ]
         for oname, graph in variants:
             enc = EncodedGraph(graph=graph)
-            sources = pick_sources(graph, num_sources)
+            sources = pick_sources(graph, num_sources, seed=source_seed)
             rec: dict = {"name": name, "ordering": oname}
             csr_bytes = enc.csr.nbytes
             rec["efg_ratio"] = csr_bytes / enc.efg.nbytes
@@ -297,6 +301,7 @@ def exp_frontier_sort(
     names: tuple[str, ...] = DEFAULT_MEDIUM,
     num_sources: int = 2,
     device: DeviceSpec = SCALED_TITAN_XP,
+    source_seed: int = 42,
 ) -> list[dict]:
     """Sec. VI-E ablation: EFG BFS with vs without the partial sort.
 
@@ -313,7 +318,7 @@ def exp_frontier_sort(
     for name in names:
         enc = encoded_suite_graph(name)
         backend = make_backend("efg", enc, device)
-        sources = pick_sources(enc.graph, num_sources)
+        sources = pick_sources(enc.graph, num_sources, seed=source_seed)
         with_sort = run_bfs_average(backend, sources, partial_sort=True)
         without = run_bfs_average(backend, sources, partial_sort=False)
 
@@ -424,13 +429,14 @@ def exp_quantum(
     quanta: tuple[int, ...] = (32, 64, 128, 256, 512, 1024),
     num_sources: int = 2,
     device: DeviceSpec = SCALED_TITAN_XP,
+    source_seed: int = 42,
 ) -> list[dict]:
     """Forward-pointer quantum sweep (the paper fixes k = 512)."""
     from repro.traversal.backends import EFGBackend
 
     graph = encoded_suite_graph(name).graph
     csr_bytes = CSRGraph.from_graph(graph).nbytes
-    sources = pick_sources(graph, num_sources)
+    sources = pick_sources(graph, num_sources, seed=source_seed)
     records = []
     for k in quanta:
         efg = efg_encode(graph, quantum=k)

@@ -75,6 +75,11 @@ class BenchConfig:
     rmat_scale: int = 9
     edge_factor: int = 8
     seed: int = 3
+    #: Seed of the source-vertex draw (:func:`repro.bench.harness.
+    #: pick_sources`).  Threaded explicitly — and stamped into the
+    #: payload ``meta`` — so two trajectories built with different
+    #: source draws can never silently gate against each other.
+    source_seed: int = 42
     device_scale: float = 2048.0
     algos: tuple[str, ...] = ("bfs", "sssp", "pagerank")
     formats: tuple[str, ...] = ("csr", "efg", "cgr")
@@ -84,6 +89,7 @@ class BenchConfig:
     dist_nodes: int = 2
     dist_gpus_per_node: int = 4
     dist_schedule: str = "hierarchical"
+    dist_overlap: bool = True
     #: NVLink-class intra-node links vs a 1 GB/s inter-node fabric: the
     #: fast tier is latency-dominated (raw competitive), the slow tier
     #: bandwidth-dominated (Elias-Fano wins) — the crossover the
@@ -96,6 +102,7 @@ class BenchConfig:
             "rmat_scale": self.rmat_scale,
             "edge_factor": self.edge_factor,
             "seed": self.seed,
+            "source_seed": self.source_seed,
             "device_scale": self.device_scale,
             "algos": list(self.algos),
             "formats": list(self.formats),
@@ -103,9 +110,31 @@ class BenchConfig:
             "dist_nodes": self.dist_nodes,
             "dist_gpus_per_node": self.dist_gpus_per_node,
             "dist_schedule": self.dist_schedule,
+            "dist_overlap": self.dist_overlap,
             "dist_link_gbs": self.dist_link_gbs,
             "dist_inter_gbs": self.dist_inter_gbs,
         }
+
+    def tuned(self, config: dict) -> "BenchConfig":
+        """This suite with a tuned config applied to the dist leg.
+
+        ``config`` is the ``config`` block of a tuned entry
+        (:mod:`repro.tune.store`): ``wire`` replaces the wire axis,
+        ``schedule`` / ``overlap`` replace the exchange schedule and
+        the overlap flag.  Everything applied lands in ``suite_meta``,
+        so a tuned trajectory can never silently gate against the
+        default one.
+        """
+        from dataclasses import replace as _replace
+
+        kwargs: dict = {}
+        if "wire" in config:
+            kwargs["dist_wires"] = (str(config["wire"]),)
+        if "schedule" in config:
+            kwargs["dist_schedule"] = str(config["schedule"])
+        if "overlap" in config:
+            kwargs["dist_overlap"] = bool(config["overlap"])
+        return _replace(self, **kwargs)
 
 
 def _build_backend(fmt: str, graph, device, weight_bytes: int):
@@ -135,7 +164,7 @@ def run_bench_suite(
     ``repro.metrics/2``), so every trajectory entry carries the whole
     counter surface, not a digest.
     """
-    from repro.bench.harness import run_profiled
+    from repro.bench.harness import pick_sources, run_profiled
     from repro.datasets.rmat import rmat_graph
     from repro.gpusim.device import TITAN_XP
 
@@ -149,7 +178,9 @@ def run_bench_suite(
     # Deterministic weights in CSR slot order, shared by every format.
     rng = np.random.default_rng(config.seed)
     weights = rng.uniform(0.1, 1.0, graph.num_edges).astype(np.float32)
-    source = int(np.flatnonzero(graph.degrees > 0)[0])
+    # The source draw is seeded from the config — never a hardcoded
+    # default — and recorded in suite_meta for the gate guard.
+    source = int(pick_sources(graph, 1, seed=config.source_seed)[0])
 
     workloads: dict[str, dict] = {}
     for algo in config.algos:
@@ -196,7 +227,7 @@ def _run_dist_workload(
         wire=wire,
         schedule=config.dist_schedule,
         topology=topology,
-        overlap=True,
+        overlap=config.dist_overlap,
     )
     distributed_bfs(cluster, source)
     verify_dist_attribution(cluster)
@@ -383,25 +414,80 @@ def write_trajectory_index(out_dir: str) -> str:
     return path
 
 
-def load_bench(path: str) -> dict:
-    """Load one trajectory entry from a file, or the latest from a dir."""
-    if os.path.isdir(path):
-        entries = sorted(
-            (int(m.group(1)), name)
-            for name in os.listdir(path)
-            if (m := _BENCH_FILE_RE.match(name))
-        )
-        if not entries:
-            raise FileNotFoundError(f"{path}: no BENCH_<n>.json files")
-        path = os.path.join(path, entries[-1][1])
+def _read_entry(path: str) -> dict:
+    """Load + schema-check one ``BENCH_<n>.json`` file."""
     with open(path) as fh:
-        payload = json.load(fh)
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: invalid JSON ({exc})") from exc
     schema = payload.get("schema")
     if schema != BENCH_SCHEMA:
         raise ValueError(
             f"{path}: schema {schema!r} != expected {BENCH_SCHEMA!r}"
         )
     return payload
+
+
+def _index_order(out_dir: str, on_disk: list[str]) -> list[str] | None:
+    """Entry order from a fresh ``TRAJECTORY.json``, else ``None``.
+
+    The index is trusted only when it lists exactly the
+    ``BENCH_<n>.json`` files present on disk; a missing, unreadable, or
+    stale index (files added or removed since the last refresh) returns
+    ``None`` so the caller falls back to scanning the directory.
+    """
+    index_path = os.path.join(out_dir, "TRAJECTORY.json")
+    try:
+        with open(index_path) as fh:
+            index = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if index.get("schema") != TRAJECTORY_SCHEMA:
+        return None
+    entries = index.get("entries")
+    if not isinstance(entries, list):
+        return None
+    files = []
+    for entry in entries:
+        name = entry.get("file") if isinstance(entry, dict) else None
+        if not isinstance(name, str) or not _BENCH_FILE_RE.match(name):
+            return None
+        files.append(name)
+    if sorted(files) != sorted(on_disk):
+        return None  # stale: the index disagrees with the directory
+    return files
+
+
+def load_bench(path: str) -> dict:
+    """Load one trajectory entry from a file, or the latest from a dir.
+
+    A directory resolves its latest entry through ``TRAJECTORY.json``
+    when the index is present and fresh; a missing or stale index falls
+    back to scanning the ``BENCH_<n>.json`` files directly.  Unreadable
+    entries are skipped latest-first, and only when *no* entry is
+    readable does the lookup raise — with a message naming the
+    directory, never a raw traceback from a half-written file.
+    """
+    if not os.path.isdir(path):
+        return _read_entry(path)
+    on_disk = sorted(
+        (name for name in os.listdir(path) if _BENCH_FILE_RE.match(name)),
+        key=lambda name: int(_BENCH_FILE_RE.match(name).group(1)),
+    )
+    if not on_disk:
+        raise FileNotFoundError(f"{path}: no BENCH_<n>.json files")
+    order = _index_order(path, on_disk) or on_disk
+    errors: list[str] = []
+    for name in reversed(order):
+        try:
+            return _read_entry(os.path.join(path, name))
+        except (OSError, ValueError) as exc:
+            errors.append(str(exc))
+    raise ValueError(
+        f"{path}: no readable BENCH_<n>.json entry "
+        f"({'; '.join(errors)})"
+    )
 
 
 def compare_bench(
@@ -419,7 +505,25 @@ def compare_bench(
     :class:`~repro.obs.compare.Comparison` applies ``threshold`` as a
     relative gate, so ``threshold=0`` demands byte-level equality of
     every counter.
+
+    Two entries are only comparable when they ran the *same pinned
+    suite*: when both carry a ``meta.suite`` block and any parameter
+    differs (seed, source_seed, scale, wires, ...) the comparison
+    raises instead of silently gating apples against oranges.
     """
+    suite_a = baseline.get("meta", {}).get("suite")
+    suite_b = current.get("meta", {}).get("suite")
+    if suite_a and suite_b and suite_a != suite_b:
+        diff = sorted(
+            key
+            for key in set(suite_a) | set(suite_b)
+            if suite_a.get(key) != suite_b.get(key)
+        )
+        raise ValueError(
+            "bench entries ran different suites "
+            f"(differing parameters: {', '.join(diff)}); "
+            "refusing to gate one against the other"
+        )
     rows: list[DeltaRow] = []
     names = sorted(baseline.get("workloads", {}))
     for name in names:

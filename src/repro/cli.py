@@ -42,14 +42,34 @@ Commands
     Bandwidth/latency/contention/overlap predictions are bit-exact
     against an actual re-run; codec swaps are estimates from recorded
     trial encodings.  Exit 2 on an unknown knob or malformed --set.
-``bench [--out-dir D] [--against FILE|DIR] [--threshold PCT]``
+``recipe run|expand <file.toml|file.json> [--report PATH] [--against DIR]``
+    Declarative experiment recipes: ``expand`` prints the
+    deterministic cell list (algo x format x reorder x layout x
+    dataset x knob grid, irrelevant-knob duplicates collapsed);
+    ``run`` executes every cell through the profile/dist paths and
+    emits a byte-identical recipe report joining counters, roofline
+    bounds, per-tier bytes and (with ``--against``) trajectory deltas.
+    Exit 2 on any malformed recipe, at parse time.
+``tune <algo> [graph] [--gpus N --nodes M] [--out-dir D]``
+    What-if-driven autotune: record one baseline run, shortlist knob
+    candidates analytically (``rank_cluster_whatifs`` /
+    ``whatif_cache``), confirm only the shortlisted winners with real
+    re-runs, and persist the best config per graph family under
+    ``--out-dir`` so ``bench --tuned`` / ``dist --tuned`` can apply
+    it.  Exact predictions must match their confirming re-run
+    bit-for-bit and estimates must land within the documented bounds —
+    violations exit 1.
+``bench [--out-dir D] [--against FILE|DIR] [--threshold PCT]
+[--source-seed S] [--tuned DIR]``
     Run the pinned workload suite (BFS/SSSP/PageRank x csr/efg/cgr on
     a seeded RMAT graph) and append ``BENCH_<n>.json`` — full emulated
     counters, simulated times, git sha and schema versions — to the
     bench trajectory.  With ``--against`` the new entry is gated
-    against a baseline entry (or the latest in a directory) and the
-    command exits non-zero on any relative regression past the
-    threshold.
+    against a baseline entry (or the latest in a directory; a stale or
+    missing TRAJECTORY.json falls back to scanning, and only a fully
+    unreadable baseline exits 2) and the command exits non-zero on any
+    relative regression past the threshold.  ``--tuned DIR`` applies
+    the persisted tuned config for the suite's graph family.
 ``check [graph] [--fuzz N --seed S]``
     Decode-path verification: N seeded fault injections per compressed
     format (classified ok / detected / silent-corruption /
@@ -307,8 +327,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rmat_scale=args.rmat_scale,
         edge_factor=args.edge_factor,
         seed=args.seed,
+        source_seed=args.source_seed,
         device_scale=args.device_scale,
     )
+    if args.tuned:
+        from repro.tune.store import graph_family, lookup_tuned, workload_key
+
+        family = graph_family(
+            {
+                "kind": "rmat",
+                "scale": args.rmat_scale,
+                "edge_factor": args.edge_factor,
+            }
+        )
+        workload = workload_key(
+            "bfs",
+            "csr",
+            config.dist_nodes,
+            config.dist_nodes * config.dist_gpus_per_node,
+        )
+        entry = lookup_tuned(args.tuned, family, workload)
+        if entry is None:
+            print(
+                f"error: no tuned config for {family}/{workload} in "
+                f"{args.tuned} (run `repro tune` first)",
+                file=sys.stderr,
+            )
+            return 2
+        config = config.tuned(entry["config"])
+        applied = ",".join(
+            f"{k}={v}" for k, v in sorted(entry["config"].items())
+        )
+        print(f"applying tuned config {family}/{workload}: {applied}")
     workloads = run_bench_suite(config)
     seq = args.seq if args.seq is not None else next_seq(args.out_dir)
     payload = bench_payload(workloads, seq=seq, config=config)
@@ -344,8 +394,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         index_path = write_trajectory_index(args.out_dir)
         print(f"wrote {index_path}")
     if args.against:
-        baseline = load_bench(args.against)
-        cmp = compare_bench(baseline, payload, threshold=args.threshold / 100.0)
+        # A missing, stale or unreadable trajectory must degrade into a
+        # clear exit-2 diagnostic, never a raw traceback: load_bench
+        # already falls back from the index to a directory scan, and
+        # everything it can still raise is mapped here.
+        try:
+            baseline = load_bench(args.against)
+            cmp = compare_bench(
+                baseline, payload, threshold=args.threshold / 100.0
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(
             f"\nagainst BENCH_{baseline['meta']['seq']} "
             f"(git {baseline['meta']['git_sha']}):"
@@ -389,6 +449,43 @@ def _cmd_dist(args: argparse.Namespace) -> int:
         raise SystemExit(f"--gpus must be >= 1, got {args.gpus}")
     if args.nodes < 1:
         raise SystemExit(f"--nodes must be >= 1, got {args.nodes}")
+    if args.tuned:
+        from repro.tune.store import graph_family, lookup_tuned, workload_key
+
+        if args.graph is not None:
+            print(
+                "error: --tuned requires a generated RMAT graph (the "
+                "tuned store is keyed by graph family, not file name)",
+                file=sys.stderr,
+            )
+            return 2
+        family = graph_family(
+            {
+                "kind": "rmat",
+                "scale": args.rmat_scale,
+                "edge_factor": args.edge_factor,
+            }
+        )
+        workload = workload_key(args.algo, args.fmt, args.nodes, args.gpus)
+        entry = lookup_tuned(args.tuned, family, workload)
+        if entry is None:
+            print(
+                f"error: no tuned config for {family}/{workload} in "
+                f"{args.tuned} (run `repro tune` first)",
+                file=sys.stderr,
+            )
+            return 2
+        tuned_config = entry["config"]
+        if "wire" in tuned_config:
+            args.wire = str(tuned_config["wire"])
+        if "schedule" in tuned_config:
+            args.schedule = str(tuned_config["schedule"])
+        if "overlap" in tuned_config:
+            args.overlap = bool(tuned_config["overlap"])
+        applied = ",".join(
+            f"{k}={v}" for k, v in sorted(tuned_config.items())
+        )
+        print(f"applying tuned config {family}/{workload}: {applied}")
     device = TITAN_XP.scaled(args.device_scale)
     if args.nodes > 1:
         if args.gpus % args.nodes:
@@ -488,10 +585,19 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
         verify_critpath,
     )
     from repro.obs.whatif import (
+        CLUSTER_KNOBS,
         parse_sets,
         rank_cluster_whatifs,
         whatif_cluster,
     )
+
+    # Validate every --set up front — a typoed or duplicated knob must
+    # fail before the (comparatively expensive) baseline run, not after.
+    try:
+        sets = parse_sets(args.set, known=CLUSTER_KNOBS)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     if args.graph is not None:
         graph = _load(args.graph)
@@ -561,9 +667,9 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
     print(critpath_report_line(path))
     verify_critpath(path)
     print("verify_critpath: ok")
-    if args.set:
+    if sets:
         try:
-            scenario = whatif_cluster(cluster, parse_sets(args.set))
+            scenario = whatif_cluster(cluster, sets)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -582,6 +688,137 @@ def _cmd_whatif(args: argparse.Namespace) -> int:
                 f"{r.name:28s} {r.predicted_seconds * 1e3:14.6f} "
                 f"{r.speedup:8.4f}x {kind}"
             )
+    return 0
+
+
+def _cmd_recipe(args: argparse.Namespace) -> int:
+    from repro.obs.metrics import dump_metrics
+    from repro.recipes import RecipeError, load_recipe, run_recipe
+
+    try:
+        spec = load_recipe(args.recipe)
+        cells = spec.expand()
+    except (OSError, RecipeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"recipe {spec.name}: {len(cells)} cells")
+    if args.action == "expand":
+        for cell in cells:
+            print(f"  {cell.name}")
+        return 0
+    try:
+        report = run_recipe(
+            spec,
+            against=args.against,
+            progress=lambda line: print(f"  {line}"),
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    deltas = report.get("trajectory_deltas", {})
+    for name in sorted(deltas):
+        row = deltas[name]
+        print(
+            f"  vs trajectory {row['workload']}: {row['speedup']:.4f}x "
+            f"({name})"
+        )
+    if args.report:
+        dump_metrics(report, args.report)
+        print(f"wrote {args.report}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.gpusim.device import TITAN_XP
+    from repro.tune import (
+        TuneBoundError,
+        graph_family,
+        tune_cluster,
+        tune_engine,
+        write_tuned,
+    )
+
+    if args.gpus < 1:
+        raise SystemExit(f"--gpus must be >= 1, got {args.gpus}")
+    if args.nodes < 1:
+        raise SystemExit(f"--nodes must be >= 1, got {args.nodes}")
+    if args.nodes > 1 and args.gpus % args.nodes:
+        raise SystemExit(
+            f"--gpus {args.gpus} not divisible by --nodes {args.nodes}"
+        )
+    if args.max_confirm < 1:
+        raise SystemExit(f"--max-confirm must be >= 1, got {args.max_confirm}")
+    if args.graph is not None:
+        graph = _load(args.graph)
+        family = os.path.splitext(os.path.basename(args.graph))[0]
+    else:
+        from repro.datasets.rmat import rmat_graph
+
+        graph = rmat_graph(
+            scale=args.rmat_scale, edge_factor=args.edge_factor, seed=args.seed
+        )
+        family = graph_family(
+            {
+                "kind": "rmat",
+                "scale": args.rmat_scale,
+                "edge_factor": args.edge_factor,
+            }
+        )
+    device = TITAN_XP.scaled(args.device_scale)
+    try:
+        if args.gpus > 1:
+            result = tune_cluster(
+                graph,
+                args.algo,
+                device,
+                gpus=args.gpus,
+                nodes=args.nodes,
+                fmt=args.fmt,
+                wire=args.wire,
+                schedule=args.schedule,
+                overlap=args.overlap,
+                link_gbs=args.link_gbs,
+                inter_gbs=args.inter_gbs,
+                contention=args.contention,
+                source_seed=args.source_seed,
+                weight_seed=args.seed,
+                max_confirm=args.max_confirm,
+            )
+        else:
+            if args.algo != "bfs":
+                print(
+                    "error: single-GPU tuning drives the repeated-source "
+                    "BFS cache workload; use --gpus > 1 for "
+                    f"{args.algo!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            result = tune_engine(
+                graph,
+                device,
+                cache_kb=args.cache_kb,
+                num_sources=args.num_sources,
+                source_seed=args.source_seed,
+                max_confirm=args.max_confirm,
+            )
+    except TuneBoundError as exc:
+        print(f"BOUND VIOLATION: {exc}", file=sys.stderr)
+        return 1
+    print(result.report())
+    if not args.no_write:
+        path = write_tuned(
+            args.out_dir, family, result.workload,
+            result.entry(args.source_seed),
+        )
+        print(f"wrote {path}")
+    if args.expect_improvement and not result.improved:
+        print(
+            "FAIL: no confirmed candidate beat the baseline "
+            "(--expect-improvement)",
+        )
+        return 1
     return 0
 
 
@@ -824,7 +1061,86 @@ def main(argv: list[str] | None = None) -> int:
                    help="shared-fabric contention in [0,1] (default 0.5)")
     p.add_argument("--metrics", metavar="PATH",
                    help="write the stable-schema metrics JSON")
+    p.add_argument("--tuned", metavar="DIR",
+                   help="apply the persisted tuned config for this graph "
+                   "family/workload from DIR (see `repro tune`)")
     p.set_defaults(func=_cmd_dist)
+
+    p = sub.add_parser(
+        "recipe",
+        help="expand or run a declarative experiment recipe (TOML/JSON)",
+    )
+    p.add_argument("action", choices=("run", "expand"),
+                   help="expand: print the deterministic cell list; "
+                   "run: execute every cell and emit the recipe report")
+    p.add_argument("recipe", help="recipe file (.toml or .json)")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the recipe report (canonical metrics JSON)")
+    p.add_argument("--against", metavar="FILE|DIR",
+                   help="join per-cell deltas vs this bench trajectory "
+                   "(dir = latest readable entry)")
+    p.set_defaults(func=_cmd_recipe)
+
+    p = sub.add_parser(
+        "tune",
+        help="what-if-shortlisted autotune of one workload; persist the "
+        "winning config",
+    )
+    p.add_argument("algo", choices=("bfs", "sssp", "pagerank"))
+    p.add_argument(
+        "graph", nargs="?", default=None,
+        help="graph file; omit to generate a deterministic RMAT graph "
+        "(tuned configs are keyed by graph family)",
+    )
+    p.add_argument("--gpus", type=int, default=1,
+                   help="simulated devices; 1 tunes the decode-cache "
+                   "budget, >1 tunes the wire codec + overlap (default 1)")
+    p.add_argument("--nodes", type=int, default=1,
+                   help="nodes the GPUs are split across (default 1)")
+    p.add_argument("--fmt", choices=("csr", "efg"), default="efg",
+                   help="shard storage format for --gpus > 1 (default efg)")
+    p.add_argument("--wire", choices=_wire_codecs, default="raw",
+                   help="baseline wire codec the tuner starts from "
+                   "(default raw)")
+    p.add_argument("--schedule", choices=_schedules, default=None,
+                   help="exchange schedule (default: hierarchical when "
+                   "--nodes > 1, flat otherwise)")
+    p.add_argument("--overlap", action="store_true",
+                   help="baseline overlap flag the tuner starts from")
+    p.add_argument("--cache-kb", type=int, default=4,
+                   help="baseline decode-cache budget in KiB for the "
+                   "single-GPU workload (default 4)")
+    p.add_argument("--num-sources", type=int, default=6,
+                   help="BFS sources in the repeated-traversal cache "
+                   "workload (default 6)")
+    p.add_argument("--max-confirm", type=int, default=4,
+                   help="max shortlisted candidates to confirm with real "
+                   "re-runs (default 4)")
+    p.add_argument("--seed", type=int, default=3,
+                   help="seed for generated graphs and weights (default 3)")
+    p.add_argument("--source-seed", type=int, default=42,
+                   help="seed of the start-vertex draw (default 42)")
+    p.add_argument("--rmat-scale", type=int, default=8,
+                   help="log2 |V| of the generated RMAT graph (default 8)")
+    p.add_argument("--edge-factor", type=int, default=8,
+                   help="edges per vertex of the generated graph (default 8)")
+    p.add_argument("--device-scale", type=float, default=2048,
+                   help="shrink the Titan Xp by this factor (default 2048)")
+    p.add_argument("--link-gbs", type=float, default=10.0,
+                   help="per-link intra-node bandwidth in GB/s (default 10)")
+    p.add_argument("--inter-gbs", type=float, default=1.0,
+                   help="inter-node fabric bandwidth in GB/s (default 1)")
+    p.add_argument("--contention", type=float, default=0.5,
+                   help="shared-fabric contention in [0,1] (default 0.5)")
+    p.add_argument("--out-dir", default="benchmarks/tuned",
+                   help="tuned-config store directory "
+                   "(default benchmarks/tuned)")
+    p.add_argument("--no-write", action="store_true",
+                   help="report only; do not persist the winning config")
+    p.add_argument("--expect-improvement", action="store_true",
+                   help="exit 1 unless a confirmed candidate beat the "
+                   "baseline (CI gate)")
+    p.set_defaults(func=_cmd_tune)
 
     p = sub.add_parser(
         "whatif",
@@ -902,8 +1218,14 @@ def main(argv: list[str] | None = None) -> int:
                    help="edges per vertex of the pinned graph (default 8)")
     p.add_argument("--seed", type=int, default=3,
                    help="suite seed (default 3)")
+    p.add_argument("--source-seed", type=int, default=42,
+                   help="seed of the start-vertex draw, stamped into the "
+                   "payload meta (default 42)")
     p.add_argument("--device-scale", type=float, default=2048,
                    help="shrink the Titan Xp by this factor (default 2048)")
+    p.add_argument("--tuned", metavar="DIR",
+                   help="apply the persisted tuned config for this graph "
+                   "family from DIR (see `repro tune`)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(

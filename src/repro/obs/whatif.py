@@ -473,16 +473,36 @@ def whatif_cache(engine, cache, budget_bytes: int) -> WhatIfResult:
 # -- shared surfaces ------------------------------------------------------
 
 
-def parse_sets(pairs: list[str]) -> dict[str, str]:
-    """``["k=v", ...]`` (CLI ``--set``) to an ordered knob dict."""
+def parse_sets(
+    pairs: list[str], known: tuple[str, ...] | None = None
+) -> dict[str, str]:
+    """``["k=v", ...]`` (CLI ``--set``) to an ordered knob dict.
+
+    Strict by design — the autotuner trusts this surface: a duplicated
+    key raises (last-wins would silently drop the earlier setting), and
+    with ``known`` given an unknown key raises up front, before any
+    expensive run, naming the offending key.  The CLI maps these
+    :class:`ValueError`\\ s to exit code 2.
+    """
     out: dict[str, str] = {}
     for pair in pairs:
         key, sep, value = pair.partition("=")
+        key = key.strip()
+        value = value.strip()
         if not sep or not key or not value:
             raise ValueError(
                 f"malformed --set {pair!r}; expected key=value"
             )
-        out[key.strip()] = value.strip()
+        if key in out:
+            raise ValueError(
+                f"duplicate --set key {key!r} "
+                f"(already set to {out[key]!r})"
+            )
+        if known is not None and key not in known:
+            raise ValueError(
+                f"unknown knob {key!r}; knobs: {', '.join(known)}"
+            )
+        out[key] = value
     return out
 
 

@@ -1,0 +1,35 @@
+"""Declarative experiment recipes (spec, expansion, runner)."""
+
+from repro.recipes.runner import build_cell_graph, cell_summary, run_recipe
+from repro.recipes.spec import (
+    ALGOS,
+    DIST_ALGOS,
+    FORMATS,
+    KNOBS,
+    REORDERS,
+    RecipeCell,
+    RecipeDefaults,
+    RecipeError,
+    RecipeSpec,
+    dataset_id,
+    load_recipe,
+    parse_recipe,
+)
+
+__all__ = [
+    "ALGOS",
+    "DIST_ALGOS",
+    "FORMATS",
+    "KNOBS",
+    "REORDERS",
+    "RecipeCell",
+    "RecipeDefaults",
+    "RecipeError",
+    "RecipeSpec",
+    "build_cell_graph",
+    "cell_summary",
+    "dataset_id",
+    "load_recipe",
+    "parse_recipe",
+    "run_recipe",
+]

@@ -1,0 +1,41 @@
+"""What-if-driven autotuner and persisted tuned configs."""
+
+from repro.tune.autotuner import (
+    CACHE_GROW_REL_BOUND,
+    CACHE_SHRINK_REL_BOUND,
+    WIRE_REL_BOUND,
+    TuneBoundError,
+    TuneResult,
+    TuneTrial,
+    tune_cluster,
+    tune_engine,
+)
+from repro.tune.store import (
+    TUNED_INDEX_SCHEMA,
+    TUNED_SCHEMA,
+    graph_family,
+    load_tuned,
+    lookup_tuned,
+    workload_key,
+    write_tuned,
+    write_tuned_index,
+)
+
+__all__ = [
+    "CACHE_GROW_REL_BOUND",
+    "CACHE_SHRINK_REL_BOUND",
+    "TUNED_INDEX_SCHEMA",
+    "TUNED_SCHEMA",
+    "TuneBoundError",
+    "TuneResult",
+    "TuneTrial",
+    "WIRE_REL_BOUND",
+    "graph_family",
+    "load_tuned",
+    "lookup_tuned",
+    "tune_cluster",
+    "tune_engine",
+    "workload_key",
+    "write_tuned",
+    "write_tuned_index",
+]

@@ -109,6 +109,81 @@ class TestNextSeq:
         assert next_seq(str(tmp_path / "missing")) == 1
 
 
+class TestSourceSeed:
+    def test_seed_stamped_into_suite_meta(self, payload):
+        # Threaded, never hardcoded: two trajectories built with
+        # different source draws must be visibly different suites.
+        assert payload["meta"]["suite"]["source_seed"] == SMALL.source_seed
+
+    def test_different_seed_changes_the_draw(self):
+        from repro.bench.harness import pick_sources
+        from repro.datasets.rmat import rmat_graph
+
+        g = rmat_graph(
+            scale=SMALL.rmat_scale,
+            edge_factor=SMALL.edge_factor,
+            seed=SMALL.seed,
+        )
+        a = pick_sources(g, 1, seed=SMALL.source_seed)
+        b = pick_sources(g, 1, seed=7)
+        assert int(a[0]) != int(b[0])
+
+    def test_seed_mismatch_blocks_the_gate(self, payload):
+        reseeded = json.loads(json.dumps(payload))
+        reseeded["meta"]["suite"]["source_seed"] = 7
+        with pytest.raises(ValueError, match="source_seed"):
+            compare_bench(payload, reseeded)
+
+
+class TestTunedConfig:
+    def test_tuned_applies_dist_knobs_into_meta(self):
+        tuned = SMALL.tuned(
+            {"wire": "ef", "schedule": "flat", "overlap": False}
+        )
+        meta = tuned.suite_meta()
+        assert meta["dist_wires"] == ["ef"]
+        assert meta["dist_schedule"] == "flat"
+        assert meta["dist_overlap"] is False
+        # ... which makes a tuned trajectory incomparable by design.
+        assert meta != SMALL.suite_meta()
+
+    def test_partial_config_keeps_other_defaults(self):
+        tuned = SMALL.tuned({"wire": "bitmap"})
+        assert tuned.dist_wires == ("bitmap",)
+        assert tuned.dist_schedule == SMALL.dist_schedule
+
+
+class TestLoadFallback:
+    def test_stale_index_falls_back_to_scan(self, payload, tmp_path):
+        # An index referencing entries no longer on disk is stale: the
+        # scan order applies and resolution still succeeds.
+        write_bench(payload, str(tmp_path))
+        (tmp_path / "TRAJECTORY.json").write_text(
+            json.dumps(
+                {
+                    "schema": "repro.bench.trajectory/1",
+                    "entries": [{"seq": 99, "file": "BENCH_99.json"}],
+                }
+            )
+        )
+        assert load_bench(str(tmp_path))["meta"]["seq"] == 1
+
+    def test_corrupt_index_falls_back_to_scan(self, payload, tmp_path):
+        write_bench(payload, str(tmp_path))
+        (tmp_path / "TRAJECTORY.json").write_text("{broken")
+        assert load_bench(str(tmp_path))["meta"]["seq"] == 1
+
+    def test_unreadable_latest_falls_back_to_previous(self, payload, tmp_path):
+        write_bench(payload, str(tmp_path))
+        (tmp_path / "BENCH_2.json").write_text("{half-written")
+        assert load_bench(str(tmp_path))["meta"]["seq"] == 1
+
+    def test_no_readable_entry_is_one_clear_error(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text("{broken")
+        with pytest.raises(ValueError, match="no readable BENCH"):
+            load_bench(str(tmp_path))
+
+
 class TestCompare:
     def test_self_compare_zero_deltas(self, payload):
         cmp = compare_bench(payload, payload)

@@ -288,6 +288,21 @@ class TestSurfaces:
         with pytest.raises(ValueError, match="malformed"):
             parse_sets([bad])
 
+    def test_parse_sets_duplicate_key_names_the_key(self):
+        # Last-wins would silently drop the first setting; the tuner
+        # trusts this surface, so duplicates are a hard error.
+        with pytest.raises(ValueError, match="duplicate --set key 'overlap'"):
+            parse_sets(["overlap=on", "inter_gbs=2", "overlap=off"])
+
+    def test_parse_sets_unknown_key_names_the_key(self):
+        with pytest.raises(ValueError, match="unknown knob 'oberlap'"):
+            parse_sets(["oberlap=on"], known=("overlap", "inter_gbs"))
+
+    def test_parse_sets_known_accepts_valid_keys(self):
+        assert parse_sets(
+            ["overlap=on"], known=("overlap", "inter_gbs")
+        ) == {"overlap": "on"}
+
     def test_whatif_section_numeric(self):
         results = [WhatIfResult("x", 2.0, 1.0, True)]
         section = whatif_section(results)

@@ -1,0 +1,106 @@
+"""Recipe runner: report shape, determinism, trajectory joins."""
+
+import json
+
+import pytest
+
+from repro.recipes import parse_recipe, run_recipe
+
+RMAT7 = {"kind": "rmat", "scale": 7, "edge_factor": 4, "seed": 3}
+
+TABLE = {
+    "name": "unit",
+    "axes": {"algo": ["bfs"], "format": ["csr", "efg"], "gpus": [1, 4]},
+    "dataset": RMAT7,
+    "defaults": {"device_scale": 2048.0},
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_recipe(parse_recipe(TABLE))
+
+
+class TestReport:
+    def test_sections_and_meta(self, report):
+        assert report["schema"] == "repro.metrics/2"
+        meta = report["meta"]
+        assert meta["recipe"] == "unit"
+        assert meta["cells"] == 4
+        assert meta["source_seed"] == 42
+        assert sorted(report["recipe"]) == sorted(report["runs"])
+
+    def test_single_rows_join_all_layers(self, report):
+        row = report["recipe"]["bfs/efg/none/rmat-s7e4d3/n1g1"]
+        assert row["seconds"] > 0
+        assert row["device_bytes"] > 0
+        assert row["gteps"] > 0
+        assert row["top_kernel"]
+        assert row["top_kernel_bound"]
+        assert row["best_whatif"]
+        assert "wire_bytes" not in row
+
+    def test_dist_rows_carry_wire_bytes(self, report):
+        row = report["recipe"]["bfs/efg/none/rmat-s7e4d3/n1g4"]
+        assert row["wire_bytes"] > 0
+        assert row["gteps"] > 0
+
+    def test_runs_are_full_payloads(self, report):
+        single = report["runs"]["bfs/csr/none/rmat-s7e4d3/n1g1"]
+        assert single["hw_counters"]
+        assert single["arrays"]
+        assert single["meta"]["cell"] == "bfs/csr/none/rmat-s7e4d3/n1g1"
+        assert single["meta"]["source_seed"] == 42
+        dist = report["runs"]["bfs/csr/none/rmat-s7e4d3/n1g4"]
+        assert dist["levels"]
+        assert dist["whatif"]
+
+    def test_report_deterministic(self, report):
+        again = run_recipe(parse_recipe(TABLE))
+        assert json.dumps(report, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+
+class TestTrajectoryDeltas:
+    def test_deltas_join_on_bench_workload(self, report, tmp_path):
+        from repro.bench.trajectory import (
+            BenchConfig,
+            bench_payload,
+            run_bench_suite,
+            write_bench,
+        )
+
+        config = BenchConfig(rmat_scale=7, edge_factor=4, seed=3)
+        payload = bench_payload(run_bench_suite(config), seq=1, config=config)
+        write_bench(payload, str(tmp_path))
+        joined = run_recipe(parse_recipe(TABLE), against=str(tmp_path))
+        deltas = joined["trajectory_deltas"]
+        # Single-GPU cells match algo/fmt; the dist cells ran wire=auto,
+        # which the bench suite (raw/ef) never priced -> no delta.
+        assert set(deltas) == {
+            "bfs/csr/none/rmat-s7e4d3/n1g1",
+            "bfs/efg/none/rmat-s7e4d3/n1g1",
+        }
+        for delta in deltas.values():
+            assert delta["baseline_seconds"] > 0
+            assert delta["speedup"] > 0
+        assert joined["meta"]["against_suite"]["rmat_scale"] == 7
+
+    def test_missing_against_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_recipe(parse_recipe(TABLE), against=str(tmp_path / "nope"))
+
+
+class TestProgress:
+    def test_one_line_per_cell(self):
+        lines = []
+        table = {
+            "name": "p",
+            "axes": {"algo": ["bfs"], "format": ["efg"]},
+            "dataset": RMAT7,
+        }
+        run_recipe(parse_recipe(table), progress=lines.append)
+        assert len(lines) == 1
+        assert "bfs/efg/none/rmat-s7e4d3/n1g1" in lines[0]
+        assert "ms simulated" in lines[0]

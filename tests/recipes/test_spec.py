@@ -1,0 +1,280 @@
+"""Recipe spec parsing, validation, and deterministic expansion."""
+
+import json
+
+import pytest
+
+from repro.recipes.spec import (
+    KNOBS,
+    RecipeDefaults,
+    RecipeError,
+    RecipeSpec,
+    dataset_id,
+    load_recipe,
+    parse_recipe,
+)
+
+RMAT7 = {"kind": "rmat", "scale": 7, "edge_factor": 4, "seed": 3}
+
+
+def spec_of(table):
+    return parse_recipe(table)
+
+
+class TestParse:
+    def test_minimal_table_defaults(self):
+        spec = spec_of({"name": "t"})
+        cells = spec.expand()
+        assert len(cells) == 1
+        cell = cells[0]
+        assert (cell.algo, cell.fmt, cell.reorder) == ("bfs", "efg", "none")
+        assert (cell.nodes, cell.gpus) == (1, 1)
+        assert cell.knobs == ()
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(RecipeError, match="sections.*runs"):
+            spec_of({"runs": 3})
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(RecipeError, match="unknown axes.*codec"):
+            spec_of({"axes": {"codec": ["ef"]}})
+
+    def test_bad_axis_value_rejected(self):
+        with pytest.raises(RecipeError, match="'algo'.*'dijkstra'"):
+            spec_of({"axes": {"algo": ["bfs", "dijkstra"]}})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(RecipeError, match="axis 'format' is empty"):
+            spec_of({"axes": {"format": []}})
+        with pytest.raises(RecipeError, match="axis 'gpus' is empty"):
+            spec_of({"axes": {"gpus": []}})
+
+    def test_empty_dataset_axis_rejected(self):
+        with pytest.raises(RecipeError, match="'dataset' is empty"):
+            spec_of({"dataset": []})
+
+    def test_unknown_knob_rejected_at_parse_time(self):
+        with pytest.raises(RecipeError, match="unknown knob 'warp_size'"):
+            spec_of({"knobs": {"warp_size": [32]}})
+
+    @pytest.mark.parametrize(
+        "knob,value,match",
+        [
+            ("quantum", 0, "positive"),
+            ("quantum", "big", "integer"),
+            ("cache_kb", -1, ">= 0"),
+            ("cache_kb", True, "integer"),
+            ("wire", "zstd", "wire"),
+            ("schedule", "ring", "schedule"),
+            ("overlap", "yes", "boolean"),
+            ("sort_fraction", 0.0, r"\(0, 1\]"),
+            ("sort_fraction", 1.5, r"\(0, 1\]"),
+        ],
+    )
+    def test_bad_knob_value_rejected_at_parse_time(self, knob, value, match):
+        with pytest.raises(RecipeError, match=match):
+            spec_of({"knobs": {knob: [value]}})
+
+    def test_empty_knob_axis_rejected(self):
+        with pytest.raises(RecipeError, match="knob axis 'wire' is empty"):
+            spec_of({"knobs": {"wire": []}})
+
+    def test_scalar_knob_promoted_to_axis(self):
+        spec = spec_of({"knobs": {"quantum": 64}})
+        assert dict(spec.knobs) == {"quantum": (64,)}
+
+    def test_unknown_default_rejected(self):
+        with pytest.raises(RecipeError, match="unknown defaults"):
+            spec_of({"defaults": {"gpu_count": 4}})
+
+    def test_dataset_unknown_key_rejected(self):
+        with pytest.raises(RecipeError, match="unknown keys.*scal"):
+            spec_of({"dataset": {"kind": "rmat", "scal": 7}})
+
+    def test_incoherent_dist_combo_rejected_at_parse_time(self):
+        # cgr cannot shard: caught in parse_recipe's eager expand().
+        with pytest.raises(RecipeError, match="cannot shard"):
+            spec_of(
+                {"axes": {"format": ["cgr"], "gpus": [4]}}
+            )
+        with pytest.raises(RecipeError, match="no distributed driver"):
+            spec_of(
+                {"axes": {"algo": ["msbfs"], "format": ["csr"], "gpus": [2]}}
+            )
+        with pytest.raises(RecipeError, match="not divisible"):
+            spec_of(
+                {"axes": {"format": ["csr"], "gpus": [4], "nodes": [3]}}
+            )
+
+
+class TestExpand:
+    def test_single_cell_grid(self):
+        spec = spec_of(
+            {
+                "axes": {"algo": ["bfs"], "format": ["efg"]},
+                "dataset": RMAT7,
+                "knobs": {"quantum": [64]},
+            }
+        )
+        cells = spec.expand()
+        assert len(cells) == 1
+        assert cells[0].knobs == (("quantum", 64),)
+        assert cells[0].name == "bfs/efg/none/rmat-s7e4d3/n1g1[quantum=64]"
+
+    def test_full_cross_product_order(self):
+        spec = spec_of(
+            {
+                "axes": {"algo": ["bfs", "pagerank"], "format": ["csr", "efg"]},
+                "dataset": RMAT7,
+            }
+        )
+        names = [c.name.split("/")[:2] for c in spec.expand()]
+        # Fixed axis order: algo outer, format inner.
+        assert names == [
+            ["bfs", "csr"],
+            ["bfs", "efg"],
+            ["pagerank", "csr"],
+            ["pagerank", "efg"],
+        ]
+
+    def test_empty_programmatic_axis_rejected(self):
+        with pytest.raises(RecipeError, match="axis 'algo' is empty"):
+            RecipeSpec(name="t", algos=()).expand()
+
+    def test_irrelevant_knobs_collapse_deterministically(self):
+        # wire only matters on the dist path: on a single-GPU cell the
+        # two grid points normalize to the same cell, first one wins.
+        spec = spec_of(
+            {
+                "axes": {"algo": ["bfs"], "format": ["csr"]},
+                "dataset": RMAT7,
+                "knobs": {"wire": ["raw", "ef"]},
+            }
+        )
+        cells = spec.expand()
+        assert len(cells) == 1
+        assert cells[0].knobs == ()
+        assert spec.expand() == cells  # stable across calls
+
+    def test_quantum_cleared_off_efg(self):
+        spec = spec_of(
+            {
+                "axes": {"algo": ["bfs"], "format": ["csr", "efg"]},
+                "dataset": RMAT7,
+                "knobs": {"quantum": [32, 64]},
+            }
+        )
+        cells = spec.expand()
+        # csr collapses both quanta into one cell; efg keeps both.
+        assert len(cells) == 3
+        assert [c.knobs for c in cells] == [
+            (),
+            (("quantum", 32),),
+            (("quantum", 64),),
+        ]
+
+    def test_sort_fraction_only_on_bfs(self):
+        spec = spec_of(
+            {
+                "axes": {"algo": ["bfs", "pagerank"], "format": ["efg"]},
+                "dataset": RMAT7,
+                "knobs": {"sort_fraction": [0.5]},
+            }
+        )
+        by_algo = {c.algo: c.knobs_dict for c in spec.expand()}
+        assert by_algo["bfs"] == {"sort_fraction": 0.5}
+        assert by_algo["pagerank"] == {}
+
+    def test_dist_cells_drop_cache_and_quantum(self):
+        spec = spec_of(
+            {
+                "axes": {"algo": ["bfs"], "format": ["efg"], "gpus": [4]},
+                "dataset": RMAT7,
+                "knobs": {"cache_kb": [8], "quantum": [64], "wire": ["ef"]},
+            }
+        )
+        cells = spec.expand()
+        assert len(cells) == 1
+        assert cells[0].is_dist
+        assert cells[0].knobs_dict == {"wire": "ef"}
+
+    def test_expansion_is_deterministic(self):
+        table = {
+            "axes": {
+                "algo": ["bfs", "sssp"],
+                "format": ["csr", "efg"],
+                "gpus": [1, 4],
+            },
+            "dataset": [RMAT7, {"kind": "web", "num_nodes": 256, "seed": 1}],
+            "knobs": {"wire": ["raw", "ef"], "overlap": [True, False]},
+        }
+        first = [c.name for c in spec_of(table).expand()]
+        second = [c.name for c in spec_of(table).expand()]
+        assert first == second
+        assert len(first) == len(set(first))
+
+
+class TestDatasetId:
+    def test_rmat(self):
+        assert dataset_id(RMAT7) == "rmat-s7e4d3"
+
+    def test_web(self):
+        d = {"kind": "web", "num_nodes": 512, "edge_factor": 8, "seed": 1}
+        assert dataset_id(d) == "web-n512e8d1"
+
+
+class TestLoad:
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps({"name": "file", "dataset": RMAT7}))
+        spec = load_recipe(str(path))
+        assert spec.name == "file"
+        assert len(spec.expand()) == 1
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "nightly.json"
+        path.write_text(json.dumps({"dataset": RMAT7}))
+        assert load_recipe(str(path)).name == "nightly"
+
+    def test_invalid_json_is_recipe_error(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("{not json")
+        with pytest.raises(RecipeError, match="invalid JSON"):
+            load_recipe(str(path))
+
+    def test_committed_smoke_toml_loads(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..",
+            "examples", "recipes", "smoke.toml",
+        )
+        spec = load_recipe(path)
+        assert spec.name == "smoke"
+        assert [c.fmt for c in spec.expand()] == ["csr", "efg"]
+
+    def test_invalid_toml_is_recipe_error(self, tmp_path):
+        path = tmp_path / "r.toml"
+        path.write_text("= broken")
+        with pytest.raises(RecipeError, match="invalid TOML"):
+            load_recipe(str(path))
+
+
+class TestKnobRegistry:
+    def test_every_knob_validates_a_good_value(self):
+        good = {
+            "quantum": 128,
+            "cache_kb": 8,
+            "wire": "ef",
+            "schedule": "flat",
+            "overlap": True,
+            "sort_fraction": 0.65,
+        }
+        assert set(good) == set(KNOBS)
+        for knob, value in good.items():
+            assert KNOBS[knob](value) == value
+
+    def test_defaults_frozen(self):
+        d = RecipeDefaults()
+        with pytest.raises(Exception):
+            d.source_seed = 7

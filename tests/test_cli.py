@@ -334,3 +334,148 @@ class TestWhatIf:
             "whatif", "bfs", *self.SMALL, "--set", "wire=varint",
         ]) == 0
         assert "(estimate)" in capsys.readouterr().out
+
+    def test_duplicate_set_exits_two_before_running(self, capsys):
+        # Caught at parse time: exit 2 naming the key, no cluster built.
+        assert main([
+            "whatif", "bfs", *self.SMALL,
+            "--set", "overlap=on", "--set", "overlap=off",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "duplicate --set key 'overlap'" in err
+
+
+class TestBenchAgainstErrors:
+    SMALL = ["--rmat-scale", "6", "--edge-factor", "4"]
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        # Only unreadable entries in the dir: clear message, never a
+        # raw traceback.
+        (tmp_path / "BENCH_1.json").write_text("{half-written")
+        assert main([
+            "bench", "--no-write", "--against", str(tmp_path), *self.SMALL,
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "no readable BENCH" in err
+
+    def test_empty_baseline_dir_exits_two(self, tmp_path, capsys):
+        assert main([
+            "bench", "--no-write", "--against", str(tmp_path), *self.SMALL,
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stale_index_falls_back_and_gates(self, tmp_path, capsys):
+        import json
+
+        assert main([
+            "bench", "--out-dir", str(tmp_path), "--seq", "1", *self.SMALL,
+        ]) == 0
+        # Point the index at an entry that is not on disk: stale.
+        (tmp_path / "TRAJECTORY.json").write_text(
+            json.dumps({"entries": [{"seq": 9, "file": "BENCH_9.json"}]})
+        )
+        assert main([
+            "bench", "--no-write", "--against", str(tmp_path), *self.SMALL,
+        ]) == 0
+        assert "metrically identical" in capsys.readouterr().out
+
+    def test_source_seed_threaded_and_stamped(self, tmp_path, capsys):
+        import json
+
+        assert main([
+            "bench", "--out-dir", str(tmp_path), "--seq", "1",
+            "--source-seed", "7", *self.SMALL,
+        ]) == 0
+        payload = json.loads((tmp_path / "BENCH_1.json").read_text())
+        assert payload["meta"]["suite"]["source_seed"] == 7
+        # A differently-seeded run refuses to gate against it.
+        assert main([
+            "bench", "--no-write", "--against", str(tmp_path), *self.SMALL,
+        ]) == 2
+        assert "different suites" in capsys.readouterr().err
+
+
+class TestRecipe:
+    def recipe_file(self, tmp_path):
+        import json
+
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps({
+            "name": "clitest",
+            "axes": {"algo": ["bfs"], "format": ["csr", "efg"]},
+            "dataset": {"kind": "rmat", "scale": 7, "edge_factor": 4,
+                        "seed": 3},
+        }))
+        return str(path)
+
+    def test_expand_prints_cell_list(self, tmp_path, capsys):
+        assert main(["recipe", "expand", self.recipe_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recipe clitest: 2 cells" in out
+        assert "bfs/csr/none/rmat-s7e4d3/n1g1" in out
+        assert "bfs/efg/none/rmat-s7e4d3/n1g1" in out
+
+    def test_run_writes_byte_identical_reports(self, tmp_path, capsys):
+        recipe = self.recipe_file(tmp_path)
+        reports = []
+        for name in ("a.json", "b.json"):
+            out = tmp_path / name
+            assert main([
+                "recipe", "run", recipe, "--report", str(out),
+            ]) == 0
+            reports.append(out.read_bytes())
+        assert reports[0] == reports[1]
+        assert "ms simulated" in capsys.readouterr().out
+
+    def test_invalid_recipe_exits_two(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"knobs": {"warp_size": [32]}}))
+        assert main(["recipe", "run", str(path)]) == 2
+        assert "unknown knob" in capsys.readouterr().err
+
+    def test_missing_recipe_exits_two(self, tmp_path, capsys):
+        assert main(["recipe", "run", str(tmp_path / "nope.toml")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTune:
+    SMALL = ["--rmat-scale", "7", "--edge-factor", "4"]
+
+    def test_single_gpu_tunes_and_persists(self, tmp_path, capsys):
+        assert main([
+            "tune", "bfs", *self.SMALL, "--out-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tune bfs/efg/1x1: baseline" in out
+        assert "winner:" in out
+        assert (tmp_path / "rmat-s7-e4.json").exists()
+        assert (tmp_path / "TUNED.json").exists()
+
+    def test_cluster_tune_expects_improvement(self, tmp_path, capsys):
+        assert main([
+            "tune", "bfs", *self.SMALL, "--gpus", "4",
+            "--out-dir", str(tmp_path), "--expect-improvement",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tune bfs/efg/1x4" in out
+        assert "winner:" in out
+
+    def test_no_write_leaves_dir_untouched(self, tmp_path, capsys):
+        assert main([
+            "tune", "bfs", *self.SMALL,
+            "--out-dir", str(tmp_path), "--no-write",
+        ]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_non_bfs_single_gpu_exits_two(self, capsys):
+        assert main(["tune", "sssp", *self.SMALL, "--no-write"]) == 2
+        assert "single-GPU" in capsys.readouterr().err
+
+    def test_rejects_indivisible_layout(self):
+        with pytest.raises(SystemExit):
+            main([
+                "tune", "bfs", *self.SMALL, "--gpus", "6", "--nodes", "4",
+            ])
