@@ -202,7 +202,46 @@ def run_bench_suite(
         workloads[f"dist_bfs/{wire}"] = _run_dist_workload(
             config, graph, device, source, wire
         )
+    workloads["serve/qps"] = _run_serve_workload(config, graph, device)
     return workloads
+
+
+def _run_serve_workload(config: BenchConfig, graph, device) -> dict:
+    """One full serving wave: 64 concurrent sources, batched vs not.
+
+    The batched side is a :class:`~repro.serve.GraphService` draining
+    64 distinct pinned sources in one msbfs wave; the sequential side
+    replays the same list one :func:`bfs` at a time on an identically
+    configured backend.  Both land in the payload (``serve`` section +
+    gauges), so the batching speedup is a diffable bench column.
+    """
+    from repro.bench.harness import pick_sources
+    from repro.core.listcache import DecodedListCache
+    from repro.obs.metrics import run_metrics
+    from repro.serve import GraphService, drive, with_sequential_baseline
+
+    sources = pick_sources(graph, 64, seed=config.source_seed)
+    cache_kb = 256
+    service = GraphService.from_graph(
+        graph, fmt="efg", device=device, cache_kb=cache_kb
+    )
+    report = drive(service, sources, burst=64)
+
+    def _sequential_backend():
+        backend = _build_backend("efg", graph, device, weight_bytes=0)
+        backend.attach_cache(
+            DecodedListCache(budget_bytes=cache_kb * 1024)
+        )
+        return backend
+
+    report = with_sequential_baseline(
+        report, service, _sequential_backend, sources
+    )
+    return run_metrics(
+        service.backend.engine,
+        meta={"bench_workload": "serve/qps"},
+        sections={"serve": service.metrics_section()},
+    )
 
 
 def _run_dist_workload(

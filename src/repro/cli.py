@@ -13,6 +13,16 @@ Commands
 ``msbfs <graph.npz|edges.txt> [--num-sources N] [--cache-kb KB]``
     Bit-parallel multi-source BFS: up to 64 sources share each list
     decode; prints amortized per-source time/GTEPS and cache hit rate.
+``serve <container-base|graph> [--build-from GRAPH] [--queries N]
+[--deadline-ms MIX] [--hot-fraction F] [--baseline] [--metrics m.json]``
+    Stand up the resident graph service (``repro.serve``): open an
+    O(1) mmap container (or build one with ``--build-from``, or load a
+    graph file directly), then drive a deterministic closed-loop query
+    stream through batched 64-wide msbfs waves with admission limits,
+    per-query deadlines, and a ``(source, epoch)`` result LRU.  Prints
+    per-status counts and simulated queries/sec; ``--baseline`` also
+    replays the stream one ``bfs`` at a time and prints the batching
+    speedup.
 ``profile <algo> [graph] [--trace out.json] [--metrics m.json]``
     Run one algorithm under full telemetry: prints the roofline report
     (per-kernel and per-level bound labels), optionally writes a
@@ -236,6 +246,127 @@ def _cmd_msbfs(args: argparse.Namespace) -> int:
     print()
     print(backend.engine.profile_report())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.errors import DecodeError
+    from repro.obs.metrics import dump_metrics, run_metrics
+    from repro.serve import (
+        GraphService,
+        drive,
+        is_container,
+        make_query_stream,
+        open_container,
+        save_container,
+        with_sequential_baseline,
+    )
+
+    if args.build_from:
+        graph = _load(args.build_from)
+        container = save_container(graph, args.target)
+        print(
+            f"built container {args.target}.{{offsets,graph,meta}}: "
+            f"{container.num_nodes:,} vertices, {container.num_edges:,} "
+            f"edges, epoch {container.epoch}"
+        )
+        if args.build_only:
+            return 0
+
+    try:
+        if is_container(args.target):
+            container = open_container(args.target)
+            service = GraphService.from_container(
+                container, fmt=args.format,
+                device=_serve_device(args.device_scale),
+                cache_kb=args.cache_kb, max_pending=args.max_pending,
+            )
+            graph = container.to_graph()
+        else:
+            graph = _load(args.target)
+            service = GraphService.from_graph(
+                graph, fmt=args.format,
+                device=_serve_device(args.device_scale),
+                cache_kb=args.cache_kb, max_pending=args.max_pending,
+            )
+    except DecodeError as exc:
+        raise SystemExit(f"cannot open {args.target}: {exc}") from exc
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(f"serving epoch {service.epoch} ({args.format}, "
+          f"{graph.num_nodes:,} vertices)")
+
+    deadline_mix = _parse_deadline_mix(args.deadline_ms)
+    sources = make_query_stream(
+        graph.num_nodes, args.queries,
+        hot_fraction=args.hot_fraction, seed=args.seed,
+    )
+    report = drive(service, sources, deadline_mix=deadline_mix,
+                   burst=args.burst)
+    if args.baseline:
+        def _mk():
+            return _make_backend(
+                graph, args.format, args.device_scale, args.cache_kb
+            )
+        report = with_sequential_baseline(report, service, _mk, sources)
+
+    counts = ", ".join(f"{k}={v}" for k, v in report.counts.items())
+    print(
+        f"{report.num_queries} queries in {report.num_waves} waves: "
+        f"{counts}"
+    )
+    print(
+        f"batched: {report.elapsed_seconds * 1e3:.3f} ms simulated, "
+        f"{report.qps:,.0f} queries/sec"
+    )
+    if args.baseline:
+        print(
+            f"sequential: {report.sequential_seconds * 1e3:.3f} ms "
+            f"simulated, {report.qps_sequential:,.0f} queries/sec "
+            f"({report.speedup_vs_sequential:.2f}x batching speedup)"
+        )
+    if args.metrics:
+        payload = run_metrics(
+            service.backend.engine,
+            meta={
+                "command": "serve",
+                "graph": args.target,
+                "format": args.format,
+                "epoch": service.epoch,
+                "queries": args.queries,
+                "seed": args.seed,
+            },
+            sections={"serve": service.metrics_section()},
+        )
+        dump_metrics(payload, args.metrics)
+        print(f"wrote {args.metrics}")
+    return 0
+
+
+def _serve_device(device_scale: float):
+    from repro.gpusim.device import TITAN_XP
+
+    return TITAN_XP.scaled(device_scale)
+
+
+def _parse_deadline_mix(spec: str) -> tuple[float | None, ...]:
+    """Parse ``--deadline-ms`` ("none,0.5,none") into second budgets."""
+    mix: list[float | None] = []
+    for part in spec.split(","):
+        part = part.strip().lower()
+        if part in ("none", "inf", ""):
+            mix.append(None)
+        else:
+            try:
+                value = float(part)
+            except ValueError:
+                raise SystemExit(
+                    f"--deadline-ms entries must be numbers or 'none', "
+                    f"got {part!r}"
+                ) from None
+            if value < 0:
+                raise SystemExit(f"--deadline-ms must be >= 0, got {part}")
+            mix.append(value / 1e3)
+    return tuple(mix) if mix else (None,)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -985,6 +1116,46 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cache-kb", type=int, default=256,
                    help="decoded-list cache budget in KiB (0 = no cache)")
     p.set_defaults(func=_cmd_msbfs)
+
+    p = sub.add_parser(
+        "serve",
+        help="stand up the resident graph service and drive a query load",
+    )
+    p.add_argument(
+        "target",
+        help="container base path (its .meta exists) or a graph file",
+    )
+    p.add_argument("--build-from", metavar="GRAPH",
+                   help="encode GRAPH into a container at TARGET first")
+    p.add_argument("--build-only", action="store_true",
+                   help="with --build-from: write the container and exit")
+    p.add_argument("--queries", type=int, default=200,
+                   help="closed-loop queries to drive (default 200)")
+    p.add_argument("--hot-fraction", type=float, default=0.5,
+                   help="share of queries drawn from the hot source set "
+                   "(default 0.5)")
+    p.add_argument("--deadline-ms", default="none",
+                   help="comma list of per-query deadline budgets in ms, "
+                   "cycled; 'none' = no deadline (default none)")
+    p.add_argument("--burst", type=int, default=16,
+                   help="queries submitted between waves (default 16)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="query-stream seed (default 7)")
+    p.add_argument("--format", default="efg", choices=["efg", "csr", "cgr"],
+                   help="resident representation (default efg)")
+    p.add_argument("--cache-kb", type=int, default=256,
+                   help="decoded-list cache budget in KiB (default 256)")
+    p.add_argument("--max-pending", type=int, default=1024,
+                   help="admission bound on queued queries (default 1024)")
+    p.add_argument("--device-scale", type=float, default=2048,
+                   help="shrink the Titan Xp by this factor (default 2048)")
+    p.add_argument("--baseline", action="store_true",
+                   help="also replay the stream one bfs at a time and "
+                   "print the batching speedup")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write the stable-schema metrics JSON (includes "
+                   "the serve section)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "profile", help="run one algorithm under full telemetry"

@@ -27,7 +27,7 @@ and credits the compressed bytes + decode instructions a hit avoided.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -79,6 +79,29 @@ class CacheStats:
             "instr_saved": self.instr_saved,
             "hit_rate": self.hit_rate,
         }
+
+    def snapshot(self) -> "CacheStats":
+        """Frozen copy of the counters at this instant.
+
+        The serve layer keeps the cache's cumulative counters alive
+        across msbfs waves (cross-wave reuse is the point of a resident
+        graph) and uses ``snapshot``/:meth:`since` pairs for per-wave
+        accounting instead of :meth:`DecodedListCache.reset_stats`.
+        """
+        return replace(self)
+
+    def since(self, baseline: "CacheStats") -> "CacheStats":
+        """Counter deltas accumulated after ``baseline`` was snapshot."""
+        return CacheStats(
+            hits=self.hits - baseline.hits,
+            misses=self.misses - baseline.misses,
+            evictions=self.evictions - baseline.evictions,
+            rejected=self.rejected - baseline.rejected,
+            hit_edges=self.hit_edges - baseline.hit_edges,
+            miss_edges=self.miss_edges - baseline.miss_edges,
+            bytes_saved=self.bytes_saved - baseline.bytes_saved,
+            instr_saved=self.instr_saved - baseline.instr_saved,
+        )
 
     def publish(self, metrics, prefix: str = "listcache") -> None:
         """Export the final counters into a metrics registry as gauges.

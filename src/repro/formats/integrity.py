@@ -10,9 +10,11 @@ them before a trusted decode.  This is the same table-stakes check
 archive-scale Elias-Fano deployments (swh-graph, WebGraph) run on
 their streams.
 
-The helper here is deliberately tiny and dependency-free so that both
-``repro.core`` and ``repro.formats`` modules can share it without an
-import cycle.
+The helpers here are deliberately tiny and dependency-light so that
+``repro.core``, ``repro.formats`` and ``repro.serve`` modules can share
+them without an import cycle: the CRC fold plus the typed structural
+checks every CSR-shaped container (npz graph files, the serve
+container) runs at load time.
 """
 
 from __future__ import annotations
@@ -21,7 +23,14 @@ import zlib
 
 import numpy as np
 
-__all__ = ["arrays_crc32"]
+from repro.core.errors import CorruptMetadataError, CorruptStreamError
+
+__all__ = [
+    "arrays_crc32",
+    "parse_payload_words",
+    "validate_csr_arrays",
+    "verify_csr_crcs",
+]
 
 
 def arrays_crc32(*arrays: np.ndarray | int) -> int:
@@ -38,3 +47,101 @@ def arrays_crc32(*arrays: np.ndarray | int) -> int:
         else:
             crc = zlib.crc32(np.ascontiguousarray(a).tobytes(), crc)
     return crc & 0xFFFFFFFF
+
+
+def parse_payload_words(payload: np.ndarray, *, fmt: str) -> np.ndarray:
+    """Reinterpret a raw uint8 payload as little-endian int64 words.
+
+    The wire shape of the npz/serve containers: 8 bytes per neighbour
+    id.  A byte count that is not a multiple of 8 can only come from a
+    truncated or padded stream, so it raises the typed
+    :class:`~repro.core.errors.CorruptStreamError` instead of letting a
+    numpy reshape error escape.
+    """
+    payload = np.ascontiguousarray(payload, dtype=np.uint8)
+    if payload.shape[0] % 8:
+        raise CorruptStreamError(
+            f"payload is {payload.shape[0]} bytes, not a multiple of the "
+            "8-byte neighbour word",
+            fmt=fmt,
+        )
+    return payload.view("<i8")
+
+
+def validate_csr_arrays(
+    vlist: np.ndarray, elist: np.ndarray, *, fmt: str
+) -> None:
+    """Structural validation of a CSR offsets/neighbours pair.
+
+    Raises :class:`~repro.core.errors.CorruptMetadataError` when the
+    offsets are malformed (wrong shape, negative start, non-monotone,
+    terminal offset != len(elist)) and
+    :class:`~repro.core.errors.CorruptStreamError` when the neighbour
+    ids fall outside ``[0, num_nodes)`` — the checks that turn a
+    hand-edited container into a load-time diagnosis instead of an
+    ``IndexError`` deep inside a traversal kernel.
+    """
+    if vlist.ndim != 1 or vlist.shape[0] < 1:
+        raise CorruptMetadataError(
+            "offsets array must be 1-D with at least one entry", fmt=fmt
+        )
+    if elist.ndim != 1:
+        raise CorruptStreamError("neighbour array must be 1-D", fmt=fmt)
+    if int(vlist[0]) != 0:
+        raise CorruptMetadataError(
+            f"offsets must start at 0, got {int(vlist[0])}", fmt=fmt
+        )
+    if int(vlist[-1]) != int(elist.shape[0]):
+        raise CorruptMetadataError(
+            f"terminal offset {int(vlist[-1])} != {int(elist.shape[0])} "
+            "stored neighbours",
+            fmt=fmt,
+        )
+    steps = np.diff(vlist)
+    if steps.size and np.any(steps < 0):
+        vertex = int(np.flatnonzero(steps < 0)[0])
+        raise CorruptMetadataError(
+            "offsets are not non-decreasing", fmt=fmt, vertex=vertex
+        )
+    num_nodes = int(vlist.shape[0]) - 1
+    if elist.size:
+        lo, hi = int(elist.min()), int(elist.max())
+        if lo < 0 or hi >= num_nodes:
+            raise CorruptStreamError(
+                f"neighbour id out of range [0, {num_nodes}): "
+                f"min {lo}, max {hi}",
+                fmt=fmt,
+            )
+
+
+def verify_csr_crcs(
+    vlist: np.ndarray,
+    payload: np.ndarray,
+    *,
+    payload_crc: int | None,
+    meta_crc: int | None,
+    meta_words: tuple[int, ...],
+    fmt: str,
+) -> None:
+    """Check a CSR container's stored CRCs against its current bytes.
+
+    ``payload`` may be the int64 neighbour array or its raw uint8 view —
+    both hash to the same bytes.  ``meta_words`` are the scalar fields
+    folded after the offsets (direction flag, format version, ...).
+    ``None`` CRCs skip their check (legacy containers saved before the
+    stamp existed).
+    """
+    if payload_crc is not None and arrays_crc32(payload) != int(payload_crc):
+        raise CorruptStreamError(
+            "payload CRC mismatch: stored "
+            f"{int(payload_crc):#010x} != actual {arrays_crc32(payload):#010x}",
+            fmt=fmt,
+        )
+    if meta_crc is not None:
+        actual = arrays_crc32(vlist, *meta_words)
+        if actual != int(meta_crc):
+            raise CorruptMetadataError(
+                "metadata CRC mismatch: stored "
+                f"{int(meta_crc):#010x} != actual {actual:#010x}",
+                fmt=fmt,
+            )

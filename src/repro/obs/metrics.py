@@ -153,7 +153,11 @@ class MetricsRegistry:
         }
 
 
-def run_metrics(engine: "SimEngine", meta: dict | None = None) -> dict:
+def run_metrics(
+    engine: "SimEngine",
+    meta: dict | None = None,
+    sections: dict | None = None,
+) -> dict:
     """Serialise one finished run to the stable metrics schema.
 
     ``meta`` entries (algorithm name, graph, format, ...) land under
@@ -162,6 +166,12 @@ def run_metrics(engine: "SimEngine", meta: dict | None = None) -> dict:
     automatically so every dump is self-describing.  Everything else —
     totals, per-kernel rows, registry contents, per-array attribution,
     emulated hardware counters, roofline — is numeric and comparable.
+
+    ``sections`` merges additional top-level sections into the payload
+    (e.g. the serving layer's ``serve`` summary); numeric leaves in
+    them are diffed by ``repro compare`` like any other section, so a
+    subsystem can extend the schema without forking it.  Reserved keys
+    (``schema``, ``meta``, ...) cannot be overridden.
     """
     from repro.obs.counters import emulated_counters, kernel_array_attribution
     from repro.obs.roofline import kernel_rooflines
@@ -229,6 +239,13 @@ def run_metrics(engine: "SimEngine", meta: dict | None = None) -> dict:
         extract_critical_path(engine)
     )
     payload["whatif"] = whatif_section(rank_engine_whatifs(engine))
+    if sections:
+        clash = sorted(set(sections) & set(payload))
+        if clash:
+            raise ValueError(
+                f"extra sections would shadow reserved keys: {clash}"
+            )
+        payload.update(sections)
     return payload
 
 

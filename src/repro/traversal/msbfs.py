@@ -68,6 +68,8 @@ class MSBFSResult:
     levels: np.ndarray
     #: Number of BFS levels of the *deepest* source (levels.max() + 1).
     num_levels: int
+    #: Distinct mask lanes the batch ran (duplicate sources share one).
+    num_lanes: int
     #: Sum over sources of the edges its traversal would have examined
     #: (the work the batch amortizes; GTEPS uses this numerator).
     edges_traversed: int
@@ -79,7 +81,7 @@ class MSBFSResult:
 
     @property
     def num_sources(self) -> int:
-        """Number of packed sources (<= 64)."""
+        """Number of requested sources (queries); duplicates included."""
         return int(self.sources.shape[0])
 
     @property
@@ -106,8 +108,10 @@ def msbfs(
     backend: GraphBackend,
     sources: np.ndarray,
     max_levels: int | None = None,
+    reset_timeline: bool = True,
+    reset_cache_stats: bool | None = None,
 ) -> MSBFSResult:
-    """Breadth-first search from up to 64 sources in one bit-parallel run.
+    """Breadth-first search from up to 64 distinct sources in one run.
 
     Parameters
     ----------
@@ -116,54 +120,77 @@ def msbfs(
         :class:`~repro.core.listcache.DecodedListCache` first to also
         amortize decode work *across* levels and batches.
     sources:
-        1-D array of distinct start vertices, at most :data:`MAX_SOURCES`.
+        1-D array of start vertices.  Duplicates are allowed — a serving
+        batcher naturally coalesces concurrent queries for the same hot
+        source — and share one mask lane, with their result rows aliased
+        back per query.  At most :data:`MAX_SOURCES` *distinct* vertices.
     max_levels:
         Optional safety cap on the number of expansion rounds.
+    reset_timeline:
+        Reset the engine timeline/metrics before the run (the
+        stand-alone default).  Pass ``False`` when stacking waves onto
+        one cumulative timeline, e.g. from
+        :class:`repro.serve.GraphService`; ``sim_seconds`` is always
+        this wave's time, not the cumulative clock.
+    reset_cache_stats:
+        Reset the decoded-list cache counters before the run.  Defaults
+        to following ``reset_timeline``, so cross-wave cache reuse keeps
+        accumulating in service mode.
     """
     nv = backend.num_nodes
     sources = np.asarray(sources, dtype=np.int64)
     if sources.ndim != 1 or sources.shape[0] == 0:
         raise ValueError("sources must be a non-empty 1-D array")
-    if sources.shape[0] > MAX_SOURCES:
+    # Duplicate queries share a lane: `lanes` are the distinct start
+    # vertices (sorted by np.unique), `inverse` maps each query to its
+    # lane so rows alias back per query at the end.
+    lanes, inverse = np.unique(sources, return_inverse=True)
+    num_lanes = int(lanes.shape[0])
+    if num_lanes > MAX_SOURCES:
         raise ValueError(
-            f"{sources.shape[0]} sources exceed the {MAX_SOURCES}-bit mask"
+            f"{num_lanes} distinct sources exceed the {MAX_SOURCES}-bit mask"
         )
-    if np.unique(sources).shape[0] != sources.shape[0]:
-        raise ValueError("sources must be distinct")
-    if sources.min() < 0 or sources.max() >= nv:
+    if lanes[0] < 0 or lanes[-1] >= nv:
         raise IndexError("source out of range")
-    num_sources = int(sources.shape[0])
+    num_queries = int(sources.shape[0])
+    #: queries per lane — the multiplicity each lane's edges count for.
+    lane_counts = np.bincount(inverse, minlength=num_lanes)
+    dup_lanes = np.flatnonzero(lane_counts > 1)
 
     engine = backend.engine
-    engine.reset_timeline()
-    if backend.cache is not None:
+    if reset_timeline:
+        engine.reset_timeline()
+    if reset_cache_stats is None:
+        reset_cache_stats = reset_timeline
+    if reset_cache_stats and backend.cache is not None:
         backend.cache.reset_stats()
     lists_decoded_before = backend.lists_decoded
+    t_start = engine.elapsed_seconds
 
     # Working state the GPU kernels would keep resident: one uint64
-    # visited mask, the current/next frontier masks, and the per-source
+    # visited mask, the current/next frontier masks, and the per-lane
     # level output written on first visit.
     mem = engine.memory
     mem.register("work:visited_mask", 8 * nv, priority=-1)
     mem.register("work:frontier_mask", 16 * nv, priority=-1)
-    mem.register("work:mslevels", 4 * nv * num_sources, priority=-1)
+    mem.register("work:mslevels", 4 * nv * num_lanes, priority=-1)
 
-    levels = np.full((num_sources, nv), -1, dtype=np.int64)
+    lane_levels = np.full((num_lanes, nv), -1, dtype=np.int64)
     visited = np.zeros(nv, dtype=np.uint64)
     frontier_mask = np.zeros(nv, dtype=np.uint64)
-    lane_bits = np.uint64(1) << np.arange(num_sources, dtype=np.uint64)
-    # Seed: distinct sources may still collide in id only if duplicated,
-    # which is rejected above; OR-accumulate handles shared vertices.
-    np.bitwise_or.at(visited, sources, lane_bits)
-    frontier_mask[sources] = visited[sources]
-    levels[np.arange(num_sources), sources] = 0
+    lane_bits = np.uint64(1) << np.arange(num_lanes, dtype=np.uint64)
+    # Seed: lanes are distinct by construction; OR-accumulate would
+    # handle shared vertices but cannot occur here.
+    np.bitwise_or.at(visited, lanes, lane_bits)
+    frontier_mask[lanes] = visited[lanes]
+    lane_levels[np.arange(num_lanes), lanes] = 0
 
     depth = 0
     edges_traversed = 0
     cap = max_levels if max_levels is not None else nv
     engine.tracer.open(
         "msbfs", "algorithm", engine.elapsed_seconds,
-        {"num_sources": num_sources},
+        {"num_sources": num_queries, "num_lanes": num_lanes},
     )
     while depth < cap:
         active = np.flatnonzero(frontier_mask)
@@ -182,12 +209,19 @@ def msbfs(
                 # Candidate visited-mask probe: one 8 B word per edge, the
                 # 64-source analogue of BFS's 1 B visited-flag probe.
                 k.read_stream("work:visited_mask", nbrs, 8)
-            # Every decoded edge carries the masks of all sources whose
+            # Every decoded edge carries the masks of all lanes whose
             # frontier contains its origin — each (source, edge) pair the
-            # sequential runs would traverse separately.
+            # sequential runs would traverse separately.  A lane serving
+            # m coalesced queries counts its edges m times: that is the
+            # work m sequential runs would have done.
             active_masks = frontier_mask[active]
             src_per_edge = active_masks[seg]
             level_edges = int(popcount_u64(src_per_edge).sum())
+            for s in dup_lanes.tolist():
+                lane_edges = int(
+                    ((src_per_edge >> np.uint64(s)) & np.uint64(1)).sum()
+                )
+                level_edges += (int(lane_counts[s]) - 1) * lane_edges
             edges_traversed += level_edges
 
             with engine.launch("msbfs_update") as k:
@@ -197,13 +231,13 @@ def msbfs(
                 visited |= new_bits
                 depth += 1
                 changed = np.flatnonzero(new_bits)
-                for s in range(num_sources):
+                for s in range(num_lanes):
                     reached = changed[
                         (new_bits[changed] >> np.uint64(s)) & np.uint64(1) > 0
                     ]
-                    levels[s, reached] = depth
+                    lane_levels[s, reached] = depth
                 frontier_mask = new_bits
-                # One 64-wide OR propagates all sources per edge; the update
+                # One 64-wide OR propagates all lanes per edge; the update
                 # is an atomic RMW on the candidate's frontier word.
                 k.bitmask_ops(nbrs.shape[0])
                 k.instructions(MASK_INSTR_PER_EDGE * nbrs.shape[0])
@@ -224,10 +258,11 @@ def msbfs(
 
     return MSBFSResult(
         sources=sources,
-        levels=levels,
-        num_levels=int(levels.max()) + 1,
+        levels=lane_levels[inverse],
+        num_levels=int(lane_levels.max()) + 1,
+        num_lanes=num_lanes,
         edges_traversed=edges_traversed,
         lists_decoded=backend.lists_decoded - lists_decoded_before,
-        sim_seconds=engine.elapsed_seconds,
+        sim_seconds=engine.elapsed_seconds - t_start,
         cache_stats=backend.cache.stats if backend.cache is not None else None,
     )

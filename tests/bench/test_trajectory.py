@@ -31,14 +31,14 @@ def payload(workloads):
 
 
 class TestSuite:
-    def test_all_eleven_workloads(self, workloads):
+    def test_all_twelve_workloads(self, workloads):
         single = [
             f"{algo}/{fmt}"
             for algo in ("bfs", "sssp", "pagerank")
             for fmt in ("csr", "efg", "cgr")
         ]
         dist = [f"dist_bfs/{wire}" for wire in SMALL.dist_wires]
-        assert sorted(workloads) == sorted(single + dist)
+        assert sorted(workloads) == sorted(single + dist + ["serve/qps"])
 
     def test_workloads_are_full_metrics_dumps(self, workloads):
         for name, metrics in workloads.items():

@@ -78,6 +78,55 @@ class TestBFS:
         assert "has no out-edges" in capsys.readouterr().out
 
 
+class TestServe:
+    def test_build_and_serve_container(self, graph_file, tmp_path, capsys):
+        base = str(tmp_path / "cont")
+        assert main([
+            "serve", base, "--build-from", graph_file, "--build-only",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "built container" in out
+        assert "epoch" in out
+        assert main(["serve", base, "--queries", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "queries/sec" in out
+
+    def test_serve_graph_file_directly(self, graph_file, capsys):
+        assert main([
+            "serve", graph_file, "--queries", "30", "--baseline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batching speedup" in out
+
+    def test_serve_writes_metrics(self, graph_file, tmp_path, capsys):
+        import json
+
+        metrics = str(tmp_path / "m.json")
+        assert main([
+            "serve", graph_file, "--queries", "30", "--metrics", metrics,
+        ]) == 0
+        payload = json.loads(open(metrics).read())
+        assert payload["serve"]["served"] > 0
+        assert payload["meta"]["command"] == "serve"
+
+    def test_corrupt_container_exits_cleanly(self, graph_file, tmp_path):
+        base = str(tmp_path / "cont")
+        assert main([
+            "serve", base, "--build-from", graph_file, "--build-only",
+        ]) == 0
+        blob = bytearray(open(base + ".graph", "rb").read())
+        blob[0] ^= 1
+        open(base + ".graph", "wb").write(bytes(blob))
+        with pytest.raises(SystemExit, match="payload CRC"):
+            main(["serve", base, "--queries", "1"])
+
+    def test_bad_deadline_mix_rejected(self, graph_file):
+        with pytest.raises(SystemExit, match="deadline-ms"):
+            main([
+                "serve", graph_file, "--deadline-ms", "soon",
+            ])
+
+
 class TestProfile:
     def test_bfs_writes_trace_and_metrics(self, tmp_path, capsys):
         trace = tmp_path / "out.json"
@@ -158,7 +207,7 @@ class TestBench:
             "bench", "--out-dir", str(tmp_path), "--seq", "1", *self.SMALL,
         ]) == 0
         out = capsys.readouterr().out
-        assert "11 workloads" in out
+        assert "12 workloads" in out
         assert "raw/ef exchange time" in out
         assert (tmp_path / "BENCH_1.json").exists()
 

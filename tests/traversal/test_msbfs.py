@@ -107,6 +107,44 @@ class TestAmortization:
         assert ms.gteps == pytest.approx(17 / ms.sim_seconds / 1e9)
 
 
+class TestDuplicateSources:
+    def test_duplicates_share_a_lane(self, small_graph, scaled_device):
+        ms = msbfs(_efg_backend(small_graph, scaled_device),
+                   np.array([3, 3, 7, 3]))
+        assert ms.num_sources == 4
+        assert ms.num_lanes == 2
+        assert np.array_equal(ms.levels[0], ms.levels[1])
+        assert np.array_equal(ms.levels[0], ms.levels[3])
+
+    def test_aliased_rows_match_sequential(self, small_graph, scaled_device):
+        sources = np.array([5, 2, 5, 9, 2, 5])
+        ms = msbfs(_efg_backend(small_graph, scaled_device), sources)
+        seq = _efg_backend(small_graph, scaled_device)
+        for row, s in enumerate(sources):
+            assert np.array_equal(ms.levels[row], bfs(seq, int(s)).levels), s
+
+    def test_duplicate_edges_count_per_query(self, chain_graph, scaled_device):
+        # Source 0 traverses 9 chain edges; three queries for it must
+        # account for the work three sequential runs would have done.
+        ms = msbfs(_efg_backend(chain_graph, scaled_device),
+                   np.array([0, 0, 0]))
+        assert ms.num_lanes == 1
+        assert ms.edges_traversed == 27
+
+    def test_64_distinct_plus_duplicates_allowed(
+        self, small_graph, scaled_device
+    ):
+        distinct = np.arange(MAX_SOURCES)
+        sources = np.concatenate([distinct, distinct[:8]])
+        ms = msbfs(_efg_backend(small_graph, scaled_device), sources)
+        assert ms.num_lanes == MAX_SOURCES
+        assert ms.num_sources == MAX_SOURCES + 8
+        for row in range(8):
+            assert np.array_equal(
+                ms.levels[MAX_SOURCES + row], ms.levels[row]
+            )
+
+
 class TestValidation:
     def test_rejects_empty(self, small_graph, scaled_device):
         with pytest.raises(ValueError):
@@ -118,10 +156,12 @@ class TestValidation:
             msbfs(_efg_backend(small_graph, scaled_device),
                   np.arange(MAX_SOURCES + 1))
 
-    def test_rejects_duplicates(self, small_graph, scaled_device):
-        with pytest.raises(ValueError):
-            msbfs(_efg_backend(small_graph, scaled_device),
-                  np.array([3, 3]))
+    def test_rejects_more_than_64_distinct(self, small_graph, scaled_device):
+        # Duplicates don't count against the lane budget; 65 *distinct*
+        # sources do, even when duplicated queries pad the batch.
+        sources = np.concatenate([np.arange(MAX_SOURCES + 1)] * 2)
+        with pytest.raises(ValueError, match="distinct"):
+            msbfs(_efg_backend(small_graph, scaled_device), sources)
 
     def test_rejects_out_of_range(self, small_graph, scaled_device):
         backend = _efg_backend(small_graph, scaled_device)
