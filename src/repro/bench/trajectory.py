@@ -203,6 +203,7 @@ def run_bench_suite(
             config, graph, device, source, wire
         )
     workloads["serve/qps"] = _run_serve_workload(config, graph, device)
+    workloads["serve/p99"] = _run_p99_workload(config, graph, device)
     return workloads
 
 
@@ -241,6 +242,52 @@ def _run_serve_workload(config: BenchConfig, graph, device) -> dict:
         service.backend.engine,
         meta={"bench_workload": "serve/qps"},
         sections={"serve": service.metrics_section()},
+    )
+
+
+def _run_p99_workload(config: BenchConfig, graph, device) -> dict:
+    """Tail-latency column: a mixed-deadline drive with full telemetry.
+
+    200 skewed queries (half from an 8-source hot set) arrive in bursts
+    of 96 with a cycling deadline mix — patient, 0.5 ms, patient, 1 µs —
+    against a service capped at 32 lanes per wave, so overflow queries
+    wait a full wave and the impatient ones expire: every serve
+    disposition (done/cached/expired) appears in the payload.  Unlike
+    ``serve/qps`` this workload dumps the ``service`` telemetry
+    section, making latency p50/p95/p99, queue-wait, lane occupancy,
+    and the miss rate diffable trajectory columns.
+
+    Parameters are pinned here rather than on :class:`BenchConfig` —
+    growing the config would change ``suite_meta`` and break the gate
+    against every earlier trajectory entry.
+    """
+    from repro.obs.metrics import run_metrics
+    from repro.serve import (
+        GraphService,
+        drive,
+        make_labeled_stream,
+        parse_deadline_mix,
+    )
+
+    sources, classes = make_labeled_stream(
+        graph.num_nodes, 200, hot_fraction=0.5, hot_set_size=8,
+        seed=config.source_seed,
+    )
+    service = GraphService.from_graph(
+        graph, fmt="efg", device=device, cache_kb=256, max_wave=32
+    )
+    drive(
+        service, sources,
+        deadline_mix=parse_deadline_mix("none,0.5,none,0.001"),
+        burst=96, classes=classes,
+    )
+    return run_metrics(
+        service.backend.engine,
+        meta={"bench_workload": "serve/p99"},
+        sections={
+            "serve": service.metrics_section(),
+            "service": service.service_section(),
+        },
     )
 
 

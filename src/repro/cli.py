@@ -248,16 +248,47 @@ def _cmd_msbfs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_slo_specs(args: argparse.Namespace) -> tuple:
+    """Translate the ``--slo-*`` flags into SLOSpecs (possibly none)."""
+    from repro.obs.slo import SLOSpec
+
+    long_s = args.slo_window_us / 1e6
+    short_s = long_s / 8.0
+    specs = []
+    if args.slo_latency_ms is not None:
+        specs.append(SLOSpec(
+            name="latency", kind="latency",
+            objective=args.slo_objective,
+            threshold_s=args.slo_latency_ms / 1e3,
+            long_window_s=long_s, short_window_s=short_s,
+            burn_threshold=args.slo_burn,
+        ))
+    if args.slo_miss_objective is not None:
+        specs.append(SLOSpec(
+            name="miss-rate", kind="miss",
+            objective=args.slo_miss_objective,
+            long_window_s=long_s, short_window_s=short_s,
+            burn_threshold=args.slo_burn,
+        ))
+    return tuple(specs)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.errors import DecodeError
     from repro.obs.metrics import dump_metrics, run_metrics
+    from repro.obs.slo import EventLog
     from repro.serve import (
         GraphService,
+        ServiceTelemetry,
         drive,
         is_container,
-        make_query_stream,
+        make_labeled_stream,
         open_container,
+        panel_from_service,
+        parse_deadline_mix,
+        render_panel,
         save_container,
+        serve_report,
         with_sequential_baseline,
     )
 
@@ -273,12 +304,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 0
 
     try:
+        specs = _serve_slo_specs(args)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    events = EventLog(
+        path=args.events, max_bytes=args.events_max_kb * 1024
+    )
+    telemetry = ServiceTelemetry(specs=specs, events=events)
+    try:
         if is_container(args.target):
             container = open_container(args.target)
             service = GraphService.from_container(
                 container, fmt=args.format,
                 device=_serve_device(args.device_scale),
                 cache_kb=args.cache_kb, max_pending=args.max_pending,
+                telemetry=telemetry,
             )
             graph = container.to_graph()
         else:
@@ -287,6 +327,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 graph, fmt=args.format,
                 device=_serve_device(args.device_scale),
                 cache_kb=args.cache_kb, max_pending=args.max_pending,
+                telemetry=telemetry,
             )
     except DecodeError as exc:
         raise SystemExit(f"cannot open {args.target}: {exc}") from exc
@@ -295,13 +336,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"serving epoch {service.epoch} ({args.format}, "
           f"{graph.num_nodes:,} vertices)")
 
-    deadline_mix = _parse_deadline_mix(args.deadline_ms)
-    sources = make_query_stream(
+    try:
+        deadline_mix = parse_deadline_mix(args.deadline_ms)
+    except ValueError as exc:
+        raise SystemExit(f"--deadline-ms: {exc}") from exc
+    sources, classes = make_labeled_stream(
         graph.num_nodes, args.queries,
         hot_fraction=args.hot_fraction, seed=args.seed,
     )
+
+    frame_cb = None
+    if args.monitor:
+        def frame_cb(svc):
+            panel = panel_from_service(svc, frame=svc.num_waves - 1)
+            print(render_panel(panel))
+            print()
+
     report = drive(service, sources, deadline_mix=deadline_mix,
-                   burst=args.burst)
+                   burst=args.burst, classes=classes, frame_cb=frame_cb)
     if args.baseline:
         def _mk():
             return _make_backend(
@@ -324,6 +376,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"simulated, {report.qps_sequential:,.0f} queries/sec "
             f"({report.speedup_vs_sequential:.2f}x batching speedup)"
         )
+    print()
+    print(serve_report(service))
     if args.metrics:
         payload = run_metrics(
             service.backend.engine,
@@ -335,10 +389,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "queries": args.queries,
                 "seed": args.seed,
             },
-            sections={"serve": service.metrics_section()},
+            sections={
+                "serve": service.metrics_section(),
+                "service": service.service_section(),
+            },
         )
         dump_metrics(payload, args.metrics)
         print(f"wrote {args.metrics}")
+    if args.events:
+        events.close()
+        print(f"wrote {len(events)} events to {args.events}"
+              + (f" ({events.rotations} rotations)" if events.rotations
+                 else ""))
+    return int(bool(telemetry.slo.any_alerting) and args.slo_exit_nonzero)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve import load_panel, render_panel
+
+    try:
+        panel = load_panel(args.artifact)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_panel(panel))
     return 0
 
 
@@ -346,27 +420,6 @@ def _serve_device(device_scale: float):
     from repro.gpusim.device import TITAN_XP
 
     return TITAN_XP.scaled(device_scale)
-
-
-def _parse_deadline_mix(spec: str) -> tuple[float | None, ...]:
-    """Parse ``--deadline-ms`` ("none,0.5,none") into second budgets."""
-    mix: list[float | None] = []
-    for part in spec.split(","):
-        part = part.strip().lower()
-        if part in ("none", "inf", ""):
-            mix.append(None)
-        else:
-            try:
-                value = float(part)
-            except ValueError:
-                raise SystemExit(
-                    f"--deadline-ms entries must be numbers or 'none', "
-                    f"got {part!r}"
-                ) from None
-            if value < 0:
-                raise SystemExit(f"--deadline-ms must be >= 0, got {part}")
-            mix.append(value / 1e3)
-    return tuple(mix) if mix else (None,)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -965,10 +1018,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     try:
         a = load_metrics(args.metrics_a)
         b = load_metrics(args.metrics_b)
+        cmp = compare_metrics(a, b, threshold=args.threshold / 100.0)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    cmp = compare_metrics(a, b, threshold=args.threshold / 100.0)
     print(format_comparison(cmp))
     if not cmp.ok:
         print(
@@ -1154,8 +1207,45 @@ def main(argv: list[str] | None = None) -> int:
                    "print the batching speedup")
     p.add_argument("--metrics", metavar="PATH",
                    help="write the stable-schema metrics JSON (includes "
-                   "the serve section)")
+                   "the serve and service sections)")
+    p.add_argument("--monitor", action="store_true",
+                   help="render a dashboard frame after every wave "
+                   "(plain text, byte-deterministic)")
+    p.add_argument("--events", metavar="PATH",
+                   help="append the JSONL event log (admissions, waves, "
+                   "SLO transitions) to PATH")
+    p.add_argument("--events-max-kb", type=int, default=4096,
+                   help="rotate the event log past this size "
+                   "(default 4096 KiB)")
+    p.add_argument("--slo-latency-ms", type=float, default=None,
+                   help="latency SLO: served queries must finish within "
+                   "this simulated budget")
+    p.add_argument("--slo-objective", type=float, default=0.99,
+                   help="good fraction the latency SLO targets "
+                   "(default 0.99)")
+    p.add_argument("--slo-miss-objective", type=float, default=None,
+                   help="miss SLO: target fraction of outcomes served "
+                   "(not rejected/expired), e.g. 0.95")
+    p.add_argument("--slo-window-us", type=float, default=1.0,
+                   help="long burn-rate window in simulated microseconds "
+                   "(short window = long/8; default 1.0)")
+    p.add_argument("--slo-burn", type=float, default=10.0,
+                   help="burn-rate alert threshold on both windows "
+                   "(default 10.0)")
+    p.add_argument("--slo-exit-nonzero", action="store_true",
+                   help="exit 1 when any SLO is alerting at end of run")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="render the serving dashboard from a recorded artifact",
+    )
+    p.add_argument(
+        "artifact",
+        help="a metrics JSON with a service section, or a .jsonl "
+        "event log",
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
         "profile", help="run one algorithm under full telemetry"

@@ -19,10 +19,21 @@ from dataclasses import dataclass, field
 from repro.obs.metrics import SUPPORTED_SCHEMAS
 
 __all__ = ["DeltaRow", "Comparison", "load_metrics", "flatten_metrics",
-           "compare_metrics", "format_comparison"]
+           "check_sections", "compare_metrics", "format_comparison"]
 
 #: Sections never diffed: identity, not measurement.
 SKIP_SECTIONS = ("meta", "schema", "device")
+
+#: Sections allowed to exist on one side only: schema-growth sections
+#: (a ``repro.metrics/1`` baseline predates ``arrays``/``hw_counters``;
+#: ``critical_path``/``whatif`` appear only on profiled runs).  Any
+#: *other* one-sided section — e.g. the serving ``service`` section
+#: against a pre-observability dump — means the two dumps describe
+#: different workloads and the comparison refuses rather than silently
+#: diffing a whole subsystem against zero.
+OPTIONAL_SECTIONS = frozenset(
+    {"arrays", "hw_counters", "critical_path", "whatif"}
+)
 
 
 @dataclass(frozen=True)
@@ -114,8 +125,36 @@ def flatten_metrics(payload: dict) -> dict[str, float]:
     return out
 
 
+def check_sections(a: dict, b: dict) -> None:
+    """Refuse structurally mismatched dumps with a named-section error.
+
+    Raises ``ValueError`` listing every section present in exactly one
+    dump (identity and schema-growth sections exempt) — the error
+    ``repro compare`` turns into exit code 2.
+    """
+    exempt = set(SKIP_SECTIONS) | OPTIONAL_SECTIONS
+    only_a = sorted(set(a) - set(b) - exempt)
+    only_b = sorted(set(b) - set(a) - exempt)
+    if only_a or only_b:
+        parts = []
+        if only_a:
+            parts.append(f"only in first dump: {', '.join(only_a)}")
+        if only_b:
+            parts.append(f"only in second dump: {', '.join(only_b)}")
+        raise ValueError(
+            "section mismatch — the dumps describe different workloads "
+            f"({'; '.join(parts)})"
+        )
+
+
 def compare_metrics(a: dict, b: dict, threshold: float = 0.0) -> Comparison:
-    """Diff two dumps; keys present in only one side compare against 0."""
+    """Diff two dumps; keys present in only one side compare against 0.
+
+    Whole-section mismatches are refused (see :func:`check_sections`):
+    a missing *key* is a measurement that moved to zero, but a missing
+    *section* means a different workload shape was recorded.
+    """
+    check_sections(a, b)
     fa = flatten_metrics(a)
     fb = flatten_metrics(b)
     rows = [

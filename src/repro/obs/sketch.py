@@ -1,0 +1,284 @@
+"""Mergeable log-bucketed quantile sketch (DDSketch-style).
+
+Serving percentiles (p50/p95/p99 latency, wave width, queue wait) must
+be computed over unbounded streams in bounded memory, be mergeable
+across shards, and — in this codebase — be *byte-deterministic*.  The
+DDSketch construction (Masson, Rim & Lee, VLDB'19) gives all three:
+values are counted in logarithmically-spaced buckets, so every bucket's
+representative value is within a fixed **relative** error of anything
+the bucket holds.
+
+Guarantee
+---------
+With relative accuracy ``alpha`` the sketch uses ``gamma = (1 + alpha)
+/ (1 - alpha)`` and maps a value ``v > 0`` to bucket ``i = ceil(log(v)
+/ log(gamma))``, i.e. the unique ``i`` with ``gamma**(i-1) < v <=
+gamma**i``.  The bucket's representative is the harmonic-style midpoint
+``m_i = 2 * gamma**i / (gamma + 1)``.  For any ``u`` in the bucket::
+
+    m_i / u  >=  m_i / gamma**i      = 2 / (gamma + 1) = 1 - alpha
+    m_i / u  <=  m_i / gamma**(i-1)  = 2 * gamma / (gamma + 1) = 1 + alpha
+
+so ``|m_i - u| <= alpha * u`` — an exact relative-error bound, not an
+approximation.  :meth:`QuantileSketch.quantile` returns the
+representative of the bucket holding the order statistic of rank
+``ceil(q * (n - 1))`` (0-indexed — the same element
+``numpy.quantile(..., method="higher")`` returns), hence::
+
+    |sketch.quantile(q) - np.quantile(xs, q, method="higher")|
+        <= alpha * np.quantile(xs, q, method="higher")
+
+for any input distribution, adversarial or not (property-tested in
+``tests/property/test_sketch_property.py``).
+
+Merging adds bucket counts index-wise, which is associative and
+commutative and preserves the bound, because bucket indices depend only
+on ``alpha`` — two sketches with equal ``alpha`` share a bucket space.
+The ``sum`` moment is carried as an exact Shewchuk expansion (plain
+float ``+=`` is not associative), so even the serialized rounded float
+is merge-order-free.
+
+Serialization is a canonical little-endian byte string (buckets sorted
+by index), so equal sketches — including merge results computed in any
+order — dump byte-identically, and ``loads(dumps(s)).to_bytes() ==
+s.to_bytes()`` exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+__all__ = ["QuantileSketch"]
+
+_MAGIC = b"RQSK"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHd4Q3d")  # magic, ver, alpha, count, zero,
+#                                       n_buckets, pad, min, max, sum
+_BUCKET = struct.Struct("<qQ")  # bucket index, count
+
+
+def _exact_add(partials: list[float], x: float) -> None:
+    """Shewchuk grow-expansion (``math.fsum``'s core), in place.
+
+    Keeps ``partials`` an exact non-overlapping representation of the
+    running sum, so the total — and its correctly-rounded float — is
+    independent of accumulation order.  That is what makes ``merge``
+    *byte*-associative: plain float ``+=`` is not associative, and the
+    serialized ``sum`` field would otherwise depend on merge order.
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+class QuantileSketch:
+    """Bounded-memory quantile estimator with relative accuracy ``alpha``.
+
+    Only non-negative values are accepted (latencies, widths, byte
+    counts — everything this repo measures).  Zeros are counted in a
+    dedicated bucket and returned exactly.
+    """
+
+    __slots__ = ("alpha", "gamma", "_log_gamma", "_buckets",
+                 "zero_count", "count", "_sum_partials", "min", "max")
+
+    def __init__(self, relative_accuracy: float = 0.01) -> None:
+        if not (0.0 < relative_accuracy < 1.0):
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1), "
+                f"got {relative_accuracy}"
+            )
+        self.alpha = float(relative_accuracy)
+        self.gamma = (1.0 + self.alpha) / (1.0 - self.alpha)
+        self._log_gamma = math.log(self.gamma)
+        self._buckets: dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self._sum_partials: list[float] = []
+        self.min = math.inf
+        self.max = 0.0
+
+    # -- ingest -------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """The unique ``i`` with ``gamma**(i-1) < value <= gamma**i``."""
+        i = math.ceil(math.log(value) / self._log_gamma)
+        # log() slop at exact powers of gamma can land one bucket off;
+        # nudge so the invariant above holds exactly in float space.
+        if self.gamma ** (i - 1) >= value:
+            i -= 1
+        elif self.gamma ** i < value:
+            i += 1
+        return i
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Record ``count`` observations of ``value`` (``value >= 0``)."""
+        value = float(value)
+        if value < 0.0:
+            raise ValueError(f"sketch accepts only values >= 0, got {value}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if value == 0.0:
+            self.zero_count += count
+        else:
+            i = self.bucket_index(value)
+            self._buckets[i] = self._buckets.get(i, 0) + count
+        self.count += count
+        _exact_add(self._sum_partials, value * count)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._buckets) + (1 if self.zero_count else 0)
+
+    def bucket_value(self, index: int) -> float:
+        """Representative value of bucket ``index`` (see module proof)."""
+        return 2.0 * self.gamma ** index / (self.gamma + 1.0)
+
+    def quantile(self, q: float) -> float:
+        """Estimate of the order statistic at rank ``ceil(q * (n-1))``.
+
+        Matches ``numpy.quantile(xs, q, method="higher")`` within
+        relative error ``alpha`` (exactly for zeros).
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            raise ValueError("quantile of an empty sketch")
+        rank = math.ceil(q * (self.count - 1))  # 0-indexed
+        if rank < self.zero_count:
+            return 0.0
+        seen = self.zero_count
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                return self.bucket_value(index)
+        return self.bucket_value(max(self._buckets))  # q == 1 slop
+
+    @property
+    def sum(self) -> float:
+        """Correctly-rounded total (exact, accumulation-order-free)."""
+        return math.fsum(self._sum_partials)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict:
+        """Numeric-only summary for a metrics section (diffable)."""
+        out = {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "relative_accuracy": self.alpha,
+        }
+        for q in qs:
+            out[f"p{q * 100:g}".replace(".", "_")] = (
+                self.quantile(q) if self.count else 0.0
+            )
+        return out
+
+    # -- merge --------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """A new sketch holding both streams (associative, commutative).
+
+        Requires equal ``relative_accuracy``: bucket indices are only
+        comparable within one ``gamma``.
+        """
+        if not isinstance(other, QuantileSketch):
+            raise TypeError(f"cannot merge with {type(other).__name__}")
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"cannot merge sketches with different accuracy: "
+                f"{self.alpha} != {other.alpha}"
+            )
+        out = QuantileSketch(relative_accuracy=self.alpha)
+        out._buckets = dict(self._buckets)
+        for index, n in other._buckets.items():
+            out._buckets[index] = out._buckets.get(index, 0) + n
+        out.zero_count = self.zero_count + other.zero_count
+        out.count = self.count + other.count
+        out._sum_partials = list(self._sum_partials)
+        for part in other._sum_partials:
+            _exact_add(out._sum_partials, part)
+        out.min = min(self.min, other.min)
+        out.max = max(self.max, other.max)
+        return out
+
+    # -- serialization ------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Canonical dump: header + buckets sorted by index.
+
+        Equal sketches serialize byte-identically regardless of
+        insertion or merge order (bucket dicts are canonicalized by
+        sorting).
+        """
+        parts = [_HEADER.pack(
+            _MAGIC, _VERSION, self.alpha,
+            self.count, self.zero_count, len(self._buckets), 0,
+            self.min if self.count else 0.0, self.max, self.sum,
+        )]
+        for index in sorted(self._buckets):
+            parts.append(_BUCKET.pack(index, self._buckets[index]))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "QuantileSketch":
+        if len(blob) < _HEADER.size:
+            raise ValueError(f"sketch blob truncated: {len(blob)} bytes")
+        (magic, version, alpha, count, zero_count, n_buckets, _pad,
+         vmin, vmax, vsum) = _HEADER.unpack_from(blob, 0)
+        if magic != _MAGIC:
+            raise ValueError(f"bad sketch magic {magic!r}")
+        if version != _VERSION:
+            raise ValueError(f"unsupported sketch version {version}")
+        expected = _HEADER.size + n_buckets * _BUCKET.size
+        if len(blob) != expected:
+            raise ValueError(
+                f"sketch blob size {len(blob)} != expected {expected}"
+            )
+        out = cls(relative_accuracy=alpha)
+        offset = _HEADER.size
+        prev = None
+        for _ in range(n_buckets):
+            index, n = _BUCKET.unpack_from(blob, offset)
+            offset += _BUCKET.size
+            if prev is not None and index <= prev:
+                raise ValueError("sketch buckets not strictly ascending")
+            prev = index
+            out._buckets[index] = n
+        out.zero_count = zero_count
+        out.count = count
+        out._sum_partials = [vsum] if vsum else []
+        out.min = vmin if count else math.inf
+        out.max = vmax
+        return out
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return self.to_bytes() == other.to_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(alpha={self.alpha}, count={self.count}, "
+            f"buckets={self.num_buckets})"
+        )

@@ -141,10 +141,52 @@ def _single_backend(cell: RecipeCell, graph, device):
     return backend
 
 
+def _run_serve(cell: RecipeCell, graph, device, defaults) -> dict:
+    """One serve cell: closed-loop drive over the recipe's backend.
+
+    Reuses :func:`_single_backend` so the quantum/cache knobs price
+    exactly as on the batch cells; the serve-only knobs (deadline mix,
+    hot fraction) shape the query stream.  The payload carries both the
+    PR 9 ``serve`` totals and the telemetry ``service`` section, so
+    recipe grids can sweep deadline mixes and diff p99 latency.
+    """
+    from repro.obs.metrics import run_metrics
+    from repro.serve import GraphService, drive, make_labeled_stream
+    from repro.serve.container import GraphContainer
+    from repro.serve.driver import parse_deadline_mix
+
+    knobs = cell.knobs_dict
+    backend = _single_backend(cell, graph, device)
+    service = GraphService(
+        backend=backend, epoch=GraphContainer.from_graph(graph).epoch
+    )
+    deadline_mix = parse_deadline_mix(str(knobs.get("deadline_ms", "none")))
+    sources, classes = make_labeled_stream(
+        graph.num_nodes,
+        defaults.serve_queries,
+        hot_fraction=float(knobs.get("hot_fraction", 0.5)),
+        seed=defaults.source_seed,
+    )
+    drive(
+        service, sources, deadline_mix=deadline_mix,
+        burst=defaults.serve_burst, classes=classes,
+    )
+    return run_metrics(
+        service.backend.engine,
+        meta=_cell_meta(cell, defaults),
+        sections={
+            "serve": service.metrics_section(),
+            "service": service.service_section(),
+        },
+    )
+
+
 def _run_single(cell: RecipeCell, graph, device, defaults) -> dict:
     """One single-GPU cell through :func:`run_profiled`."""
     from repro.bench.harness import pick_sources, run_profiled
 
+    if cell.algo == "serve":
+        return _run_serve(cell, graph, device, defaults)
     knobs = cell.knobs_dict
     backend = _single_backend(cell, graph, device)
     kwargs: dict = {}
@@ -278,6 +320,16 @@ def cell_summary(cell: RecipeCell, payload: dict) -> dict:
         tiers = payload.get("tiers", {})
         if cell.nodes > 1 and "inter" in tiers:
             row["inter_bytes"] = float(tiers["inter"].get("bytes", 0.0))
+    serve = payload.get("serve")
+    if serve is not None:
+        service = payload.get("service", {})
+        row["qps"] = float(serve.get("qps", 0.0))
+        row["p99_latency_s"] = float(
+            service.get("latency", {}).get("p99", 0.0)
+        )
+        row["miss_rate"] = float(
+            service.get("rates", {}).get("miss_rate", 0.0)
+        )
     whatif = payload.get("whatif", {})
     if whatif:
         best = min(

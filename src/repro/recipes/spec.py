@@ -49,8 +49,9 @@ class RecipeError(ValueError):
     """A recipe failed validation (bad axis, knob, value, or combo)."""
 
 
-#: Algorithms a single-GPU cell can run (``repro profile`` set).
-ALGOS = ("bfs", "dobfs", "msbfs", "sssp", "delta", "pagerank")
+#: Algorithms a single-GPU cell can run (``repro profile`` set, plus
+#: the closed-loop serving workload from :mod:`repro.serve`).
+ALGOS = ("bfs", "dobfs", "msbfs", "sssp", "delta", "pagerank", "serve")
 
 #: Algorithms a distributed cell can run (``repro dist`` set).
 DIST_ALGOS = ("bfs", "sssp", "pagerank")
@@ -114,6 +115,30 @@ def _check_sort_fraction(v) -> float:
     return v
 
 
+def _check_deadline_ms(v) -> str:
+    from repro.serve.driver import parse_deadline_mix
+
+    if not isinstance(v, str):
+        raise RecipeError(
+            f"knob deadline_ms must be a string mix like 'none,0.5', "
+            f"got {v!r}"
+        )
+    try:
+        parse_deadline_mix(v)
+    except ValueError as exc:
+        raise RecipeError(f"knob deadline_ms: {exc}") from None
+    return str(v)
+
+
+def _check_hot_fraction(v) -> float:
+    if isinstance(v, bool) or not isinstance(v, (int, float)):
+        raise RecipeError(f"knob hot_fraction must be a number, got {v!r}")
+    v = float(v)
+    if not 0.0 <= v <= 1.0:
+        raise RecipeError(f"knob hot_fraction must be in [0, 1], got {v}")
+    return v
+
+
 #: The searchable knob grid: name -> value validator/normalizer.
 KNOBS = {
     "quantum": _check_quantum,
@@ -122,6 +147,8 @@ KNOBS = {
     "schedule": _check_schedule,
     "overlap": _check_overlap,
     "sort_fraction": _check_sort_fraction,
+    "deadline_ms": _check_deadline_ms,
+    "hot_fraction": _check_hot_fraction,
 }
 
 
@@ -187,6 +214,10 @@ class RecipeDefaults:
     weight_seed: int = 1
     #: Sources packed into an msbfs wave.
     num_sources: int = 32
+    #: Closed-loop queries a serve cell drives.
+    serve_queries: int = 200
+    #: Queries submitted between waves on serve cells.
+    serve_burst: int = 16
 
 
 @dataclass(frozen=True)
@@ -238,6 +269,9 @@ _AXIS_ORDER = ("dataset", "algo", "fmt", "reorder", "layout", "knobs")
 
 #: Knobs that only exist on the sharded-cluster path.
 _DIST_ONLY_KNOBS = ("wire", "schedule", "overlap")
+
+#: Knobs that only shape the closed-loop serving workload.
+_SERVE_ONLY_KNOBS = ("deadline_ms", "hot_fraction")
 
 
 @dataclass(frozen=True)
@@ -349,6 +383,10 @@ def _normalize_cell(
         # The decoded-list cache only amortizes actual decode work.
         if fmt == "csr":
             knobs.pop("cache_kb", None)
+    if algo != "serve":
+        # Workload-mix knobs shape the query stream, not the kernel.
+        for knob in _SERVE_ONLY_KNOBS:
+            knobs.pop(knob, None)
     if fmt != "efg":
         knobs.pop("quantum", None)
     if is_dist:

@@ -8,6 +8,13 @@ by its content-hash *epoch*) and multiplexes point BFS/reachability
 queries into batched :func:`~repro.traversal.msbfs.msbfs` waves; and
 :mod:`~repro.serve.driver` is the deterministic closed-loop client
 that turns queries/sec into a bench column.
+
+The service-side observability stack rides on top:
+:mod:`~repro.serve.telemetry` fans every lifecycle hook into quantile
+sketches, windowed time-series, SLO burn-rate evaluation, and a
+canonical JSONL event log; :mod:`~repro.serve.monitor` renders the
+deterministic ``repro serve --monitor`` / ``repro top`` dashboard;
+:mod:`~repro.serve.report` prints the dist-style text block.
 """
 
 from repro.serve.container import (
@@ -22,11 +29,23 @@ from repro.serve.container import (
 from repro.serve.driver import (
     DriveReport,
     drive,
+    make_labeled_stream,
     make_query_stream,
+    parse_deadline_mix,
     sequential_seconds,
     with_sequential_baseline,
 )
+from repro.serve.monitor import (
+    PanelData,
+    load_panel,
+    panel_from_events,
+    panel_from_metrics,
+    panel_from_service,
+    render_panel,
+)
+from repro.serve.report import serve_report
 from repro.serve.service import GraphService, QueryResult
+from repro.serve.telemetry import ServiceTelemetry
 
 __all__ = [
     "CONTAINER_MAGIC",
@@ -38,9 +57,19 @@ __all__ = [
     "save_container",
     "GraphService",
     "QueryResult",
+    "ServiceTelemetry",
     "DriveReport",
     "drive",
+    "make_labeled_stream",
     "make_query_stream",
+    "parse_deadline_mix",
     "sequential_seconds",
     "with_sequential_baseline",
+    "PanelData",
+    "render_panel",
+    "panel_from_service",
+    "panel_from_metrics",
+    "panel_from_events",
+    "load_panel",
+    "serve_report",
 ]

@@ -26,6 +26,8 @@ from repro.serve.service import GraphService
 __all__ = [
     "DriveReport",
     "make_query_stream",
+    "make_labeled_stream",
+    "parse_deadline_mix",
     "drive",
     "sequential_seconds",
     "with_sequential_baseline",
@@ -55,19 +57,21 @@ class DriveReport:
         return self.sequential_seconds / self.elapsed_seconds
 
 
-def make_query_stream(
+def make_labeled_stream(
     num_nodes: int,
     num_queries: int,
     *,
     hot_fraction: float = 0.5,
     hot_set_size: int = 8,
     seed: int = 7,
-) -> np.ndarray:
-    """Deterministic skewed source stream.
+) -> tuple[np.ndarray, list[str]]:
+    """Deterministic skewed source stream with per-query class labels.
 
     A ``hot_fraction`` share of queries draws from a small fixed hot
     set (exercising lane coalescing and the result LRU); the rest is
-    uniform over all vertices.
+    uniform over all vertices.  The second return value labels each
+    query ``"hot"`` or ``"cold"`` — the telemetry ``source_class``
+    dimension, so the dashboard can attribute misses per workload.
     """
     if num_queries <= 0:
         raise ValueError(f"num_queries must be > 0, got {num_queries}")
@@ -79,7 +83,52 @@ def make_query_stream(
     is_hot = rng.random(num_queries) < hot_fraction
     uniform = rng.integers(0, num_nodes, size=num_queries)
     hot_pick = hot[rng.integers(0, hot.shape[0], size=num_queries)]
-    return np.where(is_hot, hot_pick, uniform).astype(np.int64)
+    sources = np.where(is_hot, hot_pick, uniform).astype(np.int64)
+    classes = ["hot" if flag else "cold" for flag in is_hot.tolist()]
+    return sources, classes
+
+
+def make_query_stream(
+    num_nodes: int,
+    num_queries: int,
+    *,
+    hot_fraction: float = 0.5,
+    hot_set_size: int = 8,
+    seed: int = 7,
+) -> np.ndarray:
+    """Sources only (see :func:`make_labeled_stream` for the labels)."""
+    sources, _ = make_labeled_stream(
+        num_nodes, num_queries,
+        hot_fraction=hot_fraction, hot_set_size=hot_set_size, seed=seed,
+    )
+    return sources
+
+
+def parse_deadline_mix(spec: str) -> tuple[float | None, ...]:
+    """Parse a deadline mix ("none,0.5,none", in ms) into second budgets.
+
+    Raises ``ValueError`` on malformed entries; the CLI and the recipe
+    validator both route through here so the two paths cannot drift.
+    """
+    mix: list[float | None] = []
+    for part in spec.split(","):
+        part = part.strip().lower()
+        if part in ("none", "inf", ""):
+            mix.append(None)
+        else:
+            try:
+                value = float(part)
+            except ValueError:
+                raise ValueError(
+                    f"deadline mix entries must be numbers (ms) or "
+                    f"'none', got {part!r}"
+                ) from None
+            if value < 0:
+                raise ValueError(
+                    f"deadline mix entries must be >= 0, got {part}"
+                )
+            mix.append(value / 1e3)
+    return tuple(mix) if mix else (None,)
 
 
 def drive(
@@ -88,6 +137,8 @@ def drive(
     *,
     deadline_mix: tuple[float | None, ...] = (None,),
     burst: int = 16,
+    classes: list[str] | None = None,
+    frame_cb=None,
 ) -> DriveReport:
     """Run a closed-loop client: submit in bursts, drain between them.
 
@@ -96,15 +147,32 @@ def drive(
     Submissions arrive ``burst`` at a time; after each burst the
     service steps one wave, and the queue fully drains at the end —
     closed loop, no unbounded backlog.
+
+    ``classes`` (from :func:`make_labeled_stream`) labels each query's
+    telemetry ``source_class``; ``frame_cb(service)`` fires after every
+    wave — the hook the live ``--monitor`` dashboard renders from.
     """
     sources = np.asarray(sources, dtype=np.int64)
     if burst < 1:
         raise ValueError(f"burst must be >= 1, got {burst}")
+    if classes is not None and len(classes) != sources.shape[0]:
+        raise ValueError(
+            f"classes length {len(classes)} != queries {sources.shape[0]}"
+        )
     for i, source in enumerate(sources.tolist()):
-        service.submit(source, deadline_s=deadline_mix[i % len(deadline_mix)])
+        service.submit(
+            source,
+            deadline_s=deadline_mix[i % len(deadline_mix)],
+            source_class=classes[i] if classes is not None else "any",
+        )
         if (i + 1) % burst == 0:
             service.step_wave()
-    service.run()
+            if frame_cb is not None:
+                frame_cb(service)
+    while service.num_pending:
+        service.step_wave()
+        if frame_cb is not None:
+            frame_cb(service)
 
     counts = service.counts()
     served = counts.get("done", 0) + counts.get("cached", 0)

@@ -1,0 +1,333 @@
+"""The live serving dashboard: ``repro serve --monitor`` / ``repro top``.
+
+One panel, three sources:
+
+* **live** — :func:`panel_from_service` snapshots a running
+  :class:`~repro.serve.GraphService` after every wave (the
+  ``frame_cb`` hook in :func:`~repro.serve.driver.drive`);
+* **metrics** — :func:`panel_from_metrics` rebuilds the panel from a
+  recorded ``repro.metrics/2`` dump carrying the ``service`` section;
+* **events** — :func:`panel_from_events` *replays* a JSONL event log
+  (:class:`~repro.obs.slo.EventLog`) through fresh sketches and
+  counters, proving the log carries enough to reconstruct the
+  operational view.
+
+Frames are plain fixed-width text — no ANSI, no wall-clock — so two
+identical drives render byte-identical frame sequences (``cmp``-ed in
+the ``monitor-smoke`` CI job), and a frame diff is a meaningful diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.sketch import QuantileSketch
+from repro.obs.slo import EventLog
+from repro.obs.timeseries import TimeSeries
+from repro.serve.telemetry import DEFAULT_WINDOW_S, SKETCH_ACCURACY
+
+__all__ = [
+    "PanelData",
+    "render_panel",
+    "panel_from_service",
+    "panel_from_metrics",
+    "panel_from_events",
+    "load_panel",
+]
+
+#: Query outcomes shown on the panel's first line, fixed order.
+_OUTCOMES = ("done", "cached", "rejected", "expired")
+
+
+@dataclass
+class PanelData:
+    """Everything one dashboard frame shows, numeric and source-agnostic."""
+
+    origin: str  # "live" | "metrics" | "events"
+    epoch: str = ""
+    elapsed_s: float = 0.0
+    #: Wave index of this frame (-1 for end-of-run panels).
+    frame: int = -1
+    total: int = 0
+    served: int = 0
+    outcomes: dict = field(default_factory=dict)
+    pending: int = 0
+    waves: int = 0
+    qps: float = 0.0
+    windowed_qps: float = 0.0
+    #: Latency percentiles in simulated seconds (p50/p95/p99/max).
+    latency: dict = field(default_factory=dict)
+    queue_wait_p99: float = 0.0
+    mean_lanes: float = 0.0
+    lane_occupancy: float = 0.0
+    miss_rate: float = 0.0
+    hit_rate: float = 0.0
+    #: Rows of {name, burn_long, burn_short, alerting, alerts}.
+    slo: list = field(default_factory=list)
+    events: int = 0
+    rotations: int = 0
+
+
+def _us(seconds: float) -> str:
+    """Simulated seconds as fixed-width microseconds."""
+    return f"{seconds * 1e6:.4f}us"
+
+
+def render_panel(panel: PanelData) -> str:
+    """One deterministic plain-text frame (no ANSI, no wall clock)."""
+    head = f"repro top [{panel.origin}]"
+    if panel.epoch:
+        head += f"  epoch {panel.epoch[:12]}"
+    head += f"  t={_us(panel.elapsed_s)}"
+    if panel.frame >= 0:
+        head += f"  wave {panel.frame}"
+    by_status = "  ".join(
+        f"{status} {panel.outcomes.get(status, 0)}" for status in _OUTCOMES
+    )
+    lat = panel.latency
+    lines = [
+        head,
+        f"queries  total {panel.total}  served {panel.served}  "
+        f"{by_status}  pending {panel.pending}",
+        f"rate     qps {panel.qps:,.0f}  windowed {panel.windowed_qps:,.0f}"
+        f"  waves {panel.waves}  lanes {panel.mean_lanes:.1f}"
+        f" ({100 * panel.lane_occupancy:.1f}%)",
+        f"latency  p50 {_us(lat.get('p50', 0.0))}  "
+        f"p95 {_us(lat.get('p95', 0.0))}  "
+        f"p99 {_us(lat.get('p99', 0.0))}  "
+        f"max {_us(lat.get('max', 0.0))}  "
+        f"wait-p99 {_us(panel.queue_wait_p99)}",
+        f"health   miss {100 * panel.miss_rate:.2f}%  "
+        f"lru-hit {100 * panel.hit_rate:.2f}%",
+    ]
+    if panel.slo:
+        for row in panel.slo:
+            state = "ALERTING" if row["alerting"] else "ok"
+            lines.append(
+                f"slo      {row['name']:<16s} "
+                f"burn {row['burn_long']:.2f}/{row['burn_short']:.2f} "
+                f"(long/short)  {state:<8s} alerts {row['alerts']}"
+            )
+    else:
+        lines.append("slo      (none configured)")
+    lines.append(
+        f"events   {panel.events} logged, {panel.rotations} rotations"
+    )
+    return "\n".join(lines)
+
+
+def _sketch_row(sketch: QuantileSketch) -> dict:
+    if not sketch.count:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "p50": sketch.quantile(0.5),
+        "p95": sketch.quantile(0.95),
+        "p99": sketch.quantile(0.99),
+        "max": sketch.max,
+    }
+
+
+def panel_from_service(service, frame: int = -1) -> PanelData:
+    """Snapshot a live service (the ``--monitor`` per-wave frame)."""
+    tel = service.telemetry
+    now = service.clock
+    elapsed = now
+    served = tel.served
+    slo_rows = [
+        {
+            "name": name,
+            "burn_long": state.burn(state.spec.long_window_s, now),
+            "burn_short": state.burn(state.spec.short_window_s, now),
+            "alerting": state.alerting,
+            "alerts": state.alerts,
+        }
+        for name, state in sorted(tel.slo.states.items())
+    ]
+    return PanelData(
+        origin="live",
+        epoch=service.epoch,
+        elapsed_s=elapsed,
+        frame=frame,
+        total=tel.total,
+        served=served,
+        outcomes=dict(tel.outcomes),
+        pending=service.num_pending,
+        waves=service.num_waves,
+        qps=served / elapsed if elapsed > 0 else 0.0,
+        windowed_qps=tel.windowed_qps(now),
+        latency=_sketch_row(tel.latency),
+        queue_wait_p99=(
+            tel.queue_wait.quantile(0.99) if tel.queue_wait.count else 0.0
+        ),
+        mean_lanes=tel.wave_lanes.mean,
+        lane_occupancy=tel.lane_occupancy(),
+        miss_rate=tel.miss_rate,
+        hit_rate=tel.hit_rate,
+        slo=slo_rows,
+        events=len(tel.events),
+        rotations=tel.events.rotations,
+    )
+
+
+def panel_from_metrics(payload: dict) -> PanelData:
+    """Rebuild the panel from a metrics dump with a ``service`` section."""
+    if "service" not in payload:
+        raise ValueError(
+            "metrics dump has no 'service' section (pre-observability "
+            "run?) — re-run `repro serve --metrics` to record one"
+        )
+    service = payload["service"]
+    serve = payload.get("serve", {})
+    meta = payload.get("meta", {})
+    latency = service.get("latency", {})
+    rates = service.get("rates", {})
+    outcomes = {k: int(v) for k, v in service.get("outcomes", {}).items()}
+    served = outcomes.get("done", 0) + outcomes.get("cached", 0)
+    slo_rows = [
+        {
+            "name": name,
+            "burn_long": row.get("burn_long", 0.0),
+            "burn_short": row.get("burn_short", 0.0),
+            "alerting": bool(row.get("alerting", 0.0)),
+            "alerts": int(row.get("alerts", 0)),
+        }
+        for name, row in sorted(service.get("slo", {}).items())
+    ]
+    wave_lanes = service.get("wave_lanes", {})
+    return PanelData(
+        origin="metrics",
+        epoch=str(meta.get("epoch", "")),
+        elapsed_s=serve.get("elapsed_seconds", 0.0),
+        total=sum(outcomes.values()),
+        served=served,
+        outcomes=outcomes,
+        pending=int(serve.get("pending", 0)),
+        waves=int(serve.get("waves", 0)),
+        qps=serve.get("qps", 0.0),
+        windowed_qps=rates.get("windowed_qps", 0.0),
+        latency={
+            "p50": latency.get("p50", 0.0),
+            "p95": latency.get("p95", 0.0),
+            "p99": latency.get("p99", 0.0),
+            "max": latency.get("max", 0.0),
+        },
+        queue_wait_p99=service.get("queue_wait", {}).get("p99", 0.0),
+        mean_lanes=wave_lanes.get("mean", 0.0),
+        lane_occupancy=rates.get("lane_occupancy", 0.0),
+        miss_rate=rates.get("miss_rate", 0.0),
+        hit_rate=rates.get("hit_rate", 0.0),
+        slo=slo_rows,
+        events=int(service.get("events", {}).get("count", 0)),
+        rotations=int(service.get("events", {}).get("rotations", 0)),
+    )
+
+
+def panel_from_events(events: list[dict]) -> PanelData:
+    """Replay a JSONL event log into a panel.
+
+    The log alone reconstructs the full operational view: sketches are
+    re-fed from the per-query ``done``/``cache_hit`` events, SLO state
+    from the ``slo`` transition events, queue depth from admission
+    arithmetic.  (This is the ``repro top events.jsonl`` path.)
+    """
+    from repro.traversal.msbfs import MAX_SOURCES
+
+    if not events:
+        raise ValueError("event log is empty")
+    latency = QuantileSketch(SKETCH_ACCURACY)
+    queue_wait = QuantileSketch(SKETCH_ACCURACY)
+    completions = TimeSeries(capacity=8192)
+    outcomes: dict[str, int] = {}
+    slo_last: dict[str, dict] = {}
+    slo_alerts: dict[str, int] = {}
+    epoch = ""
+    waves = 0
+    lanes_sum = 0.0
+    admitted = 0
+    finished = 0  # admitted queries that reached done/expired
+    elapsed = 0.0
+    for event in events:
+        kind = event.get("kind", "")
+        t = float(event.get("t", 0.0))
+        if t > elapsed:
+            elapsed = t
+        if kind == "epoch":
+            epoch = event.get("epoch", "")
+        elif kind == "admit":
+            admitted += 1
+        elif kind == "done":
+            outcomes["done"] = outcomes.get("done", 0) + 1
+            latency.add(float(event.get("latency_s", 0.0)))
+            queue_wait.add(float(event.get("wait_s", 0.0)))
+            completions.record(t, 1.0)
+            finished += 1
+        elif kind == "cache_hit":
+            outcomes["cached"] = outcomes.get("cached", 0) + 1
+            latency.add(0.0)
+            queue_wait.add(0.0)
+            completions.record(t, 1.0)
+        elif kind == "reject":
+            outcomes["rejected"] = outcomes.get("rejected", 0) + 1
+        elif kind == "expire":
+            outcomes["expired"] = outcomes.get("expired", 0) + 1
+            finished += 1
+        elif kind == "wave":
+            waves += 1
+            lanes_sum += float(event.get("lanes", 0))
+        elif kind == "slo":
+            name = event.get("slo", "")
+            slo_last[name] = event
+            if event.get("state") == "alerting":
+                slo_alerts[name] = slo_alerts.get(name, 0) + 1
+    total = sum(outcomes.values())
+    served = outcomes.get("done", 0) + outcomes.get("cached", 0)
+    missed = outcomes.get("rejected", 0) + outcomes.get("expired", 0)
+    slo_rows = [
+        {
+            "name": name,
+            "burn_long": float(event.get("burn_long", 0.0)),
+            "burn_short": float(event.get("burn_short", 0.0)),
+            "alerting": event.get("state") == "alerting",
+            "alerts": slo_alerts.get(name, 0),
+        }
+        for name, event in sorted(slo_last.items())
+    ]
+    return PanelData(
+        origin="events",
+        epoch=epoch,
+        elapsed_s=elapsed,
+        total=total,
+        served=served,
+        outcomes=outcomes,
+        pending=admitted - finished,
+        waves=waves,
+        qps=served / elapsed if elapsed > 0 else 0.0,
+        windowed_qps=completions.stats(DEFAULT_WINDOW_S, now=elapsed)["rate"],
+        latency=_sketch_row(latency),
+        queue_wait_p99=(
+            queue_wait.quantile(0.99) if queue_wait.count else 0.0
+        ),
+        mean_lanes=lanes_sum / waves if waves else 0.0,
+        lane_occupancy=(lanes_sum / waves / MAX_SOURCES) if waves else 0.0,
+        miss_rate=missed / total if total else 0.0,
+        hit_rate=outcomes.get("cached", 0) / served if served else 0.0,
+        slo=slo_rows,
+        events=len(events),
+        rotations=0,
+    )
+
+
+def load_panel(path: str) -> PanelData:
+    """Build a panel from a recorded artifact (``repro top <path>``).
+
+    ``.jsonl`` is replayed as an event log; anything else is loaded as
+    a metrics dump (schema-checked).  Raises ``ValueError`` on files
+    that are neither.
+    """
+    if path.endswith(".jsonl"):
+        with open(path) as fh:
+            text = fh.read()
+        return panel_from_events(EventLog.parse(text))
+    from repro.obs.compare import load_metrics
+
+    return panel_from_metrics(load_metrics(path))

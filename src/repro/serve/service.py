@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.formats.graph import Graph
 from repro.serve.container import GraphContainer
+from repro.serve.telemetry import ServiceTelemetry
 from repro.traversal.backends import GraphBackend
 from repro.traversal.msbfs import MAX_SOURCES, msbfs
 
@@ -77,6 +78,8 @@ class QueryResult:
     wave: int = -1
     submitted_s: float = 0.0
     completed_s: float = 0.0
+    #: Client-provided workload label (telemetry dimension).
+    source_class: str = "any"
 
     @property
     def ok(self) -> bool:
@@ -97,6 +100,7 @@ class _Pending:
     #: Absolute simulated-clock deadline (None = never expires).
     deadline_s: float | None
     submitted_s: float = 0.0
+    source_class: str = "any"
 
 
 @dataclass
@@ -115,6 +119,10 @@ class GraphService:
     max_pending: int = DEFAULT_MAX_PENDING
     result_cache_entries: int = DEFAULT_RESULT_CACHE
     max_wave: int = MAX_SOURCES
+    #: Instrument cluster: sketches, time-series, SLOs, event log.
+    #: Separate from ``engine.metrics`` so attaching SLOs or an event
+    #: log never perturbs the byte-stable bench counters.
+    telemetry: ServiceTelemetry = field(default_factory=ServiceTelemetry)
 
     _pending: deque = field(default_factory=deque, repr=False)
     _results: list = field(default_factory=list, repr=False)
@@ -132,6 +140,7 @@ class GraphService:
         self.backend.engine.reset_timeline()
         if self.backend.cache is not None:
             self.backend.cache.reset_stats()
+        self.telemetry.on_epoch(self.clock, self.epoch)
 
     # -- construction -------------------------------------------------
 
@@ -206,7 +215,10 @@ class GraphService:
 
     # -- request path -------------------------------------------------
 
-    def submit(self, source: int, deadline_s: float | None = None) -> int:
+    def submit(
+        self, source: int, deadline_s: float | None = None,
+        source_class: str = "any",
+    ) -> int:
         """Admit one query; returns its qid.
 
         ``deadline_s`` is a *relative* budget on the simulated clock; a
@@ -214,6 +226,8 @@ class GraphService:
         answered ``expired`` without occupying a lane.  Cache hits and
         admission rejections resolve immediately (their
         :class:`QueryResult` is recorded at submit time).
+        ``source_class`` is a free-form workload label ("hot", "batch",
+        …) threaded through telemetry and the event log.
         """
         metrics = self.backend.engine.metrics
         metrics.inc("serve.queries.submitted")
@@ -232,18 +246,22 @@ class GraphService:
             self._cache.move_to_end(key)
             metrics.inc("serve.cache.hits")
             metrics.inc("serve.queries.served")
+            self.telemetry.on_cache_hit(now, qid, source, source_class)
             self._results.append(QueryResult(
                 qid=qid, source=source, status="cached",
                 levels=self._cache[key],
                 submitted_s=now, completed_s=now,
+                source_class=source_class,
             ))
             return qid
 
         if len(self._pending) >= self.max_pending:
             metrics.inc("serve.queries.rejected")
+            self.telemetry.on_reject(now, qid, source, source_class)
             self._results.append(QueryResult(
                 qid=qid, source=source, status="rejected",
                 submitted_s=now, completed_s=now,
+                source_class=source_class,
             ))
             return qid
 
@@ -251,8 +269,12 @@ class GraphService:
         self._pending.append(_Pending(
             qid=qid, source=source,
             deadline_s=None if deadline_s is None else now + deadline_s,
-            submitted_s=now,
+            submitted_s=now, source_class=source_class,
         ))
+        self.telemetry.on_submit(
+            now, qid, source, source_class, deadline_s,
+            depth=len(self._pending),
+        )
         return qid
 
     def _cache_put(self, source: int, levels: np.ndarray) -> None:
@@ -262,8 +284,9 @@ class GraphService:
         self._cache[key] = levels
         self._cache.move_to_end(key)
         while len(self._cache) > self.result_cache_entries:
-            self._cache.popitem(last=False)
+            evicted_key, _ = self._cache.popitem(last=False)
             self.backend.engine.metrics.inc("serve.cache.evictions")
+            self.telemetry.on_cache_evict(self.clock, evicted_key[0])
 
     def step_wave(self) -> list:
         """Form and run one msbfs wave; returns its results.
@@ -286,9 +309,14 @@ class GraphService:
             q = self._pending.popleft()
             if q.deadline_s is not None and now > q.deadline_s:
                 metrics.inc("serve.queries.expired")
+                self.telemetry.on_expire(
+                    now, q.qid, q.source, q.source_class,
+                    waited_s=now - q.submitted_s,
+                )
                 batch_results.append(QueryResult(
                     qid=q.qid, source=q.source, status="expired",
                     submitted_s=q.submitted_s, completed_s=now,
+                    source_class=q.source_class,
                 ))
                 continue
             if q.source in lanes or len(lanes) < self.max_wave:
@@ -316,15 +344,25 @@ class GraphService:
         ):
             result = msbfs(self.backend, sources, reset_timeline=False)
         done = self.clock
+        self.telemetry.on_wave(
+            done, wave_idx, queries=len(taken), lanes=len(lanes),
+            seconds=done - now, depth=len(self._pending),
+        )
 
         for i, q in enumerate(taken):
             levels = result.levels[i]
             self._cache_put(q.source, levels)
             metrics.inc("serve.queries.served")
+            self.telemetry.on_done(
+                done, q.qid, q.source, q.source_class, wave_idx,
+                latency_s=done - q.submitted_s,
+                queue_wait_s=now - q.submitted_s,
+            )
             batch_results.append(QueryResult(
                 qid=q.qid, source=q.source, status="done",
                 levels=levels, wave=wave_idx,
                 submitted_s=q.submitted_s, completed_s=done,
+                source_class=q.source_class,
             ))
         self._results.extend(batch_results)
         return batch_results
@@ -365,3 +403,13 @@ class GraphService:
             "elapsed_seconds": elapsed,
             "qps": served / elapsed if elapsed > 0 else 0.0,
         }
+
+    def service_section(self) -> dict:
+        """The ``service`` section: sketches, rates, SLOs (telemetry).
+
+        Distinct from :meth:`metrics_section` (the PR 9 ``serve``
+        totals, which the bench trajectory depends on byte-for-byte):
+        this one carries the distribution and SLO state and is free to
+        grow.
+        """
+        return self.telemetry.section(self.clock)

@@ -31,14 +31,16 @@ def payload(workloads):
 
 
 class TestSuite:
-    def test_all_twelve_workloads(self, workloads):
+    def test_all_thirteen_workloads(self, workloads):
         single = [
             f"{algo}/{fmt}"
             for algo in ("bfs", "sssp", "pagerank")
             for fmt in ("csr", "efg", "cgr")
         ]
         dist = [f"dist_bfs/{wire}" for wire in SMALL.dist_wires]
-        assert sorted(workloads) == sorted(single + dist + ["serve/qps"])
+        assert sorted(workloads) == sorted(
+            single + dist + ["serve/qps", "serve/p99"]
+        )
 
     def test_workloads_are_full_metrics_dumps(self, workloads):
         for name, metrics in workloads.items():

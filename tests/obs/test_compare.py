@@ -7,6 +7,8 @@ import pytest
 
 from repro.formats.csr import CSRGraph
 from repro.obs.compare import (
+    OPTIONAL_SECTIONS,
+    check_sections,
     compare_metrics,
     flatten_metrics,
     format_comparison,
@@ -80,6 +82,44 @@ class TestCompare:
         (row,) = [r for r in cmp.rows if r.key == "counters.brand_new"]
         assert row.rel == float("inf")
         assert not cmp.ok
+
+
+class TestSectionGuard:
+    def test_one_sided_section_refused_by_name(self, metrics_payload):
+        # A serve dump (with the telemetry "service" section) diffed
+        # against a pre-observability dump is a different workload, not
+        # a regression: refuse, naming the offending section.
+        with_service = copy.deepcopy(metrics_payload)
+        with_service["service"] = {"rates": {"miss_rate": 0.0}}
+        with pytest.raises(ValueError, match="service"):
+            compare_metrics(metrics_payload, with_service)
+        with pytest.raises(
+            ValueError, match="only in first dump: service"
+        ):
+            compare_metrics(with_service, metrics_payload)
+
+    def test_error_names_both_sides(self, metrics_payload):
+        a = copy.deepcopy(metrics_payload)
+        b = copy.deepcopy(metrics_payload)
+        a["service"] = {}
+        b["serve"] = {}
+        with pytest.raises(
+            ValueError,
+            match="only in first dump: service; only in second dump: serve",
+        ):
+            check_sections(a, b)
+
+    def test_schema_growth_sections_exempt(self, metrics_payload):
+        # A v1 baseline legitimately lacks arrays/hw_counters and an
+        # unprofiled run lacks critical_path/whatif: still comparable.
+        older = copy.deepcopy(metrics_payload)
+        for section in OPTIONAL_SECTIONS:
+            older.pop(section, None)
+        cmp = compare_metrics(older, metrics_payload)  # must not raise
+        assert any(r.key.startswith("hw_counters.") for r in cmp.rows)
+
+    def test_matching_sections_pass(self, metrics_payload):
+        check_sections(metrics_payload, copy.deepcopy(metrics_payload))
 
 
 class TestLoad:

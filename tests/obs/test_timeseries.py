@@ -1,0 +1,98 @@
+"""Ring-buffer time-series: ordering, eviction, windowed rollups."""
+
+import pytest
+
+from repro.obs.timeseries import TimeSeries
+
+
+class TestRecord:
+    def test_points_in_order(self):
+        ts = TimeSeries(capacity=8)
+        for t in (0.0, 1.0, 2.5):
+            ts.record(t, t * 10)
+        assert ts.points() == [(0.0, 0.0), (1.0, 10.0), (2.5, 25.0)]
+        assert ts.last_t == 2.5
+
+    def test_equal_timestamps_allowed(self):
+        ts = TimeSeries(capacity=4)
+        ts.record(1.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert len(ts.points()) == 2
+
+    def test_time_backwards_raises(self):
+        ts = TimeSeries(capacity=4)
+        ts.record(2.0)
+        with pytest.raises(ValueError, match="backwards"):
+            ts.record(1.0)
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries(capacity=0)
+
+
+class TestEviction:
+    def test_ring_keeps_newest(self):
+        ts = TimeSeries(capacity=3)
+        for t in range(6):
+            ts.record(float(t), float(t))
+        assert ts.points() == [(3.0, 3.0), (4.0, 4.0), (5.0, 5.0)]
+        assert ts.dropped == 3
+
+    def test_no_drop_below_capacity(self):
+        ts = TimeSeries(capacity=3)
+        ts.record(0.0)
+        assert ts.dropped == 0
+
+
+class TestStats:
+    def test_window_selects_recent(self):
+        ts = TimeSeries(capacity=16)
+        for t in range(10):
+            ts.record(float(t), 2.0)
+        # (now - window, now] = (4, 9]: five samples.
+        stats = ts.stats(5.0, now=9.0)
+        assert stats["count"] == 5
+        assert stats["sum"] == 10.0
+        assert stats["mean"] == 2.0
+        assert stats["rate"] == 1.0  # 5 samples / 5 seconds
+        assert stats["value_rate"] == 2.0
+
+    def test_samples_after_now_excluded(self):
+        ts = TimeSeries(capacity=8)
+        ts.record(1.0, 1.0)
+        ts.record(5.0, 1.0)
+        assert ts.stats(10.0, now=2.0)["count"] == 1
+
+    def test_empty_window_zeroes(self):
+        ts = TimeSeries(capacity=8)
+        stats = ts.stats(1.0, now=0.0)
+        assert stats == {
+            "count": 0, "sum": 0.0, "mean": 0.0, "max": 0.0,
+            "rate": 0.0, "value_rate": 0.0,
+        }
+
+    def test_max_tracked(self):
+        ts = TimeSeries(capacity=8)
+        ts.record(0.0, 3.0)
+        ts.record(1.0, 7.0)
+        ts.record(2.0, 5.0)
+        assert ts.stats(10.0, now=2.0)["max"] == 7.0
+
+
+class TestToDict:
+    def test_round_values(self):
+        ts = TimeSeries(capacity=4)
+        ts.record(0.5, 2.0)
+        d = ts.to_dict()
+        assert d["capacity"] == 4
+        assert d["count"] == 1
+        assert d["t"] == [0.5]
+        assert d["v"] == [2.0]
+
+    def test_max_points_keeps_tail(self):
+        ts = TimeSeries(capacity=8)
+        for t in range(6):
+            ts.record(float(t), float(t))
+        d = ts.to_dict(max_points=2)
+        assert d["t"] == [4.0, 5.0]
+        assert d["count"] == 6  # full count survives the truncation

@@ -1,0 +1,107 @@
+"""Property tests for the quantile sketch: error bound, merge, bytes.
+
+The three contracts the serving telemetry relies on:
+
+* every reported quantile is within ``alpha`` relative error of the
+  exact order statistic (``np.quantile(..., method="higher")``), for
+  adversarial distributions — many decades of magnitude, duplicates,
+  zeros, near-power-of-gamma values;
+* merge is associative and commutative (sketches can be combined in
+  any shard order);
+* serialization is canonical: serialize -> deserialize -> serialize is
+  byte-identical.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.sketch import QuantileSketch
+
+# Adversarial positive values: ~30 decades of magnitude, plus exact
+# duplicates and zeros mixed in by the list strategy.
+values_st = st.lists(
+    st.one_of(
+        st.floats(min_value=1e-12, max_value=1e18, allow_nan=False,
+                  allow_infinity=False),
+        st.just(0.0),
+        st.just(1.0),
+        st.sampled_from([1e-7, 2.5e-7, 1e-6, 0.5, 512.0]),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+alphas_st = st.sampled_from([0.005, 0.01, 0.05])
+qs_st = st.sampled_from([0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0])
+
+
+def build(values, alpha):
+    sk = QuantileSketch(relative_accuracy=alpha)
+    for v in values:
+        sk.add(v)
+    return sk
+
+
+class TestErrorBound:
+    @given(values=values_st, alpha=alphas_st, q=qs_st)
+    @settings(max_examples=200, deadline=None)
+    def test_quantile_within_relative_bound(self, values, alpha, q):
+        sk = build(values, alpha)
+        exact = float(np.quantile(np.array(values), q, method="higher"))
+        got = sk.quantile(q)
+        # |got - exact| <= alpha * exact, with float-slop headroom.
+        assert abs(got - exact) <= alpha * exact * (1.0 + 1e-9)
+
+    @given(values=values_st, alpha=alphas_st)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_moments(self, values, alpha):
+        sk = build(values, alpha)
+        assert sk.count == len(values)
+        assert sk.min == min(values)
+        assert sk.max == max(values)
+        # The sketch's sum is exact (Shewchuk partials), i.e. the
+        # correctly-rounded total regardless of accumulation order.
+        assert sk.sum == math.fsum(values)
+
+
+class TestMergeAlgebra:
+    @given(a=values_st, b=values_st, alpha=alphas_st)
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, a, b, alpha):
+        sa, sb = build(a, alpha), build(b, alpha)
+        assert sa.merge(sb) == sb.merge(sa)
+
+    @given(a=values_st, b=values_st, c=values_st, alpha=alphas_st)
+    @settings(max_examples=100, deadline=None)
+    def test_associative(self, a, b, c, alpha):
+        sa, sb, sc = (build(v, alpha) for v in (a, b, c))
+        assert sa.merge(sb).merge(sc) == sa.merge(sb.merge(sc))
+
+    @given(a=values_st, b=values_st, alpha=alphas_st)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_single_stream(self, a, b, alpha):
+        assert build(a, alpha).merge(build(b, alpha)) == build(
+            a + b, alpha
+        )
+
+
+class TestSerialization:
+    @given(values=values_st, alpha=alphas_st)
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_byte_identical(self, values, alpha):
+        sk = build(values, alpha)
+        blob = sk.to_bytes()
+        again = QuantileSketch.from_bytes(blob)
+        assert again.to_bytes() == blob
+        assert again == sk
+
+    @given(values=values_st, alpha=alphas_st, q=qs_st)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_preserves_quantiles(self, values, alpha, q):
+        sk = build(values, alpha)
+        assert QuantileSketch.from_bytes(sk.to_bytes()).quantile(
+            q
+        ) == sk.quantile(q)

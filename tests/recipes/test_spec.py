@@ -269,6 +269,8 @@ class TestKnobRegistry:
             "schedule": "flat",
             "overlap": True,
             "sort_fraction": 0.65,
+            "deadline_ms": "none,0.5",
+            "hot_fraction": 0.5,
         }
         assert set(good) == set(KNOBS)
         for knob, value in good.items():

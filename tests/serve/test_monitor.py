@@ -1,0 +1,154 @@
+"""Dashboard panels: render determinism, cross-source agreement."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import dump_metrics, run_metrics
+from repro.obs.slo import EventLog, SLOSpec
+from repro.serve import (
+    GraphService,
+    ServiceTelemetry,
+    drive,
+    load_panel,
+    make_labeled_stream,
+    panel_from_events,
+    panel_from_metrics,
+    panel_from_service,
+    render_panel,
+)
+
+SPECS = (
+    SLOSpec(name="latency", kind="latency", objective=0.99,
+            threshold_s=1e-10, burn_threshold=2.0),
+    SLOSpec(name="miss-rate", kind="miss", objective=0.95),
+)
+
+
+@pytest.fixture
+def driven(small_graph):
+    telemetry = ServiceTelemetry(specs=SPECS, events=EventLog())
+    service = GraphService.from_graph(
+        small_graph, fmt="efg", cache_kb=256, telemetry=telemetry
+    )
+    sources, classes = make_labeled_stream(
+        small_graph.num_nodes, 150, hot_fraction=0.5, seed=11
+    )
+    drive(service, sources, deadline_mix=(None, 0.5e-3), burst=48,
+          classes=classes)
+    return service
+
+
+def _metrics_payload(service):
+    return run_metrics(
+        service.backend.engine,
+        meta={"epoch": service.epoch},
+        sections={
+            "serve": service.metrics_section(),
+            "service": service.service_section(),
+        },
+    )
+
+
+class TestRender:
+    def test_frame_layout(self, driven):
+        frame = render_panel(panel_from_service(driven))
+        assert frame.startswith("repro top [live]")
+        assert f"epoch {driven.epoch[:12]}" in frame
+        assert "latency  p50" in frame
+        assert "slo      latency" in frame
+        assert "ALERTING" in frame  # 1e-10s budget: always firing
+        assert "\x1b" not in frame  # no ANSI anywhere
+
+    def test_no_slo_row(self, small_graph):
+        service = GraphService.from_graph(small_graph, fmt="efg")
+        service.submit(0)
+        service.step_wave()
+        frame = render_panel(panel_from_service(service))
+        assert "(none configured)" in frame
+
+    def test_render_deterministic(self, small_graph):
+        frames = []
+        for _ in range(2):
+            telemetry = ServiceTelemetry(specs=SPECS, events=EventLog())
+            service = GraphService.from_graph(
+                small_graph, fmt="efg", cache_kb=256, telemetry=telemetry
+            )
+            sources, classes = make_labeled_stream(
+                small_graph.num_nodes, 150, hot_fraction=0.5, seed=11
+            )
+            run_frames = []
+            drive(
+                service, sources, deadline_mix=(None, 0.5e-3), burst=48,
+                classes=classes,
+                frame_cb=lambda s: run_frames.append(render_panel(
+                    panel_from_service(s, frame=s.num_waves - 1)
+                )),
+            )
+            frames.append("\n\n".join(run_frames))
+        assert frames[0] == frames[1]
+        assert "wave 0" in frames[0]
+
+
+class TestCrossSourceAgreement:
+    def test_metrics_panel_matches_live(self, driven):
+        live = panel_from_service(driven)
+        metrics = panel_from_metrics(_metrics_payload(driven))
+        assert metrics.origin == "metrics"
+        assert metrics.total == live.total
+        assert metrics.outcomes == live.outcomes
+        assert metrics.waves == live.waves
+        assert metrics.latency == pytest.approx(live.latency)
+        assert metrics.qps == pytest.approx(live.qps)
+        assert metrics.miss_rate == pytest.approx(live.miss_rate)
+        assert [r["name"] for r in metrics.slo] == ["latency", "miss-rate"]
+
+    def test_events_panel_matches_live(self, driven):
+        live = panel_from_service(driven)
+        events = panel_from_events(
+            [json.loads(line) for line in driven.telemetry.events.lines]
+        )
+        assert events.origin == "events"
+        assert events.total == live.total
+        assert events.outcomes == live.outcomes
+        assert events.pending == 0  # run fully drained
+        assert events.waves == live.waves
+        assert events.epoch == driven.epoch
+        assert events.latency == pytest.approx(live.latency)
+        # The declaration events make the log self-describing: every
+        # configured SLO has a row even if it never transitioned.
+        assert [r["name"] for r in events.slo] == ["latency", "miss-rate"]
+        (lat_row,) = [r for r in events.slo if r["name"] == "latency"]
+        assert lat_row["alerting"] == live.slo[0]["alerting"]
+
+
+class TestLoadPanel:
+    def test_loads_metrics_dump(self, driven, tmp_path):
+        path = tmp_path / "m.json"
+        dump_metrics(_metrics_payload(driven), str(path))
+        panel = load_panel(str(path))
+        assert panel.origin == "metrics"
+        assert panel.total == 150
+
+    def test_loads_event_log(self, driven, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        path.write_text("\n".join(driven.telemetry.events.lines) + "\n")
+        panel = load_panel(str(path))
+        assert panel.origin == "events"
+        assert panel.total == 150
+
+    def test_pre_observability_dump_rejected(self, driven, tmp_path):
+        payload = _metrics_payload(driven)
+        del payload["service"]
+        path = tmp_path / "old.json"
+        dump_metrics(payload, str(path))
+        with pytest.raises(ValueError, match="pre-observability"):
+            load_panel(str(path))
+
+    def test_empty_event_log_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_panel(str(path))

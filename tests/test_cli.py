@@ -126,6 +126,81 @@ class TestServe:
                 "serve", graph_file, "--deadline-ms", "soon",
             ])
 
+    def test_monitor_renders_frames_and_report(self, graph_file, capsys):
+        assert main([
+            "serve", graph_file, "--queries", "60", "--monitor",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro top [live]" in out
+        assert "wave 0" in out
+        assert "serve run: epoch" in out
+        assert "result lru:" in out
+
+    def test_events_log_written_and_deterministic(
+        self, graph_file, tmp_path, capsys
+    ):
+        logs = []
+        for run in ("a", "b"):
+            d = tmp_path / run
+            d.mkdir()
+            path = d / "ev.jsonl"
+            assert main([
+                "serve", graph_file, "--queries", "60",
+                "--events", str(path),
+            ]) == 0
+            logs.append(path.read_bytes())
+        assert logs[0] == logs[1]
+        assert b'"kind":"epoch"' in logs[0]
+        assert "events to" in capsys.readouterr().out
+
+    def test_slo_alert_surfaces_and_gates(self, graph_file, capsys):
+        # 0.0001 ms = 1e-7 s: far under any simulated wave latency, so
+        # the latency SLO must alert — and --slo-exit-nonzero gates.
+        args = [
+            "serve", graph_file, "--queries", "60",
+            "--slo-latency-ms", "0.0001", "--slo-burn", "2",
+        ]
+        assert main(args) == 0
+        assert "slo latency: ALERTING" in capsys.readouterr().out
+        assert main(args + ["--slo-exit-nonzero"]) == 1
+
+
+class TestTop:
+    def test_from_metrics_dump(self, graph_file, tmp_path, capsys):
+        metrics = str(tmp_path / "m.json")
+        assert main([
+            "serve", graph_file, "--queries", "40", "--metrics", metrics,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["top", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "repro top [metrics]" in out
+        assert "latency  p50" in out
+
+    def test_from_event_log(self, graph_file, tmp_path, capsys):
+        events = str(tmp_path / "ev.jsonl")
+        assert main([
+            "serve", graph_file, "--queries", "40", "--events", events,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["top", events]) == 0
+        assert "repro top [events]" in capsys.readouterr().out
+
+    def test_missing_artifact_exits_two(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_pre_observability_dump_exits_two(self, tmp_path, capsys):
+        # A dump without the "service" section (e.g. a profile run)
+        # is not a serving artifact: fail with the explanation.
+        assert main([
+            "profile", "bfs", "--rmat-scale", "6",
+            "--metrics", str(tmp_path / "m.json"),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["top", str(tmp_path / "m.json")]) == 2
+        assert "service" in capsys.readouterr().err
+
 
 class TestProfile:
     def test_bfs_writes_trace_and_metrics(self, tmp_path, capsys):
@@ -207,7 +282,7 @@ class TestBench:
             "bench", "--out-dir", str(tmp_path), "--seq", "1", *self.SMALL,
         ]) == 0
         out = capsys.readouterr().out
-        assert "12 workloads" in out
+        assert "13 workloads" in out
         assert "raw/ef exchange time" in out
         assert (tmp_path / "BENCH_1.json").exists()
 
@@ -341,6 +416,29 @@ class TestCompareErrors:
         path.write_text("{not json")
         assert main(["compare", str(path), str(path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_section_mismatch_exits_two_naming_section(
+        self, graph_file, tmp_path, capsys
+    ):
+        # A serve dump (carries the "service" section) against a
+        # profile dump is a different workload: exit 2 with the
+        # offending section named, not a wall of inf regressions.
+        serve_dump = str(tmp_path / "serve.json")
+        profile_dump = str(tmp_path / "profile.json")
+        assert main([
+            "serve", graph_file, "--queries", "20",
+            "--metrics", serve_dump,
+        ]) == 0
+        assert main([
+            "profile", "bfs", "--rmat-scale", "6",
+            "--metrics", profile_dump,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["compare", serve_dump, profile_dump]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "service" in err
+        assert "section mismatch" in err
 
 
 class TestWhatIf:
